@@ -1,0 +1,72 @@
+// Figure 1: numerical distributions of nonzero entries in the real-world
+// matrices vs the IEEE 754 FP16 range.
+//
+// Prints a per-decade histogram (percent of nonzeros per magnitude decade)
+// for each problem, marking the FP16-representable window
+// [2^-24, 65504] ~ [6e-8, 6.5e4].
+#include <cmath>
+#include <map>
+
+#include "bench_common.hpp"
+#include "fp/half.hpp"
+
+using namespace smg;
+
+int main() {
+  bench::print_header("Value-magnitude distributions per problem",
+                      "Figure 1 (and Table 3 'Out-of-FP16?' / 'Dist.')");
+
+  const std::vector<std::string> names = {"laplace27", "laplace27e8", "rhd",
+                                          "oil",       "weather",     "rhd3t",
+                                          "oil4c",     "solid3d"};
+  const double lo16 = static_cast<double>(kHalfMinSubnormal);
+  const double hi16 = static_cast<double>(kHalfMax);
+  std::printf("FP16 window: [%.2e, %.2e]\n\n", lo16, hi16);
+
+  Table table({"problem", "min|a|", "max|a|", "decades", "%below-fp16",
+               "%in-fp16", "%above-fp16", "verdict"});
+  for (const auto& name : names) {
+    const Problem p = make_problem(name, bench::default_box(name));
+    const auto mags = value_magnitudes(p.A);
+    double lo = 1e300, hi = 0.0;
+    std::size_t below = 0, above = 0;
+    for (double v : mags) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+      if (v < lo16) {
+        ++below;
+      } else if (v > hi16) {
+        ++above;
+      }
+    }
+    const double n = static_cast<double>(mags.size());
+    const char* verdict = hi > hi16 ? (hi > 100 * hi16 ? "out (Far)" :
+                                                         "out (Near)")
+                                    : "in range";
+    table.row({name, Table::sci(lo), Table::sci(hi),
+               Table::fmt(std::log10(hi / lo), 1),
+               Table::fmt(100.0 * below / n, 2),
+               Table::fmt(100.0 * (n - below - above) / n, 2),
+               Table::fmt(100.0 * above / n, 2), verdict});
+  }
+  table.print();
+
+  // Per-decade histogram rows (the shape of Fig. 1's curves).
+  std::printf("\nPer-decade histograms (percent of nonzeros):\n");
+  for (const auto& name : names) {
+    const Problem p = make_problem(name, bench::default_box(name));
+    const auto mags = value_magnitudes(p.A);
+    std::map<int, std::size_t> hist;
+    for (double v : mags) {
+      ++hist[static_cast<int>(std::floor(std::log10(v)))];
+    }
+    std::printf("%-12s:", name.c_str());
+    for (const auto& [dec, cnt] : hist) {
+      std::printf(" 1e%+03d:%.1f%%", dec,
+                  100.0 * static_cast<double>(cnt) /
+                      static_cast<double>(mags.size()));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

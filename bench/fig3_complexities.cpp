@@ -1,0 +1,58 @@
+// Figure 3: grid complexity C_G and operator complexity C_O statistics over
+// a population of multigrid cases.
+//
+// The paper samples 60 MFEM example/mesh combinations; we sample the same
+// statistic over our problem generators x grid shapes (8 problems x 8
+// shapes = 64 cases) and report the same cumulative-frequency checkpoints:
+// the paper finds C_G < 1.2 and C_O < 1.5 in 80% of cases.
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+
+using namespace smg;
+
+int main() {
+  bench::print_header("Grid/operator complexity statistics over 64 MG cases",
+                      "Figure 3 (+ the C_G / C_O columns of Table 3)");
+
+  const std::vector<Box> shapes = {Box{24, 24, 24}, Box{32, 32, 32},
+                                   Box{20, 20, 40}, Box{40, 20, 20},
+                                   Box{16, 32, 24}, Box{28, 28, 12},
+                                   Box{36, 18, 18}, Box{22, 26, 30}};
+  std::vector<double> cgs, cos;
+  Table t({"problem", "box", "levels", "C_G", "C_O"});
+  for (const auto& name : problem_names()) {
+    for (const Box& box : shapes) {
+      Problem p = make_problem(name, box);
+      MGConfig cfg = config_d16_setup_scale();
+      cfg.min_coarse_cells = 64;
+      MGHierarchy h(std::move(p.A), cfg);
+      cgs.push_back(h.grid_complexity());
+      cos.push_back(h.operator_complexity());
+      char bstr[32];
+      std::snprintf(bstr, sizeof(bstr), "%dx%dx%d", box.nx, box.ny, box.nz);
+      t.row({name, bstr, std::to_string(h.nlevels()),
+             Table::fmt(h.grid_complexity(), 3),
+             Table::fmt(h.operator_complexity(), 3)});
+    }
+  }
+  t.print();
+
+  std::printf("\nCumulative frequency (paper: C_G<1.2 and C_O<1.5 in 80%%"
+              " of cases; C_G<1.15 and C_O<1.22 in 60%%):\n");
+  Table s({"threshold", "fraction of cases"});
+  s.row({"C_G < 1.15",
+         Table::fmt(100.0 * cumulative_at({cgs.data(), cgs.size()}, 1.15), 1)});
+  s.row({"C_G < 1.20",
+         Table::fmt(100.0 * cumulative_at({cgs.data(), cgs.size()}, 1.20), 1)});
+  s.row({"C_O < 1.22",
+         Table::fmt(100.0 * cumulative_at({cos.data(), cos.size()}, 1.22), 1)});
+  s.row({"C_O < 1.50",
+         Table::fmt(100.0 * cumulative_at({cos.data(), cos.size()}, 1.50), 1)});
+  s.print();
+  std::printf("\nmedians: C_G=%.3f  C_O=%.3f  (finest level dominates ->\n"
+              "guideline 3.3: put FP16 on the *finest* levels)\n",
+              percentile(cgs, 50.0), percentile(cos, 50.0));
+  return 0;
+}

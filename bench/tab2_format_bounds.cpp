@@ -1,0 +1,67 @@
+// Table 2: bytes per nonzero and the upper bound of preconditioner speedup
+// by minimal memory access volume, SG-DIA vs CSR(int32/int64).
+//
+// Also verifies the model against actual container sizes and reports the
+// percent_A statistics of §3.1 for the supported stencils.
+#include "bench_common.hpp"
+#include "csr/csr_matrix.hpp"
+#include "perfmodel/bytes.hpp"
+
+using namespace smg;
+
+int main() {
+  bench::print_header("Format memory model and speedup upper bounds",
+                      "Table 2 + the percent_A statistic of section 3.1");
+
+  const double delta = 0.15;  // paper: average over 2216 SuiteSparse matrices
+  Table t({"format", "B/nnz fp64", "B/nnz fp32", "B/nnz fp16", "64->32",
+           "32->16", "64->16"});
+  t.row({"SG-DIA", Table::fmt(sgdia_bytes_per_nnz(Prec::FP64), 1),
+         Table::fmt(sgdia_bytes_per_nnz(Prec::FP32), 1),
+         Table::fmt(sgdia_bytes_per_nnz(Prec::FP16), 1),
+         Table::fmt(speedup_bound_sgdia(Prec::FP64, Prec::FP32), 2),
+         Table::fmt(speedup_bound_sgdia(Prec::FP32, Prec::FP16), 2),
+         Table::fmt(speedup_bound_sgdia(Prec::FP64, Prec::FP16), 2)});
+  t.row({"CSR int32", Table::fmt(csr_bytes_per_nnz(8, 4, delta), 2),
+         Table::fmt(csr_bytes_per_nnz(4, 4, delta), 2),
+         Table::fmt(csr_bytes_per_nnz(2, 4, delta), 2),
+         Table::fmt(speedup_bound_csr(Prec::FP64, Prec::FP32, 4, delta), 2),
+         Table::fmt(speedup_bound_csr(Prec::FP32, Prec::FP16, 4, delta), 2),
+         Table::fmt(speedup_bound_csr(Prec::FP64, Prec::FP16, 4, delta), 2)});
+  t.row({"CSR int64", Table::fmt(csr_bytes_per_nnz(8, 8, delta), 2),
+         Table::fmt(csr_bytes_per_nnz(4, 8, delta), 2),
+         Table::fmt(csr_bytes_per_nnz(2, 8, delta), 2),
+         Table::fmt(speedup_bound_csr(Prec::FP64, Prec::FP32, 8, delta), 2),
+         Table::fmt(speedup_bound_csr(Prec::FP32, Prec::FP16, 8, delta), 2),
+         Table::fmt(speedup_bound_csr(Prec::FP64, Prec::FP16, 8, delta), 2)});
+  t.print();
+
+  // Cross-check the model against real container sizes on a 3d27 grid.
+  std::printf("\nCross-check on a 32^3 3d27 matrix (actual container bytes"
+              " per logical nonzero):\n");
+  const Problem p = make_problem("laplace27", Box{32, 32, 32});
+  const double nnz = static_cast<double>(p.A.nnz_logical());
+  const auto c32 = csr_from_struct<double, std::int32_t>(p.A);
+  const auto c16 = csr_from_struct<half, std::int32_t>(p.A);
+  Table t2({"container", "bytes/nnz"});
+  // SG-DIA stores boundary-truncated slots too; report both densities.
+  t2.row({"SG-DIA fp64 (stored slots)",
+          Table::fmt(8.0, 2)});
+  t2.row({"SG-DIA fp64 (per logical nnz)",
+          Table::fmt(static_cast<double>(p.A.value_bytes()) / nnz, 2)});
+  t2.row({"CSR fp64/int32", Table::fmt(c32.bytes() / nnz, 2)});
+  t2.row({"CSR fp16/int32", Table::fmt(c16.bytes() / nnz, 2)});
+  t2.print();
+
+  // percent_A (Eq. 2) per stencil, as quoted in section 3.1.
+  std::printf("\npercent_A = nnz / (nnz + 2m) per stencil (section 3.1"
+              " quotes 0.78 / 0.88 / 0.90 for 3d7 / 3d19 / 3d27):\n");
+  Table t3({"pattern", "nnz/row", "percent_A"});
+  for (Pattern pat : {Pattern::P3d7, Pattern::P3d19, Pattern::P3d27}) {
+    const double npr = stencil_nnz_per_row(pat, 1);
+    t3.row({std::string(to_string(pat)), Table::fmt(npr, 0),
+            Table::fmt(percent_matrix(npr, 1.0), 2)});
+  }
+  t3.print();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Reservoir pressure stepping: a miniature implicit time loop in the style
+// of the paper's petroleum-reservoir application (oil / SPE-type problem).
+//
+// Every implicit step solves a sparse system whose matrix stays fixed
+// (pressure operator) while the right-hand side changes — the regime where
+// the hierarchy's one-time setup amortizes perfectly and the FP16
+// preconditioner accelerates each of many GMRES solves.
+//
+// Run: ./reservoir_sim [steps]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/mg_precond.hpp"
+#include "kernels/spmv.hpp"
+#include "problems/problem.hpp"
+#include "solvers/gmres.hpp"
+
+using namespace smg;
+
+int main(int argc, char** argv) {
+  const int steps = argc > 1 ? std::atoi(argv[1]) : 8;
+  const Box box{40, 40, 24};
+  std::printf("== Reservoir simulation: %dx%dx%d cells, %d implicit steps"
+              " ==\n", box.nx, box.ny, box.nz, steps);
+
+  Problem p = make_oil(box);
+  const StructMat<double> A = p.A;  // the pressure operator
+
+  MGConfig cfg = config_d16_setup_scale();
+  MGHierarchy hierarchy(std::move(p.A), cfg);
+  auto M = make_mg_precond<double>(hierarchy);
+  std::printf("setup: %.3fs, %d levels, matrix memory %.2f MB (FP16)\n",
+              hierarchy.setup_seconds(), hierarchy.nlevels(),
+              hierarchy.stored_matrix_bytes() / 1e6);
+
+  const LinOp<double> op = [&A](std::span<const double> x,
+                                std::span<double> y) {
+    spmv<double, double>(A, x, y);
+  };
+  const std::size_t n = p.b.size();
+  avec<double> pressure(n, 0.0), rhs = p.b;
+
+  double total_iters = 0.0, total_seconds = 0.0;
+  for (int step = 0; step < steps; ++step) {
+    SolveOptions opts;
+    opts.rtol = 1e-8;
+    opts.max_iters = 300;
+    const SolveResult res = pgmres<double>(op, {rhs.data(), n},
+                                           {pressure.data(), n}, *M, opts);
+    if (!res.converged) {
+      std::printf("step %d failed: %s\n", step, res.status().c_str());
+      return 1;
+    }
+    total_iters += res.iters;
+    total_seconds += res.solve_seconds;
+    std::printf("step %2d: %3d GMRES iters, %.3fs, relres %.1e\n", step,
+                res.iters, res.solve_seconds, res.final_relres);
+    // Next step's source terms: inject at one corner well, produce at the
+    // opposite one, plus the compressibility term from the new pressure.
+    for (std::size_t i = 0; i < n; ++i) {
+      rhs[i] = 0.9 * rhs[i] + 1e-3 * pressure[i];
+    }
+    rhs[0] += 1.0;
+    rhs[n - 1] -= 1.0;
+  }
+  std::printf("\ntotal: %.1f iters avg/step, %.3fs solve time; setup share"
+              " amortized to %.1f%%\n", total_iters / steps, total_seconds,
+              100.0 * hierarchy.setup_seconds() /
+                  (hierarchy.setup_seconds() + total_seconds));
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Galerkin coarsening A_c = R A P for structured matrices (§2, Fig. 2).
+//
+// Performed entirely in FP64 — the setup-then-scale strategy depends on the
+// triple-matrix-product chain never seeing reduced precision (§4.1).
+#pragma once
+
+#include <array>
+
+#include "core/transfer.hpp"
+#include "sgdia/struct_matrix.hpp"
+
+namespace smg {
+
+/// Numeric triple product with geometric P (trilinear) and R = P^T.
+/// The coarse matrix always has the full 3d27 pattern: 3d7/3d15/3d19
+/// stencils expand to 3d27 after one Galerkin step, exactly as the paper
+/// notes for StructMG and hypre's structured solvers.
+StructMat<double> galerkin_coarsen(const StructMat<double>& A,
+                                   const Coarsening& c);
+
+/// Aggregate |a| mass of the pure-axis face couplings per dimension — the
+/// signal the coupling-aware Coarsening::make uses to pick which dims to
+/// halve (anisotropic problems keep their weak directions uncoarsened).
+std::array<double, 3> coupling_strengths(const StructMat<double>& A);
+
+}  // namespace smg

@@ -1,0 +1,79 @@
+#include "core/config.hpp"
+
+namespace smg {
+
+std::string MGConfig::tag() const {
+  std::string s = "P";
+  s += (compute == Prec::FP64) ? "64" : "32";
+  s += "D";
+  switch (storage) {
+    case Prec::FP64:
+      s += "64";
+      break;
+    case Prec::FP32:
+      s += "32";
+      break;
+    case Prec::FP16:
+      s += "16";
+      break;
+    case Prec::BF16:
+      s += "b16";
+      break;
+  }
+  if (storage == Prec::FP16 || storage == Prec::BF16) {
+    switch (scale) {
+      case ScaleMode::None:
+        s += "-none";
+        break;
+      case ScaleMode::SetupThenScale:
+        s += "-setup-scale";
+        break;
+      case ScaleMode::ScaleThenSetup:
+        s += "-scale-setup";
+        break;
+    }
+  }
+  return s;
+}
+
+MGConfig config_full64() {
+  MGConfig cfg;
+  cfg.compute = Prec::FP64;
+  cfg.storage = Prec::FP64;
+  cfg.scale = ScaleMode::None;
+  return cfg;
+}
+
+MGConfig config_k64p32d32() {
+  MGConfig cfg;
+  cfg.compute = Prec::FP32;
+  cfg.storage = Prec::FP32;
+  cfg.scale = ScaleMode::None;
+  return cfg;
+}
+
+MGConfig config_d16_none() {
+  MGConfig cfg;
+  cfg.compute = Prec::FP32;
+  cfg.storage = Prec::FP16;
+  cfg.scale = ScaleMode::None;
+  return cfg;
+}
+
+MGConfig config_d16_scale_setup() {
+  MGConfig cfg;
+  cfg.compute = Prec::FP32;
+  cfg.storage = Prec::FP16;
+  cfg.scale = ScaleMode::ScaleThenSetup;
+  return cfg;
+}
+
+MGConfig config_d16_setup_scale() {
+  MGConfig cfg;
+  cfg.compute = Prec::FP32;
+  cfg.storage = Prec::FP16;
+  cfg.scale = ScaleMode::SetupThenScale;
+  return cfg;
+}
+
+}  // namespace smg

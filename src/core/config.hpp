@@ -1,0 +1,102 @@
+// Multigrid + precision configuration.
+//
+// The paper's naming scheme "K<a>P<b>D<c>" maps onto this struct as:
+//   K — iterative (Krylov) precision: chosen by the *solver* template type,
+//       not stored here (Alg. 2's red precision);
+//   P — `compute`: precision of every vector and arithmetic op inside the
+//       preconditioner (blue);
+//   D — `storage`: precision the level matrices are truncated to (green).
+// `shift_levid` implements §4.3: from that level to the coarsest, matrices
+// are stored in `compute` precision instead of `storage` to dodge underflow
+// accumulated along the triple-matrix-product chain.
+#pragma once
+
+#include <climits>
+#include <cstdint>
+#include <string>
+
+#include "fp/precision.hpp"
+#include "sgdia/struct_matrix.hpp"
+
+namespace smg {
+
+enum class ScaleMode {
+  None,            ///< direct truncation (Fig. 6 "K64P32D16-none")
+  SetupThenScale,  ///< the paper's strategy (Alg. 1, "setup-scale")
+  ScaleThenSetup,  ///< the ablation counterpart ("scale-setup")
+};
+
+constexpr std::string_view to_string(ScaleMode m) noexcept {
+  switch (m) {
+    case ScaleMode::None:
+      return "none";
+    case ScaleMode::SetupThenScale:
+      return "setup-then-scale";
+    case ScaleMode::ScaleThenSetup:
+      return "scale-then-setup";
+  }
+  return "?";
+}
+
+enum class SmootherType {
+  Jacobi,  ///< weighted (block-)Jacobi
+  SymGS,   ///< forward GS pre-smoothing, backward GS post-smoothing
+};
+
+enum class CycleType {
+  V,
+  W,
+};
+
+struct MGConfig {
+  // --- hierarchy shape ---
+  int max_levels = 10;
+  std::int64_t min_coarse_cells = 64;  ///< stop coarsening below this
+  int min_dim = 5;                     ///< do not halve dims shorter than this
+  CycleType cycle = CycleType::V;
+  /// Coupling-aware (semi)coarsening: only halve dimensions whose face
+  /// coupling is at least `coarsen_threshold` x the strongest coarsenable
+  /// dimension's (StructMG-style high-dimensional coarsening; this is what
+  /// gives the paper's weather case its larger C_G/C_O in Table 3).
+  bool aniso_coarsening = true;
+  double coarsen_threshold = 0.1;
+
+  // --- smoothing (paper §8: one pre- and one post-smoothing) ---
+  SmootherType smoother = SmootherType::SymGS;
+  int nu1 = 1;
+  int nu2 = 1;
+  double jacobi_weight = 0.67;
+
+  // --- precision (P and D of the paper's K/P/D triple) ---
+  Prec compute = Prec::FP32;
+  Prec storage = Prec::FP16;
+  int shift_levid = INT_MAX;
+  ScaleMode scale = ScaleMode::SetupThenScale;
+  double scale_safety = 0.25;  ///< G = safety * G_max (Theorem 4.1 headroom)
+  /// Alg. 1 line 13: smoother data is truncated to storage precision too
+  /// (with an overflow/underflow guard; see truncate_smoother_data).
+  bool truncate_smoother = true;
+
+  // --- kernel implementation ---
+  // SOAL (line-blocked SOA) keeps the SOA SIMD structure while giving the
+  // kernels a single sequential memory stream per line; it is the layout the
+  // Fig. 7/8 "(opt)" numbers use.
+  Layout layout = Layout::SOAL;
+
+  /// Storage precision actually used on `level` (applies shift_levid).
+  Prec storage_at(int level) const noexcept {
+    return level < shift_levid ? storage : compute;
+  }
+
+  /// Human-readable "P32D16-setup-scale"-style tag for experiment tables.
+  std::string tag() const;
+};
+
+/// Canonical configurations used across benches (Fig. 6 legend names).
+MGConfig config_full64();                ///< compute FP64, storage FP64
+MGConfig config_k64p32d32();             ///< compute FP32, storage FP32
+MGConfig config_d16_none();              ///< FP16 storage, no scaling
+MGConfig config_d16_scale_setup();       ///< FP16, scale-then-setup
+MGConfig config_d16_setup_scale();       ///< FP16, setup-then-scale (ours)
+
+}  // namespace smg

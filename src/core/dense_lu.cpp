@@ -1,0 +1,127 @@
+#include "core/dense_lu.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/common.hpp"
+
+namespace smg {
+
+DenseLU::DenseLU(const StructMat<double>& A) {
+  n_ = A.nrows();
+  lu_.assign(static_cast<std::size_t>(n_) * n_, 0.0);
+  const Box& box = A.box();
+  const Stencil& st = A.stencil();
+  const int bs = A.block_size();
+  for (int k = 0; k < box.nz; ++k) {
+    for (int j = 0; j < box.ny; ++j) {
+      for (int i = 0; i < box.nx; ++i) {
+        const std::int64_t cell = box.idx(i, j, k);
+        for (int d = 0; d < st.ndiag(); ++d) {
+          const Offset& o = st.offset(d);
+          if (!box.contains(i + o.dx, j + o.dy, k + o.dz)) {
+            continue;
+          }
+          const std::int64_t nbr = box.idx(i + o.dx, j + o.dy, k + o.dz);
+          for (int br = 0; br < bs; ++br) {
+            for (int bc = 0; bc < bs; ++bc) {
+              lu_[static_cast<std::size_t>(cell * bs + br) * n_ +
+                  (nbr * bs + bc)] = A.at(cell, d, br, bc);
+            }
+          }
+        }
+      }
+    }
+  }
+  factor();
+}
+
+DenseLU::DenseLU(std::int64_t n, avec<double> a) : n_(n), lu_(std::move(a)) {
+  SMG_CHECK(lu_.size() == static_cast<std::size_t>(n_) * n_,
+            "dense matrix size mismatch");
+  factor();
+}
+
+void DenseLU::factor() {
+  piv_.resize(static_cast<std::size_t>(n_));
+  min_pivot_ = std::numeric_limits<double>::infinity();
+  double* a = lu_.data();
+  for (std::int64_t col = 0; col < n_; ++col) {
+    // Partial pivoting.
+    std::int64_t p = col;
+    double pmax = std::abs(a[col * n_ + col]);
+    for (std::int64_t r = col + 1; r < n_; ++r) {
+      const double v = std::abs(a[r * n_ + col]);
+      if (v > pmax) {
+        pmax = v;
+        p = r;
+      }
+    }
+    piv_[static_cast<std::size_t>(col)] = static_cast<std::int32_t>(p);
+    if (p != col) {
+      for (std::int64_t c = 0; c < n_; ++c) {
+        std::swap(a[col * n_ + c], a[p * n_ + c]);
+      }
+    }
+    const double pivot = a[col * n_ + col];
+    min_pivot_ = std::min(min_pivot_, std::abs(pivot));
+    if (pivot == 0.0) {
+      continue;  // singular column; solve() will propagate inf/nan
+    }
+    const double inv = 1.0 / pivot;
+    for (std::int64_t r = col + 1; r < n_; ++r) {
+      const double m = a[r * n_ + col] * inv;
+      a[r * n_ + col] = m;
+      if (m != 0.0) {
+        for (std::int64_t c = col + 1; c < n_; ++c) {
+          a[r * n_ + c] -= m * a[col * n_ + c];
+        }
+      }
+    }
+  }
+  if (n_ == 0) {
+    min_pivot_ = 0.0;
+  }
+}
+
+template <class CT>
+void DenseLU::solve(std::span<const CT> b, std::span<CT> x) const {
+  SMG_CHECK(static_cast<std::int64_t>(b.size()) == n_ &&
+                static_cast<std::int64_t>(x.size()) == n_,
+            "dense solve size mismatch");
+  avec<double> y(static_cast<std::size_t>(n_));
+  for (std::int64_t i = 0; i < n_; ++i) {
+    y[static_cast<std::size_t>(i)] = static_cast<double>(b[i]);
+  }
+  // Apply the row permutation and forward-substitute with unit L.
+  const double* a = lu_.data();
+  for (std::int64_t i = 0; i < n_; ++i) {
+    const std::int64_t p = piv_[static_cast<std::size_t>(i)];
+    if (p != i) {
+      std::swap(y[static_cast<std::size_t>(i)], y[static_cast<std::size_t>(p)]);
+    }
+    double acc = y[static_cast<std::size_t>(i)];
+    for (std::int64_t c = 0; c < i; ++c) {
+      acc -= a[i * n_ + c] * y[static_cast<std::size_t>(c)];
+    }
+    y[static_cast<std::size_t>(i)] = acc;
+  }
+  // Back-substitution with U.
+  for (std::int64_t i = n_ - 1; i >= 0; --i) {
+    double acc = y[static_cast<std::size_t>(i)];
+    for (std::int64_t c = i + 1; c < n_; ++c) {
+      acc -= a[i * n_ + c] * y[static_cast<std::size_t>(c)];
+    }
+    y[static_cast<std::size_t>(i)] = acc / a[i * n_ + i];
+  }
+  for (std::int64_t i = 0; i < n_; ++i) {
+    x[i] = static_cast<CT>(y[static_cast<std::size_t>(i)]);
+  }
+}
+
+template void DenseLU::solve<float>(std::span<const float>,
+                                    std::span<float>) const;
+template void DenseLU::solve<double>(std::span<const double>,
+                                     std::span<double>) const;
+
+}  // namespace smg

@@ -1,0 +1,181 @@
+#include "core/mg_hierarchy.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "core/coarsen.hpp"
+#include "core/smoother.hpp"
+#include "fp/half.hpp"
+#include "util/timer.hpp"
+
+namespace smg {
+
+namespace {
+
+/// The paper's criterion (§4.1): scale a level iff values exceed FP16_MAX.
+/// Only IEEE FP16 needs it; BF16 shares FP32's range.
+bool needs_scaling(const StructMat<double>& A, Prec storage) {
+  if (storage != Prec::FP16) {
+    return false;
+  }
+  return max_abs_value(A) > static_cast<double>(kHalfMax);
+}
+
+}  // namespace
+
+MGHierarchy::MGHierarchy(StructMat<double> A0, MGConfig cfg)
+    : cfg_(std::move(cfg)) {
+  Timer timer;
+
+  // ---- optional ablation path: scale the finest matrix *before* setup ----
+  if (cfg_.scale == ScaleMode::ScaleThenSetup &&
+      needs_scaling(A0, cfg_.storage)) {
+    ScaleResult sr =
+        scale_matrix(A0, cfg_.scale_safety, static_cast<double>(kHalfMax));
+    finest_wrapped_ = true;
+    finest_q2_ = std::move(sr.q2);
+  }
+
+  // ---- Galerkin chain in FP64 (Alg. 1 lines 1-3) ----
+  std::vector<StructMat<double>> chain;
+  std::vector<Coarsening> steps;
+  chain.push_back(std::move(A0));
+  while (static_cast<int>(chain.size()) < cfg_.max_levels) {
+    const StructMat<double>& fine = chain.back();
+    if (fine.ncells() <= cfg_.min_coarse_cells) {
+      break;
+    }
+    const Coarsening c =
+        cfg_.aniso_coarsening
+            ? Coarsening::make(fine.box(), cfg_.min_dim,
+                               coupling_strengths(fine),
+                               cfg_.coarsen_threshold)
+            : Coarsening::make(fine.box(), cfg_.min_dim);
+    if (!c.any()) {
+      break;
+    }
+    steps.push_back(c);
+    chain.push_back(galerkin_coarsen(fine, c));
+  }
+
+  // ---- per-level scale-and-truncate (Alg. 1 lines 4-13) ----
+  const int nlev = static_cast<int>(chain.size());
+  levels_.resize(static_cast<std::size_t>(nlev));
+  for (int l = 0; l < nlev; ++l) {
+    Level& lev = levels_[static_cast<std::size_t>(l)];
+    lev.A_full = std::move(chain[static_cast<std::size_t>(l)]);
+    lev.storage = cfg_.storage_at(l);
+    if (l + 1 < nlev) {
+      lev.to_coarse = steps[static_cast<std::size_t>(l)];
+    }
+
+    // Smoothers are set up from the high-precision matrix, then their data
+    // is truncated to storage precision (Alg. 1 line 13).  On scaled levels
+    // the truncation happens in the *scaled* space (the paper sets S_i up
+    // from the scaled Â_i, whose diagonal is uniformly G): the raw inverse
+    // diagonals span the matrix's full decade range and rounding them
+    // directly would perturb the smoother non-uniformly.
+    lev.invdiag = compute_invdiag(lev.A_full);
+
+    if (cfg_.scale == ScaleMode::SetupThenScale &&
+        needs_scaling(lev.A_full, lev.storage)) {
+      // Scale a *copy*: A_full must stay the true level operator for the
+      // smoother data above and for diagnostics.
+      StructMat<double> scaled = lev.A_full;
+      ScaleResult sr = scale_matrix(scaled, cfg_.scale_safety,
+                                    static_cast<double>(kHalfMax));
+      lev.scaled = true;
+      lev.q2 = std::move(sr.q2);
+      lev.gmax = sr.gmax;
+      lev.A_stored =
+          AnyMat::from(scaled, lev.storage, cfg_.layout, &lev.trunc);
+      if (cfg_.truncate_smoother) {
+        // Round the diagonal-block inverses in the scaled space:
+        // hat = Q^{1/2} D^{-1} Q^{1/2} (values ~1/G, safely in range),
+        // truncate, then map back to the effective-space data the kernels
+        // consume.
+        const int bsz = lev.A_full.block_size();
+        const std::int64_t nc = lev.A_full.ncells();
+        for (std::int64_t cell = 0; cell < nc; ++cell) {
+          for (int br = 0; br < bsz; ++br) {
+            for (int bc = 0; bc < bsz; ++bc) {
+              lev.invdiag[static_cast<std::size_t>(
+                  (cell * bsz + br) * bsz + bc)] *=
+                  lev.q2[static_cast<std::size_t>(cell * bsz + br)] *
+                  lev.q2[static_cast<std::size_t>(cell * bsz + bc)];
+            }
+          }
+        }
+        truncate_smoother_data(lev.invdiag, lev.storage);
+        for (std::int64_t cell = 0; cell < nc; ++cell) {
+          for (int br = 0; br < bsz; ++br) {
+            for (int bc = 0; bc < bsz; ++bc) {
+              lev.invdiag[static_cast<std::size_t>(
+                  (cell * bsz + br) * bsz + bc)] /=
+                  lev.q2[static_cast<std::size_t>(cell * bsz + br)] *
+                  lev.q2[static_cast<std::size_t>(cell * bsz + bc)];
+            }
+          }
+        }
+      }
+    } else {
+      // Direct truncation: ScaleMode::None intentionally lets out-of-range
+      // values become inf (the Fig. 6 "none" failure mode is part of the
+      // reproduction, not a bug).
+      lev.A_stored =
+          AnyMat::from(lev.A_full, lev.storage, cfg_.layout, &lev.trunc);
+      if (cfg_.truncate_smoother) {
+        truncate_smoother_data(lev.invdiag, lev.storage);
+      }
+    }
+  }
+
+  // ---- coarsest-level direct solver ----
+  coarse_lu_ = DenseLU(levels_.back().A_full);
+
+  setup_seconds_ = timer.seconds();
+}
+
+double MGHierarchy::grid_complexity() const noexcept {
+  const double n0 = static_cast<double>(levels_.front().A_full.nrows());
+  double sum = 0.0;
+  for (const Level& l : levels_) {
+    sum += static_cast<double>(l.A_full.nrows());
+  }
+  return sum / n0;
+}
+
+double MGHierarchy::operator_complexity() const noexcept {
+  const double z0 = static_cast<double>(levels_.front().A_full.nnz_logical());
+  double sum = 0.0;
+  for (const Level& l : levels_) {
+    sum += static_cast<double>(l.A_full.nnz_logical());
+  }
+  return sum / z0;
+}
+
+std::size_t MGHierarchy::stored_matrix_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const Level& l : levels_) {
+    total += l.A_stored.value_bytes();
+  }
+  return total;
+}
+
+std::size_t MGHierarchy::fp64_matrix_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const Level& l : levels_) {
+    total += l.A_stored.value_bytes() / bytes_of(l.A_stored.precision()) * 8;
+  }
+  return total;
+}
+
+TruncateReport MGHierarchy::total_truncation() const noexcept {
+  TruncateReport rep;
+  for (const Level& l : levels_) {
+    rep += l.trunc;
+  }
+  return rep;
+}
+
+}  // namespace smg

@@ -1,0 +1,70 @@
+// Multigrid hierarchy setup — MG_setup_for_FP16 (Alg. 1).
+//
+// The full setup (Galerkin chain, smoother data, coarsest factorization) runs
+// in FP64.  Only afterwards, per level, the matrix is (optionally scaled and)
+// truncated into the configured storage precision — the setup-then-scale
+// strategy.  With ScaleMode::ScaleThenSetup the finest matrix is scaled
+// *before* the chain instead (the ablation baseline whose triple products are
+// polluted by the scaling).
+#pragma once
+
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/dense_lu.hpp"
+#include "core/scaling.hpp"
+#include "core/transfer.hpp"
+#include "sgdia/any_matrix.hpp"
+
+namespace smg {
+
+struct Level {
+  StructMat<double> A_full;  ///< FP64 operator of this level
+  AnyMat A_stored;           ///< truncated operator used in the V-cycle
+  bool scaled = false;       ///< A_stored holds Q^{-1/2} A Q^{-1/2}
+  avec<double> q2;           ///< sqrt(diag(A)/G) per dof; empty if !scaled
+  avec<double> invdiag;      ///< smoother diagonal-block inverses (FP64)
+  Coarsening to_coarse;      ///< geometry to the next level (unused on last)
+  TruncateReport trunc;      ///< truncation stats of this level
+  double gmax = 0.0;         ///< Theorem 4.1 bound (0 if not scaled)
+  Prec storage = Prec::FP64;
+};
+
+class MGHierarchy {
+ public:
+  MGHierarchy(StructMat<double> A0, MGConfig cfg);
+
+  int nlevels() const noexcept { return static_cast<int>(levels_.size()); }
+  const Level& level(int l) const noexcept { return levels_[l]; }
+  const MGConfig& config() const noexcept { return cfg_; }
+  const DenseLU& coarse_solver() const noexcept { return coarse_lu_; }
+
+  /// ScaleThenSetup wraps the finest level with Q^{-1/2} on both sides.
+  bool finest_wrapped() const noexcept { return finest_wrapped_; }
+  const avec<double>& finest_q2() const noexcept { return finest_q2_; }
+
+  /// Grid complexity C_G = sum_l n_l / n_0 (Eq. 3).
+  double grid_complexity() const noexcept;
+  /// Operator complexity C_O = sum_l nnz_l / nnz_0 (Eq. 3).
+  double operator_complexity() const noexcept;
+
+  /// Bytes of matrix storage actually used by the V-cycle.
+  std::size_t stored_matrix_bytes() const noexcept;
+  /// Bytes the same hierarchy would use with FP64 storage (speedup model).
+  std::size_t fp64_matrix_bytes() const noexcept;
+
+  double setup_seconds() const noexcept { return setup_seconds_; }
+
+  /// Total truncation events across levels (NaN risk diagnostics).
+  TruncateReport total_truncation() const noexcept;
+
+ private:
+  MGConfig cfg_;
+  std::vector<Level> levels_;
+  DenseLU coarse_lu_;
+  bool finest_wrapped_ = false;
+  avec<double> finest_q2_;
+  double setup_seconds_ = 0.0;
+};
+
+}  // namespace smg

@@ -1,0 +1,191 @@
+#include "core/mg_precond.hpp"
+
+#include "kernels/blas1.hpp"
+#include "kernels/spmv.hpp"
+#include "kernels/symgs.hpp"
+
+namespace smg {
+
+template <class CT>
+MGPrecond<CT>::MGPrecond(const MGHierarchy* h) : h_(h) {
+  const int nlev = h_->nlevels();
+  lv_.resize(static_cast<std::size_t>(nlev));
+  for (int l = 0; l < nlev; ++l) {
+    const Level& hl = h_->level(l);
+    LevelData& L = lv_[static_cast<std::size_t>(l)];
+    const std::size_t n = static_cast<std::size_t>(hl.A_full.nrows());
+    L.u.assign(n, CT{0});
+    L.f.assign(n, CT{0});
+    L.r.assign(n, CT{0});
+    if (hl.scaled) {
+      L.q2.resize(hl.q2.size());
+      copy_convert<CT, double>({hl.q2.data(), hl.q2.size()},
+                               {L.q2.data(), L.q2.size()});
+    }
+    L.invdiag.resize(hl.invdiag.size());
+    copy_convert<CT, double>({hl.invdiag.data(), hl.invdiag.size()},
+                             {L.invdiag.data(), L.invdiag.size()});
+  }
+  if (h_->finest_wrapped()) {
+    const auto& q2 = h_->finest_q2();
+    wrap_q2_.resize(q2.size());
+    copy_convert<CT, double>({q2.data(), q2.size()},
+                             {wrap_q2_.data(), wrap_q2_.size()});
+  }
+}
+
+template <class CT>
+void MGPrecond<CT>::smooth(int lev, bool forward) {
+  const Level& hl = h_->level(lev);
+  LevelData& L = lv_[static_cast<std::size_t>(lev)];
+  const CT* q2 = L.q2.empty() ? nullptr : L.q2.data();
+  const MGConfig& cfg = h_->config();
+
+  std::span<const CT> f{L.f.data(), L.f.size()};
+  std::span<CT> u{L.u.data(), L.u.size()};
+  std::span<const CT> invdiag{L.invdiag.data(), L.invdiag.size()};
+
+  if (cfg.smoother == SmootherType::SymGS) {
+    hl.A_stored.visit([&](const auto& m) {
+      if (forward) {
+        gs_forward(m, f, u, invdiag, q2);
+      } else {
+        gs_backward(m, f, u, invdiag, q2);
+      }
+    });
+    return;
+  }
+
+  // Weighted (block-)Jacobi: u += w * invdiag * (f - A u).
+  std::span<CT> r{L.r.data(), L.r.size()};
+  std::span<const CT> ucv{L.u.data(), L.u.size()};
+  hl.A_stored.visit([&](const auto& m) { residual(m, f, ucv, r, q2); });
+  const int bs = hl.A_full.block_size();
+  const CT w = static_cast<CT>(cfg.jacobi_weight);
+  const std::int64_t ncells = hl.A_full.ncells();
+  const std::int64_t block2 = static_cast<std::int64_t>(bs) * bs;
+#pragma omp parallel for schedule(static)
+  for (std::int64_t cell = 0; cell < ncells; ++cell) {
+    const CT* blk = L.invdiag.data() + cell * block2;
+    for (int br = 0; br < bs; ++br) {
+      CT acc{0};
+      for (int bc = 0; bc < bs; ++bc) {
+        acc += blk[br * bs + bc] * r[static_cast<std::size_t>(cell * bs + bc)];
+      }
+      u[static_cast<std::size_t>(cell * bs + br)] += w * acc;
+    }
+  }
+}
+
+template <class CT>
+void MGPrecond<CT>::cycle(int lev, bool zero_guess) {
+  const int last = h_->nlevels() - 1;
+  LevelData& L = lv_[static_cast<std::size_t>(lev)];
+  const Level& hl = h_->level(lev);
+  const MGConfig& cfg = h_->config();
+
+  if (lev == last) {
+    // Coarsest level: exact FP64 direct solve of the true operator.
+    h_->coarse_solver().solve<CT>({L.f.data(), L.f.size()},
+                                  {L.u.data(), L.u.size()});
+    return;
+  }
+
+  if (zero_guess) {
+    set_zero(std::span<CT>{L.u.data(), L.u.size()});
+  }
+  for (int s = 0; s < cfg.nu1; ++s) {
+    smooth(lev, /*forward=*/true);
+  }
+
+  // r = f - A u, then restrict to the next level's rhs.
+  const CT* q2 = L.q2.empty() ? nullptr : L.q2.data();
+  hl.A_stored.visit([&](const auto& m) {
+    residual(m, std::span<const CT>{L.f.data(), L.f.size()},
+             std::span<const CT>{L.u.data(), L.u.size()},
+             std::span<CT>{L.r.data(), L.r.size()}, q2);
+  });
+  LevelData& C = lv_[static_cast<std::size_t>(lev) + 1];
+  restrict_to_coarse<CT>(hl.to_coarse, hl.A_full.block_size(),
+                         {L.r.data(), L.r.size()}, {C.f.data(), C.f.size()});
+
+  cycle(lev + 1, /*zero_guess=*/true);
+  if (cfg.cycle == CycleType::W && lev + 1 < last) {
+    cycle(lev + 1, /*zero_guess=*/false);
+  }
+
+  prolong_add<CT>(hl.to_coarse, hl.A_full.block_size(),
+                  {C.u.data(), C.u.size()}, {L.u.data(), L.u.size()});
+  for (int s = 0; s < cfg.nu2; ++s) {
+    smooth(lev, /*forward=*/false);
+  }
+}
+
+template <class CT>
+void MGPrecond<CT>::apply(std::span<const CT> r, std::span<CT> e) {
+  LevelData& L0 = lv_.front();
+  SMG_CHECK(r.size() == L0.f.size() && e.size() == L0.u.size(),
+            "MG apply size mismatch");
+  if (h_->finest_wrapped()) {
+    // ScaleThenSetup preconditions the *scaled* system:
+    // A^{-1} = Q^{-1/2} Â^{-1} Q^{-1/2}, so divide by q2 on entry and exit.
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      L0.f[i] = r[i] / wrap_q2_[i];
+    }
+  } else {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      L0.f[i] = r[i];
+    }
+  }
+  cycle(0, /*zero_guess=*/true);
+  if (h_->finest_wrapped()) {
+    for (std::size_t i = 0; i < e.size(); ++i) {
+      e[i] = L0.u[i] / wrap_q2_[i];
+    }
+  } else {
+    for (std::size_t i = 0; i < e.size(); ++i) {
+      e[i] = L0.u[i];
+    }
+  }
+}
+
+template <class KT, class CT>
+MGPrecondAdapter<KT, CT>::MGPrecondAdapter(const MGHierarchy* h) : mg_(h) {
+  const std::size_t n =
+      static_cast<std::size_t>(h->level(0).A_full.nrows());
+  rbuf_.assign(n, CT{0});
+  ebuf_.assign(n, CT{0});
+}
+
+template <class KT, class CT>
+void MGPrecondAdapter<KT, CT>::apply(std::span<const KT> r,
+                                     std::span<KT> e) {
+  Timer t;
+  copy_convert<CT, KT>(r, {rbuf_.data(), rbuf_.size()});
+  mg_.apply({rbuf_.data(), rbuf_.size()}, {ebuf_.data(), ebuf_.size()});
+  copy_convert<KT, CT>({ebuf_.data(), ebuf_.size()}, e);
+  seconds_ += t.seconds();
+}
+
+template <class KT>
+std::unique_ptr<PrecondBase<KT>> make_mg_precond(const MGHierarchy& h) {
+  if (h.config().compute == Prec::FP64) {
+    return std::make_unique<MGPrecondAdapter<KT, double>>(&h);
+  }
+  SMG_CHECK(h.config().compute == Prec::FP32,
+            "preconditioner compute precision must be FP32 or FP64");
+  return std::make_unique<MGPrecondAdapter<KT, float>>(&h);
+}
+
+template class MGPrecond<float>;
+template class MGPrecond<double>;
+template class MGPrecondAdapter<double, float>;
+template class MGPrecondAdapter<double, double>;
+template class MGPrecondAdapter<float, float>;
+template class MGPrecondAdapter<float, double>;
+template std::unique_ptr<PrecondBase<double>> make_mg_precond<double>(
+    const MGHierarchy&);
+template std::unique_ptr<PrecondBase<float>> make_mg_precond<float>(
+    const MGHierarchy&);
+
+}  // namespace smg

@@ -1,0 +1,77 @@
+// MG_solve_with_FP16 (Alg. 3): the V/W-cycle in preconditioner compute
+// precision CT, reading matrices in storage precision with recover-and-
+// rescale on the fly.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/mg_hierarchy.hpp"
+#include "solvers/precond.hpp"
+#include "util/aligned.hpp"
+#include "util/timer.hpp"
+
+namespace smg {
+
+/// One multigrid cycle application engine in compute precision CT.
+/// All vectors (u, f, r on every level) live in CT — never below FP32
+/// (guideline §3.4).
+template <class CT>
+class MGPrecond {
+ public:
+  explicit MGPrecond(const MGHierarchy* h);
+
+  /// e = MG(r): one cycle from a zero initial guess.
+  void apply(std::span<const CT> r, std::span<CT> e);
+
+  const MGHierarchy& hierarchy() const noexcept { return *h_; }
+
+ private:
+  void cycle(int lev, bool zero_guess);
+  void smooth(int lev, bool forward);
+
+  struct LevelData {
+    avec<CT> u, f, r;
+    avec<CT> q2;       ///< empty unless the level was scaled
+    avec<CT> invdiag;  ///< smoother blocks in compute precision
+  };
+
+  const MGHierarchy* h_;
+  std::vector<LevelData> lv_;
+  avec<CT> wrap_q2_;  ///< finest Q^{1/2} when hierarchy.finest_wrapped()
+};
+
+/// Adapts MGPrecond<CT> to the Krylov-facing PrecondBase<KT>: truncates the
+/// incoming residual KT -> CT and recovers the error CT -> KT (Alg. 2
+/// lines 4 and 6).
+template <class KT, class CT>
+class MGPrecondAdapter final : public PrecondBase<KT> {
+ public:
+  explicit MGPrecondAdapter(const MGHierarchy* h);
+
+  void apply(std::span<const KT> r, std::span<KT> e) override;
+  double apply_seconds() const override { return seconds_; }
+  void reset_timing() override { seconds_ = 0.0; }
+
+ private:
+  MGPrecond<CT> mg_;
+  avec<CT> rbuf_, ebuf_;
+  double seconds_ = 0.0;
+};
+
+/// Build the adapter matching the hierarchy's configured compute precision.
+template <class KT>
+std::unique_ptr<PrecondBase<KT>> make_mg_precond(const MGHierarchy& h);
+
+extern template class MGPrecond<float>;
+extern template class MGPrecond<double>;
+extern template class MGPrecondAdapter<double, float>;
+extern template class MGPrecondAdapter<double, double>;
+extern template class MGPrecondAdapter<float, float>;
+extern template std::unique_ptr<PrecondBase<double>> make_mg_precond<double>(
+    const MGHierarchy&);
+extern template std::unique_ptr<PrecondBase<float>> make_mg_precond<float>(
+    const MGHierarchy&);
+
+}  // namespace smg

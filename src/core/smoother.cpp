@@ -1,0 +1,114 @@
+#include "core/smoother.hpp"
+
+#include <cmath>
+
+#include "util/common.hpp"
+
+namespace smg {
+
+namespace {
+
+/// In-place Gauss-Jordan inverse of a small row-major matrix.
+void invert_block(double* a, int n) {
+  double aug[8 * 16];
+  SMG_CHECK(n <= 8, "block size > 8 unsupported");
+  // Build [A | I].
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      aug[r * 2 * n + c] = a[r * n + c];
+      aug[r * 2 * n + n + c] = (r == c) ? 1.0 : 0.0;
+    }
+  }
+  for (int col = 0; col < n; ++col) {
+    int p = col;
+    double pmax = std::abs(aug[col * 2 * n + col]);
+    for (int r = col + 1; r < n; ++r) {
+      const double v = std::abs(aug[r * 2 * n + col]);
+      if (v > pmax) {
+        pmax = v;
+        p = r;
+      }
+    }
+    SMG_CHECK(pmax > 0.0, "singular diagonal block in smoother setup");
+    if (p != col) {
+      for (int c = 0; c < 2 * n; ++c) {
+        std::swap(aug[col * 2 * n + c], aug[p * 2 * n + c]);
+      }
+    }
+    const double inv = 1.0 / aug[col * 2 * n + col];
+    for (int c = 0; c < 2 * n; ++c) {
+      aug[col * 2 * n + c] *= inv;
+    }
+    for (int r = 0; r < n; ++r) {
+      if (r == col) {
+        continue;
+      }
+      const double m = aug[r * 2 * n + col];
+      if (m != 0.0) {
+        for (int c = 0; c < 2 * n; ++c) {
+          aug[r * 2 * n + c] -= m * aug[col * 2 * n + c];
+        }
+      }
+    }
+  }
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      a[r * n + c] = aug[r * 2 * n + n + c];
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t truncate_smoother_data(avec<double>& data, Prec storage) {
+  if (storage != Prec::FP16 && storage != Prec::BF16) {
+    if (storage == Prec::FP32) {
+      for (auto& v : data) {
+        v = static_cast<double>(static_cast<float>(v));
+      }
+    }
+    return 0;
+  }
+  std::size_t guarded = 0;
+  for (auto& v : data) {
+    float r;
+    bool safe;
+    if (storage == Prec::FP16) {
+      const half h(static_cast<float>(v));
+      safe = h.is_finite() && !(v != 0.0 && h.is_zero());
+      r = static_cast<float>(h);
+    } else {
+      const bfloat16 b(static_cast<float>(v));
+      safe = b.is_finite() && !(v != 0.0 && b.is_zero());
+      r = static_cast<float>(b);
+    }
+    if (safe) {
+      v = static_cast<double>(r);
+    } else {
+      ++guarded;
+    }
+  }
+  return guarded;
+}
+
+avec<double> compute_invdiag(const StructMat<double>& A) {
+  const int center = A.stencil().center();
+  SMG_CHECK(center >= 0, "smoother setup needs a diagonal entry");
+  const int bs = A.block_size();
+  const std::int64_t block2 = static_cast<std::int64_t>(bs) * bs;
+  avec<double> inv(static_cast<std::size_t>(A.ncells() * block2));
+  double blk[64];
+  for (std::int64_t cell = 0; cell < A.ncells(); ++cell) {
+    const double* src = A.data() + A.block_index(cell, center);
+    for (std::int64_t q = 0; q < block2; ++q) {
+      blk[q] = src[q];
+    }
+    invert_block(blk, bs);
+    for (std::int64_t q = 0; q < block2; ++q) {
+      inv[static_cast<std::size_t>(cell * block2 + q)] = blk[q];
+    }
+  }
+  return inv;
+}
+
+}  // namespace smg

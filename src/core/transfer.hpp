@@ -1,0 +1,207 @@
+// Geometric transfer operators between consecutive levels.
+//
+// Vertex-aligned full coarsening: coarse index I maps to fine index 2I along
+// every coarsened dimension (a dimension shorter than MGConfig::min_dim is
+// left uncoarsened — StructMG-style semicoarsening falls out of this for
+// pencil-shaped grids).  Prolongation P is (tri)linear interpolation and the
+// restriction is *normalized full weighting* R = (1/2^d) P^T where d is the
+// number of coarsened dimensions.  Any R = c P^T yields the same Galerkin
+// correction in exact arithmetic; the 1/2-per-dimension normalization keeps
+// coarse-operator magnitudes on the same scale as the fine operator, which
+// matters once levels are truncated to FP16: an unnormalized P^T grows
+// entries ~4x per level and silently re-creates the overflow that scaling
+// just removed.  Per-dimension interpolation weights: an even fine point
+// copies its coarse owner (weight 1), an odd fine point averages its two
+// coarse neighbors (weight 1/2 each, boundary-truncated).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "grid/box.hpp"
+#include "util/common.hpp"
+
+namespace smg {
+
+/// Geometry of one coarsening step.
+struct Coarsening {
+  Box fine{};
+  Box coarse{};
+  std::array<bool, 3> mask{};  ///< which dims were halved
+
+  static Coarsening make(const Box& fine, int min_dim) {
+    Coarsening c;
+    c.fine = fine;
+    c.mask = {fine.nx >= min_dim, fine.ny >= min_dim, fine.nz >= min_dim};
+    c.coarse = Box{c.mask[0] ? (fine.nx + 1) / 2 : fine.nx,
+                   c.mask[1] ? (fine.ny + 1) / 2 : fine.ny,
+                   c.mask[2] ? (fine.nz + 1) / 2 : fine.nz};
+    return c;
+  }
+
+  /// Coupling-aware variant (StructMG-style "high-dimensional coarsening"):
+  /// a dimension is only halved if it is long enough AND its directional
+  /// coupling strength is at least `threshold` times the strongest
+  /// coarsenable dimension's.  Point smoothers leave error smooth along
+  /// strongly coupled directions only, so semicoarsening the strong
+  /// direction(s) is what keeps anisotropic problems (the paper's weather
+  /// case) converging grid-independently.
+  static Coarsening make(const Box& fine, int min_dim,
+                         const std::array<double, 3>& strength,
+                         double threshold) {
+    Coarsening c;
+    c.fine = fine;
+    const std::array<bool, 3> can = {fine.nx >= min_dim, fine.ny >= min_dim,
+                                     fine.nz >= min_dim};
+    double smax = 0.0;
+    for (int d = 0; d < 3; ++d) {
+      if (can[static_cast<std::size_t>(d)]) {
+        smax = std::max(smax, strength[static_cast<std::size_t>(d)]);
+      }
+    }
+    for (int d = 0; d < 3; ++d) {
+      c.mask[static_cast<std::size_t>(d)] =
+          can[static_cast<std::size_t>(d)] &&
+          strength[static_cast<std::size_t>(d)] >= threshold * smax;
+    }
+    c.coarse = Box{c.mask[0] ? (fine.nx + 1) / 2 : fine.nx,
+                   c.mask[1] ? (fine.ny + 1) / 2 : fine.ny,
+                   c.mask[2] ? (fine.nz + 1) / 2 : fine.nz};
+    return c;
+  }
+
+  bool any() const noexcept { return mask[0] || mask[1] || mask[2]; }
+
+  /// Full-weighting normalization: R = restrict_scale() * P^T.
+  double restrict_scale() const noexcept {
+    double s = 1.0;
+    for (bool m : mask) {
+      if (m) {
+        s *= 0.5;
+      }
+    }
+    return s;
+  }
+};
+
+namespace detail {
+
+/// Coarse parents of fine coordinate x in one dimension: up to two
+/// (index, weight) pairs.  Uncoarsened dims map identically.
+struct Parents {
+  int idx[2];
+  double w[2];
+  int count;
+};
+
+inline Parents parents_of(int x, int nc, bool coarsened) noexcept {
+  Parents p{};
+  if (!coarsened) {
+    p.idx[0] = x;
+    p.w[0] = 1.0;
+    p.count = 1;
+    return p;
+  }
+  if ((x & 1) == 0) {
+    p.idx[0] = x / 2;
+    p.w[0] = 1.0;
+    p.count = 1;
+    return p;
+  }
+  p.count = 0;
+  const int lo = (x - 1) / 2;
+  const int hi = (x + 1) / 2;
+  if (lo >= 0 && lo < nc) {
+    p.idx[p.count] = lo;
+    p.w[p.count] = 0.5;
+    ++p.count;
+  }
+  if (hi >= 0 && hi < nc) {
+    p.idx[p.count] = hi;
+    p.w[p.count] = 0.5;
+    ++p.count;
+  }
+  return p;
+}
+
+}  // namespace detail
+
+/// f_c = R r_f with R = P^T: coarse dof I accumulates w * r(2I + t) over the
+/// local fine neighborhood.  Vectors are dof-indexed (block size bs).
+template <class CT>
+void restrict_to_coarse(const Coarsening& c, int bs, std::span<const CT> rf,
+                        std::span<CT> fc) {
+  const Box& fine = c.fine;
+  const Box& coarse = c.coarse;
+  SMG_CHECK(static_cast<std::int64_t>(rf.size()) == fine.size() * bs &&
+                static_cast<std::int64_t>(fc.size()) == coarse.size() * bs,
+            "restrict size mismatch");
+  for (auto& v : fc) {
+    v = CT{0};
+  }
+  const double rscale = c.restrict_scale();
+  // Scatter formulation: iterate fine points, add into their parents; this
+  // is R = rscale * P^T for the parent weights of parents_of().
+  for (int k = 0; k < fine.nz; ++k) {
+    const auto pk = detail::parents_of(k, coarse.nz, c.mask[2]);
+    for (int j = 0; j < fine.ny; ++j) {
+      const auto pj = detail::parents_of(j, coarse.ny, c.mask[1]);
+      for (int i = 0; i < fine.nx; ++i) {
+        const auto pi = detail::parents_of(i, coarse.nx, c.mask[0]);
+        const std::int64_t fcell = fine.idx(i, j, k);
+        for (int a = 0; a < pk.count; ++a) {
+          for (int b = 0; b < pj.count; ++b) {
+            for (int cidx = 0; cidx < pi.count; ++cidx) {
+              const double w = rscale * pk.w[a] * pj.w[b] * pi.w[cidx];
+              const std::int64_t ccell =
+                  coarse.idx(pi.idx[cidx], pj.idx[b], pk.idx[a]);
+              for (int br = 0; br < bs; ++br) {
+                fc[ccell * bs + br] +=
+                    static_cast<CT>(w) * rf[fcell * bs + br];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+/// u_f += P e_c: each fine point gathers from its coarse parents.
+template <class CT>
+void prolong_add(const Coarsening& c, int bs, std::span<const CT> ec,
+                 std::span<CT> uf) {
+  const Box& fine = c.fine;
+  const Box& coarse = c.coarse;
+  SMG_CHECK(static_cast<std::int64_t>(uf.size()) == fine.size() * bs &&
+                static_cast<std::int64_t>(ec.size()) == coarse.size() * bs,
+            "prolong size mismatch");
+  for (int k = 0; k < fine.nz; ++k) {
+    const auto pk = detail::parents_of(k, coarse.nz, c.mask[2]);
+    for (int j = 0; j < fine.ny; ++j) {
+      const auto pj = detail::parents_of(j, coarse.ny, c.mask[1]);
+      for (int i = 0; i < fine.nx; ++i) {
+        const auto pi = detail::parents_of(i, coarse.nx, c.mask[0]);
+        const std::int64_t fcell = fine.idx(i, j, k);
+        for (int br = 0; br < bs; ++br) {
+          CT acc{0};
+          for (int a = 0; a < pk.count; ++a) {
+            for (int b = 0; b < pj.count; ++b) {
+              for (int cidx = 0; cidx < pi.count; ++cidx) {
+                const double w = pk.w[a] * pj.w[b] * pi.w[cidx];
+                const std::int64_t ccell =
+                    coarse.idx(pi.idx[cidx], pj.idx[b], pk.idx[a]);
+                acc += static_cast<CT>(w) * ec[ccell * bs + br];
+              }
+            }
+          }
+          uf[fcell * bs + br] += acc;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace smg

@@ -1,0 +1,13 @@
+#include "csr/csr_matrix.hpp"
+
+namespace smg {
+
+double csr_bytes_per_nnz(std::size_t value_bytes, std::size_t index_bytes,
+                         double delta) noexcept {
+  // One value + one column index per nonzero, plus the row pointer amortized
+  // by delta = (m + 1) / nnz (Table 2 of the paper).
+  return static_cast<double>(value_bytes) +
+         static_cast<double>(index_bytes) * (1.0 + delta);
+}
+
+}  // namespace smg

@@ -1,0 +1,187 @@
+// CSR matrix — the general (unstructured) sparse baseline.
+//
+// Guideline §3.2's counterpoint: CSR carries one integer index per nonzero
+// plus a row-pointer array, none of which lower-precision storage can
+// compress; Table 2's upper-bound speedups and Fig. 7's "vendor library"
+// series come from this module.  Value type is templated so mixed-precision
+// CSR (fp16 values + int32 indices) is measurable too.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "fp/precision.hpp"
+#include "sgdia/struct_matrix.hpp"
+#include "util/aligned.hpp"
+#include "util/common.hpp"
+
+namespace smg {
+
+template <class VT, class IT = std::int32_t>
+class CsrMat {
+ public:
+  using value_type = VT;
+  using index_type = IT;
+
+  CsrMat() = default;
+  CsrMat(std::int64_t nrows, avec<IT> row_ptr, avec<IT> col_idx, avec<VT> vals)
+      : nrows_(nrows),
+        row_ptr_(std::move(row_ptr)),
+        col_idx_(std::move(col_idx)),
+        vals_(std::move(vals)) {
+    SMG_CHECK(row_ptr_.size() == static_cast<std::size_t>(nrows_) + 1,
+              "bad row_ptr length");
+    SMG_CHECK(col_idx_.size() == vals_.size(), "col/val length mismatch");
+  }
+
+  std::int64_t nrows() const noexcept { return nrows_; }
+  std::int64_t nnz() const noexcept {
+    return static_cast<std::int64_t>(vals_.size());
+  }
+
+  std::span<const IT> row_ptr() const noexcept {
+    return {row_ptr_.data(), row_ptr_.size()};
+  }
+  std::span<const IT> col_idx() const noexcept {
+    return {col_idx_.data(), col_idx_.size()};
+  }
+  std::span<const VT> values() const noexcept {
+    return {vals_.data(), vals_.size()};
+  }
+  std::span<VT> values() noexcept { return {vals_.data(), vals_.size()}; }
+
+  /// Total storage bytes: values + column indices + row pointer (Table 2).
+  std::size_t bytes() const noexcept {
+    return vals_.size() * sizeof(VT) + col_idx_.size() * sizeof(IT) +
+           row_ptr_.size() * sizeof(IT);
+  }
+
+  /// y = A x, widening values to CT in registers.
+  template <class CT>
+  void spmv(std::span<const CT> x, std::span<CT> y) const {
+    SMG_CHECK(static_cast<std::int64_t>(y.size()) == nrows_, "spmv size");
+    const IT* SMG_RESTRICT rp = row_ptr_.data();
+    const IT* SMG_RESTRICT ci = col_idx_.data();
+    const VT* SMG_RESTRICT va = vals_.data();
+#pragma omp parallel for schedule(static)
+    for (std::int64_t r = 0; r < nrows_; ++r) {
+      CT acc{0};
+      for (IT p = rp[r]; p < rp[r + 1]; ++p) {
+        CT v;
+        if constexpr (is_storage_only_v<VT>) {
+          v = static_cast<CT>(static_cast<float>(va[p]));
+        } else {
+          v = static_cast<CT>(va[p]);
+        }
+        acc += v * x[ci[p]];
+      }
+      y[r] = acc;
+    }
+  }
+
+  /// Forward substitution for a lower-triangular CSR matrix (unit handling
+  /// via the stored diagonal): x_r = (b_r - sum_{c<r} a_rc x_c) / a_rr.
+  /// Column indices within each row must be ascending with the diagonal last.
+  template <class CT>
+  void sptrsv_lower(std::span<const CT> b, std::span<CT> x) const {
+    const IT* SMG_RESTRICT rp = row_ptr_.data();
+    const IT* SMG_RESTRICT ci = col_idx_.data();
+    const VT* SMG_RESTRICT va = vals_.data();
+    for (std::int64_t r = 0; r < nrows_; ++r) {
+      CT acc = b[r];
+      const IT end = rp[r + 1];
+      SMG_CHECK(end > rp[r], "empty row in triangular solve");
+      for (IT p = rp[r]; p < end - 1; ++p) {
+        CT v;
+        if constexpr (is_storage_only_v<VT>) {
+          v = static_cast<CT>(static_cast<float>(va[p]));
+        } else {
+          v = static_cast<CT>(va[p]);
+        }
+        acc -= v * x[ci[p]];
+      }
+      CT diag;
+      if constexpr (is_storage_only_v<VT>) {
+        diag = static_cast<CT>(static_cast<float>(va[end - 1]));
+      } else {
+        diag = static_cast<CT>(va[end - 1]);
+      }
+      SMG_CHECK(ci[end - 1] == static_cast<IT>(r), "diagonal must close row");
+      x[r] = acc / diag;
+    }
+  }
+
+ private:
+  std::int64_t nrows_ = 0;
+  avec<IT> row_ptr_;
+  avec<IT> col_idx_;
+  avec<VT> vals_;
+};
+
+/// Assemble a CSR copy of a structured matrix (in-box entries only, rows in
+/// cell-major dof order, columns ascending).
+template <class VT, class IT = std::int32_t, class ST>
+CsrMat<VT, IT> csr_from_struct(const StructMat<ST>& A) {
+  const Box& box = A.box();
+  const Stencil& st = A.stencil();
+  const int bs = A.block_size();
+  const std::int64_t nrows = A.nrows();
+
+  avec<IT> row_ptr(static_cast<std::size_t>(nrows) + 1, IT{0});
+  std::vector<std::pair<IT, VT>> entries;
+  avec<IT> col_idx;
+  avec<VT> vals;
+  col_idx.reserve(static_cast<std::size_t>(A.nnz_logical()));
+  vals.reserve(static_cast<std::size_t>(A.nnz_logical()));
+
+  std::int64_t row = 0;
+  for (int k = 0; k < box.nz; ++k) {
+    for (int j = 0; j < box.ny; ++j) {
+      for (int i = 0; i < box.nx; ++i) {
+        const std::int64_t cell = box.idx(i, j, k);
+        for (int br = 0; br < bs; ++br, ++row) {
+          entries.clear();
+          for (int d = 0; d < st.ndiag(); ++d) {
+            const Offset& o = st.offset(d);
+            if (!box.contains(i + o.dx, j + o.dy, k + o.dz)) {
+              continue;
+            }
+            const std::int64_t nbr = box.idx(i + o.dx, j + o.dy, k + o.dz);
+            for (int bc = 0; bc < bs; ++bc) {
+              const auto v = A.at(cell, d, br, bc);
+              VT out;
+              if constexpr (is_storage_only_v<VT>) {
+                out = VT{static_cast<float>(v)};
+              } else {
+                out = static_cast<VT>(static_cast<double>(v));
+              }
+              entries.emplace_back(static_cast<IT>(nbr * bs + bc), out);
+            }
+          }
+          std::sort(entries.begin(), entries.end(),
+                    [](const auto& a, const auto& b) {
+                      return a.first < b.first;
+                    });
+          for (const auto& [c, v] : entries) {
+            col_idx.push_back(c);
+            vals.push_back(v);
+          }
+          row_ptr[static_cast<std::size_t>(row) + 1] =
+              static_cast<IT>(col_idx.size());
+        }
+      }
+    }
+  }
+  return CsrMat<VT, IT>(nrows, std::move(row_ptr), std::move(col_idx),
+                        std::move(vals));
+}
+
+/// CSR storage bytes per nonzero for the Table 2 model: value + index +
+/// amortized row pointer delta * index.
+double csr_bytes_per_nnz(std::size_t value_bytes, std::size_t index_bytes,
+                         double delta) noexcept;
+
+}  // namespace smg

@@ -1,0 +1,105 @@
+// bfloat16 storage type (same exponent range as float32, 8-bit mantissa).
+//
+// The paper's §8 discussion compares FP16 and BF16 as the storage precision
+// of the preconditioner: BF16 never needs scaling (range == FP32) but loses
+// more significand bits, so it costs more Krylov iterations.  We provide a
+// native type so that ablation (bench/disc_bf16_ablation) is runnable.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+namespace smg {
+
+/// bfloat16 storage type; arithmetic promotes to float.
+class bfloat16 {
+ public:
+  bfloat16() = default;
+
+  explicit bfloat16(float f) noexcept : bits_(float_to_bits(f)) {}
+  explicit bfloat16(double d) noexcept : bfloat16(static_cast<float>(d)) {}
+  explicit bfloat16(int i) noexcept : bfloat16(static_cast<float>(i)) {}
+
+  static constexpr bfloat16 from_bits(std::uint16_t b) noexcept {
+    bfloat16 v;
+    v.bits_ = b;
+    return v;
+  }
+
+  constexpr std::uint16_t bits() const noexcept { return bits_; }
+
+  operator float() const noexcept { return bits_to_float(bits_); }
+
+  constexpr bool is_inf() const noexcept {
+    return (bits_ & 0x7FFFu) == 0x7F80u;
+  }
+  constexpr bool is_nan() const noexcept { return (bits_ & 0x7FFFu) > 0x7F80u; }
+  constexpr bool is_finite() const noexcept {
+    return (bits_ & 0x7F80u) != 0x7F80u;
+  }
+  constexpr bool is_zero() const noexcept { return (bits_ & 0x7FFFu) == 0; }
+
+  friend bool operator==(bfloat16 a, bfloat16 b) noexcept {
+    return static_cast<float>(a) == static_cast<float>(b);
+  }
+  friend bool operator<(bfloat16 a, bfloat16 b) noexcept {
+    return static_cast<float>(a) < static_cast<float>(b);
+  }
+
+  static float bits_to_float(std::uint16_t b) noexcept {
+    return std::bit_cast<float>(static_cast<std::uint32_t>(b) << 16);
+  }
+
+  /// Round-to-nearest-even truncation of a float32 to bfloat16 bits.
+  static std::uint16_t float_to_bits(float f) noexcept {
+    std::uint32_t u = std::bit_cast<std::uint32_t>(f);
+    if ((u & 0x7F800000u) == 0x7F800000u && (u & 0x7FFFFFu) != 0) {
+      return static_cast<std::uint16_t>((u >> 16) | 0x40u);  // quiet the nan
+    }
+    const std::uint32_t lsb = (u >> 16) & 1u;
+    u += 0x7FFFu + lsb;  // round to nearest even
+    return static_cast<std::uint16_t>(u >> 16);
+  }
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+static_assert(sizeof(bfloat16) == 2);
+
+}  // namespace smg
+
+namespace std {
+
+template <>
+class numeric_limits<smg::bfloat16> {
+ public:
+  static constexpr bool is_specialized = true;
+  static constexpr bool is_signed = true;
+  static constexpr bool is_integer = false;
+  static constexpr bool has_infinity = true;
+  static constexpr bool has_quiet_NaN = true;
+  static constexpr int digits = 8;  // incl. implicit bit
+
+  static constexpr smg::bfloat16 max() noexcept {
+    return smg::bfloat16::from_bits(0x7F7Fu);  // ~3.39e38
+  }
+  static constexpr smg::bfloat16 lowest() noexcept {
+    return smg::bfloat16::from_bits(0xFF7Fu);
+  }
+  static constexpr smg::bfloat16 min() noexcept {
+    return smg::bfloat16::from_bits(0x0080u);  // ~1.18e-38
+  }
+  static constexpr smg::bfloat16 epsilon() noexcept {
+    return smg::bfloat16::from_bits(0x3C00u);  // 2^-7
+  }
+  static constexpr smg::bfloat16 infinity() noexcept {
+    return smg::bfloat16::from_bits(0x7F80u);
+  }
+  static constexpr smg::bfloat16 quiet_NaN() noexcept {
+    return smg::bfloat16::from_bits(0x7FC0u);
+  }
+};
+
+}  // namespace std

@@ -1,0 +1,128 @@
+// Batch precision conversion with overflow accounting.
+//
+// Truncating a matrix to FP16 is only safe after the setup-then-scale pass
+// (Alg. 1); these helpers both perform the conversion and *report* how many
+// entries would have overflowed/underflowed, which the hierarchy uses to
+// decide whether scaling is needed and tests use to validate Theorem 4.1.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+
+#include "fp/bfloat16.hpp"
+#include "fp/half.hpp"
+
+#if defined(SMG_SIMD_AVX2)
+#include <immintrin.h>
+#endif
+
+namespace smg {
+
+/// Outcome of truncating a buffer to a narrower format.
+struct TruncateReport {
+  std::size_t overflowed = 0;   ///< finite values that became +/-inf
+  std::size_t underflowed = 0;  ///< nonzero values that became zero
+  std::size_t subnormal = 0;    ///< nonzero values landing in subnormal range
+
+  bool safe() const noexcept { return overflowed == 0; }
+
+  TruncateReport& operator+=(const TruncateReport& o) noexcept {
+    overflowed += o.overflowed;
+    underflowed += o.underflowed;
+    subnormal += o.subnormal;
+    return *this;
+  }
+};
+
+template <class Dst, class Src>
+inline TruncateReport truncate(std::span<const Src> src, std::span<Dst> dst) {
+  TruncateReport rep;
+  const std::size_t n = std::min(src.size(), dst.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto s = src[i];
+    const Dst d{static_cast<float>(s)};
+    if constexpr (std::is_same_v<Dst, half> || std::is_same_v<Dst, bfloat16>) {
+      const bool src_finite = std::isfinite(static_cast<double>(s));
+      if (src_finite && d.is_inf()) {
+        ++rep.overflowed;
+      }
+      if (s != Src{0} && d.is_zero()) {
+        ++rep.underflowed;
+      }
+      if constexpr (std::is_same_v<Dst, half>) {
+        if (d.is_subnormal()) {
+          ++rep.subnormal;
+        }
+      }
+    } else {
+      if (std::isfinite(static_cast<double>(s)) &&
+          !std::isfinite(static_cast<double>(d))) {
+        ++rep.overflowed;
+      }
+      if (s != Src{0} && d == Dst{0}) {
+        ++rep.underflowed;
+      }
+    }
+    dst[i] = d;
+  }
+  return rep;
+}
+
+template <class Dst, class Src>
+  requires(!std::is_same_v<Dst, half> && !std::is_same_v<Dst, bfloat16> &&
+           !std::is_same_v<Src, half> && !std::is_same_v<Src, bfloat16>)
+inline TruncateReport truncate_plain(std::span<const Src> src,
+                                     std::span<Dst> dst) {
+  TruncateReport rep;
+  const std::size_t n = std::min(src.size(), dst.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = static_cast<Dst>(src[i]);
+  }
+  return rep;
+}
+
+/// Convert a contiguous run of halves to floats; vectorized with F16C.
+inline void widen(const half* src, float* dst, std::size_t n) noexcept {
+  std::size_t i = 0;
+#if defined(SMG_SIMD_AVX2)
+  for (; i + 8 <= n; i += 8) {
+    const __m128i h =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm256_storeu_ps(dst + i, _mm256_cvtph_ps(h));
+  }
+#endif
+  for (; i < n; ++i) {
+    dst[i] = static_cast<float>(src[i]);
+  }
+}
+
+/// Convert a contiguous run of bfloat16 to floats (shift-based widen).
+inline void widen(const bfloat16* src, float* dst, std::size_t n) noexcept {
+  std::size_t i = 0;
+#if defined(SMG_SIMD_AVX2)
+  for (; i + 8 <= n; i += 8) {
+    const __m128i b =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m256i w = _mm256_slli_epi32(_mm256_cvtepu16_epi32(b), 16);
+    _mm256_storeu_ps(dst + i, _mm256_castsi256_ps(w));
+  }
+#endif
+  for (; i < n; ++i) {
+    dst[i] = static_cast<float>(src[i]);
+  }
+}
+
+inline void widen(const float* src, float* dst, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = src[i];
+  }
+}
+
+inline void widen(const double* src, double* dst, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = src[i];
+  }
+}
+
+}  // namespace smg

@@ -1,0 +1,207 @@
+// IEEE 754 binary16 ("half") storage type.
+//
+// The paper's algorithm stores preconditioner matrices in FP16 and computes
+// in FP32 ("recover-and-rescale on the fly", Alg. 3).  This type is therefore
+// a *storage* type: arithmetic promotes to float.  Conversions use the F16C
+// scalar instructions when the build enables them and a bit-exact software
+// round-to-nearest-even path otherwise (also used in constexpr contexts).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+#if defined(SMG_SIMD_AVX2)
+#include <immintrin.h>
+#endif
+
+namespace smg {
+
+namespace detail {
+
+/// Software float32 -> float16 bit conversion, round-to-nearest-even.
+constexpr std::uint16_t f32_bits_to_f16_bits(std::uint32_t f) noexcept {
+  const std::uint32_t sign = (f >> 16) & 0x8000u;
+  const std::uint32_t exp = (f >> 23) & 0xFFu;
+  std::uint32_t man = f & 0x7FFFFFu;
+  if (exp == 0xFFu) {  // inf or nan
+    // Keep a nan payload bit so nan stays nan.
+    return static_cast<std::uint16_t>(
+        sign | 0x7C00u | (man != 0 ? (0x200u | (man >> 13)) : 0u));
+  }
+  const int e = static_cast<int>(exp) - 127 + 15;
+  if (e >= 31) {  // overflow -> inf
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+  if (e <= 0) {  // subnormal half or zero
+    if (e < -10) {
+      return static_cast<std::uint16_t>(sign);  // rounds to zero
+    }
+    man |= 0x800000u;  // implicit leading 1
+    const std::uint32_t shift = static_cast<std::uint32_t>(14 - e);  // 14..24
+    std::uint32_t h = man >> shift;
+    const std::uint32_t rem = man & ((1u << shift) - 1u);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    if (rem > halfway || (rem == halfway && (h & 1u))) {
+      ++h;  // may round up into the smallest normal; bit layout stays valid
+    }
+    return static_cast<std::uint16_t>(sign | h);
+  }
+  std::uint32_t h = sign | (static_cast<std::uint32_t>(e) << 10) | (man >> 13);
+  const std::uint32_t rem = man & 0x1FFFu;
+  if (rem > 0x1000u || (rem == 0x1000u && (h & 1u))) {
+    ++h;  // carry into the exponent correctly rounds 65504+ulp to inf
+  }
+  return static_cast<std::uint16_t>(h);
+}
+
+/// Software float16 -> float32 bit conversion (exact).
+constexpr std::uint32_t f16_bits_to_f32_bits(std::uint16_t hbits) noexcept {
+  const std::uint32_t sign = static_cast<std::uint32_t>(hbits & 0x8000u) << 16;
+  const std::uint32_t exp = (hbits >> 10) & 0x1Fu;
+  std::uint32_t man = hbits & 0x3FFu;
+  if (exp == 0) {
+    if (man == 0) {
+      return sign;  // signed zero
+    }
+    // Subnormal: normalize the mantissa.
+    int shift = 0;
+    while ((man & 0x400u) == 0) {
+      man <<= 1;
+      ++shift;
+    }
+    man &= 0x3FFu;
+    // Subnormal value is man * 2^-24; after `shift` normalizing shifts the
+    // unbiased exponent is -14 - shift.
+    const std::uint32_t e32 = static_cast<std::uint32_t>(127 - 14 - shift);
+    return sign | (e32 << 23) | (man << 13);
+  }
+  if (exp == 31) {  // inf/nan
+    return sign | 0x7F800000u | (man << 13);
+  }
+  return sign | ((exp - 15 + 127) << 23) | (man << 13);
+}
+
+}  // namespace detail
+
+/// IEEE 754 binary16 storage type; arithmetic promotes to float.
+class half {
+ public:
+  half() = default;
+
+  explicit half(float f) noexcept : bits_(float_to_bits(f)) {}
+  explicit half(double d) noexcept : half(static_cast<float>(d)) {}
+  explicit half(int i) noexcept : half(static_cast<float>(i)) {}
+
+  /// Reinterpret raw binary16 bits.
+  static constexpr half from_bits(std::uint16_t b) noexcept {
+    half h;
+    h.bits_ = b;
+    return h;
+  }
+
+  constexpr std::uint16_t bits() const noexcept { return bits_; }
+
+  operator float() const noexcept { return bits_to_float(bits_); }
+
+  constexpr bool is_inf() const noexcept {
+    return (bits_ & 0x7FFFu) == 0x7C00u;
+  }
+  constexpr bool is_nan() const noexcept { return (bits_ & 0x7FFFu) > 0x7C00u; }
+  constexpr bool is_finite() const noexcept {
+    return (bits_ & 0x7C00u) != 0x7C00u;
+  }
+  constexpr bool is_zero() const noexcept { return (bits_ & 0x7FFFu) == 0; }
+  constexpr bool is_subnormal() const noexcept {
+    return (bits_ & 0x7C00u) == 0 && (bits_ & 0x3FFu) != 0;
+  }
+  constexpr bool signbit() const noexcept { return (bits_ & 0x8000u) != 0; }
+
+  friend bool operator==(half a, half b) noexcept {
+    return static_cast<float>(a) == static_cast<float>(b);
+  }
+  friend bool operator<(half a, half b) noexcept {
+    return static_cast<float>(a) < static_cast<float>(b);
+  }
+
+  static float bits_to_float(std::uint16_t b) noexcept {
+#if defined(SMG_SIMD_AVX2)
+    return _cvtsh_ss(b);
+#else
+    return std::bit_cast<float>(detail::f16_bits_to_f32_bits(b));
+#endif
+  }
+
+  static std::uint16_t float_to_bits(float f) noexcept {
+#if defined(SMG_SIMD_AVX2)
+    return static_cast<std::uint16_t>(
+        _cvtss_sh(f, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC));
+#else
+    return detail::f32_bits_to_f16_bits(std::bit_cast<std::uint32_t>(f));
+#endif
+  }
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+static_assert(sizeof(half) == 2);
+
+inline float operator*(half a, float b) noexcept {
+  return static_cast<float>(a) * b;
+}
+inline float operator*(float a, half b) noexcept {
+  return a * static_cast<float>(b);
+}
+inline float operator+(half a, half b) noexcept {
+  return static_cast<float>(a) + static_cast<float>(b);
+}
+
+/// Largest finite binary16 value (65504).
+inline constexpr float kHalfMax = 65504.0f;
+/// Smallest positive *normal* binary16 value (2^-14).
+inline constexpr float kHalfMinNormal = 6.103515625e-05f;
+/// Smallest positive subnormal binary16 value (2^-24).
+inline constexpr float kHalfMinSubnormal = 5.9604644775390625e-08f;
+
+}  // namespace smg
+
+namespace std {
+
+template <>
+class numeric_limits<smg::half> {
+ public:
+  static constexpr bool is_specialized = true;
+  static constexpr bool is_signed = true;
+  static constexpr bool is_integer = false;
+  static constexpr bool is_exact = false;
+  static constexpr bool has_infinity = true;
+  static constexpr bool has_quiet_NaN = true;
+  static constexpr int digits = 11;       // incl. implicit bit
+  static constexpr int max_exponent = 16;
+  static constexpr int min_exponent = -13;
+
+  static constexpr smg::half max() noexcept {
+    return smg::half::from_bits(0x7BFFu);  // 65504
+  }
+  static constexpr smg::half lowest() noexcept {
+    return smg::half::from_bits(0xFBFFu);  // -65504
+  }
+  static constexpr smg::half min() noexcept {
+    return smg::half::from_bits(0x0400u);  // 2^-14
+  }
+  static constexpr smg::half denorm_min() noexcept {
+    return smg::half::from_bits(0x0001u);  // 2^-24
+  }
+  static constexpr smg::half epsilon() noexcept {
+    return smg::half::from_bits(0x1400u);  // 2^-10
+  }
+  static constexpr smg::half infinity() noexcept {
+    return smg::half::from_bits(0x7C00u);
+  }
+  static constexpr smg::half quiet_NaN() noexcept {
+    return smg::half::from_bits(0x7E00u);
+  }
+};
+
+}  // namespace std

@@ -1,0 +1,84 @@
+// Runtime precision tags and compile-time traits tying them to value types.
+//
+// The paper distinguishes three precisions (§4): the *iterative* precision of
+// the Krylov solver (red in Alg. 2), the *compute* precision of the
+// preconditioner (blue), and the *storage* precision of the preconditioner
+// matrices (green).  Prec names a concrete floating format; traits map it to
+// the C++ type and its byte cost for the memory-volume model of Table 2.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+#include "fp/bfloat16.hpp"
+#include "fp/half.hpp"
+
+namespace smg {
+
+enum class Prec {
+  FP64,
+  FP32,
+  FP16,
+  BF16,
+};
+
+constexpr std::string_view to_string(Prec p) noexcept {
+  switch (p) {
+    case Prec::FP64:
+      return "fp64";
+    case Prec::FP32:
+      return "fp32";
+    case Prec::FP16:
+      return "fp16";
+    case Prec::BF16:
+      return "bf16";
+  }
+  return "?";
+}
+
+constexpr std::size_t bytes_of(Prec p) noexcept {
+  switch (p) {
+    case Prec::FP64:
+      return 8;
+    case Prec::FP32:
+      return 4;
+    case Prec::FP16:
+    case Prec::BF16:
+      return 2;
+  }
+  return 0;
+}
+
+template <class T>
+struct prec_of;
+
+template <>
+struct prec_of<double> {
+  static constexpr Prec value = Prec::FP64;
+};
+template <>
+struct prec_of<float> {
+  static constexpr Prec value = Prec::FP32;
+};
+template <>
+struct prec_of<half> {
+  static constexpr Prec value = Prec::FP16;
+};
+template <>
+struct prec_of<bfloat16> {
+  static constexpr Prec value = Prec::BF16;
+};
+
+template <class T>
+inline constexpr Prec prec_of_v = prec_of<T>::value;
+
+/// True for the 2-byte storage-only formats that promote to float.
+template <class T>
+inline constexpr bool is_storage_only_v =
+    std::is_same_v<T, half> || std::is_same_v<T, bfloat16>;
+
+/// Compute type a storage type promotes to inside kernels.
+template <class T>
+using compute_t = std::conditional_t<is_storage_only_v<T>, float, T>;
+
+}  // namespace smg

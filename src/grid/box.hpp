@@ -1,0 +1,41 @@
+// 3D structured grid box with lexicographic (x fastest) cell indexing.
+#pragma once
+
+#include <cstdint>
+
+#include "util/common.hpp"
+
+namespace smg {
+
+/// A structured nx*ny*nz grid.  Cell (i,j,k) has linear index
+/// i + nx*(j + ny*k); x is the unit-stride dimension (SIMD dimension).
+struct Box {
+  int nx = 0;
+  int ny = 0;
+  int nz = 0;
+
+  constexpr std::int64_t size() const noexcept {
+    return static_cast<std::int64_t>(nx) * ny * nz;
+  }
+
+  constexpr bool contains(int i, int j, int k) const noexcept {
+    return i >= 0 && i < nx && j >= 0 && j < ny && k >= 0 && k < nz;
+  }
+
+  constexpr std::int64_t idx(int i, int j, int k) const noexcept {
+    return i + static_cast<std::int64_t>(nx) * (j + static_cast<std::int64_t>(ny) * k);
+  }
+
+  constexpr bool operator==(const Box&) const noexcept = default;
+
+  /// Interior cell count fraction; boundary-truncated stencil entries live on
+  /// the complement of this set.
+  constexpr std::int64_t interior_size() const noexcept {
+    const int ix = nx > 2 ? nx - 2 : 0;
+    const int iy = ny > 2 ? ny - 2 : 0;
+    const int iz = nz > 2 ? nz - 2 : 0;
+    return static_cast<std::int64_t>(ix) * iy * iz;
+  }
+};
+
+}  // namespace smg

@@ -1,0 +1,125 @@
+#include "grid/stencil.hpp"
+
+#include <algorithm>
+
+#include "util/common.hpp"
+
+namespace smg {
+
+std::string_view to_string(Pattern p) noexcept {
+  switch (p) {
+    case Pattern::P3d7:
+      return "3d7";
+    case Pattern::P3d15:
+      return "3d15";
+    case Pattern::P3d19:
+      return "3d19";
+    case Pattern::P3d27:
+      return "3d27";
+    case Pattern::P3d4:
+      return "3d4";
+    case Pattern::P3d10:
+      return "3d10";
+    case Pattern::P3d14:
+      return "3d14";
+  }
+  return "?";
+}
+
+namespace {
+
+/// All 3x3x3 offsets in sweep (lexicographic dz,dy,dx) order.
+std::vector<Offset> all27() {
+  std::vector<Offset> out;
+  out.reserve(27);
+  for (std::int8_t dz = -1; dz <= 1; ++dz) {
+    for (std::int8_t dy = -1; dy <= 1; ++dy) {
+      for (std::int8_t dx = -1; dx <= 1; ++dx) {
+        out.push_back({dx, dy, dz});
+      }
+    }
+  }
+  return out;
+}
+
+int l1(const Offset& o) {
+  return std::abs(o.dx) + std::abs(o.dy) + std::abs(o.dz);
+}
+int linf(const Offset& o) {
+  return std::max({std::abs(int(o.dx)), std::abs(int(o.dy)),
+                   std::abs(int(o.dz))});
+}
+
+std::vector<Offset> filter27(bool (*keep)(const Offset&)) {
+  std::vector<Offset> out;
+  for (const Offset& o : all27()) {
+    if (keep(o)) {
+      out.push_back(o);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Stencil::Stencil(std::vector<Offset> offsets) : offsets_(std::move(offsets)) {
+  for (int d = 0; d < ndiag(); ++d) {
+    const Offset& o = offsets_[d];
+    if (o.is_center()) {
+      SMG_CHECK(center_ < 0, "duplicate center offset in stencil");
+      center_ = d;
+    } else if (o.before_center()) {
+      lower_.push_back(d);
+    } else {
+      upper_.push_back(d);
+    }
+  }
+}
+
+Stencil Stencil::make(Pattern p) {
+  switch (p) {
+    case Pattern::P3d7:
+      return Stencil(filter27([](const Offset& o) { return l1(o) <= 1; }));
+    case Pattern::P3d15:
+      // center + 6 faces + 8 corners: |o|_1 in {0,1,3}
+      return Stencil(filter27(
+          [](const Offset& o) { return l1(o) != 2; }));
+    case Pattern::P3d19:
+      return Stencil(filter27([](const Offset& o) { return l1(o) <= 2; }));
+    case Pattern::P3d27:
+      return Stencil(all27());
+    case Pattern::P3d4:
+      return Stencil(filter27([](const Offset& o) {
+        return l1(o) <= 1 && (o.is_center() || o.before_center());
+      }));
+    case Pattern::P3d10:
+      return Stencil(filter27([](const Offset& o) {
+        return l1(o) <= 2 && (o.is_center() || o.before_center());
+      }));
+    case Pattern::P3d14:
+      return Stencil(filter27([](const Offset& o) {
+        return linf(o) <= 1 && (o.is_center() || o.before_center());
+      }));
+  }
+  SMG_CHECK(false, "unknown stencil pattern");
+}
+
+int Stencil::find(int dx, int dy, int dz) const noexcept {
+  for (int d = 0; d < ndiag(); ++d) {
+    if (offsets_[d].dx == dx && offsets_[d].dy == dy && offsets_[d].dz == dz) {
+      return d;
+    }
+  }
+  return -1;
+}
+
+bool Stencil::symmetric_pattern() const noexcept {
+  for (const Offset& o : offsets_) {
+    if (find(-o.dx, -o.dy, -o.dz) < 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace smg

@@ -1,0 +1,88 @@
+// Stencil patterns for SG-DIA structured matrices.
+//
+// The paper's benchmarks span 3d7 / 3d15 / 3d19 / 3d27 patterns (Table 3)
+// and the lower-triangular sub-patterns 3d4 / 3d10 / 3d14 used by the
+// SpTRSV kernel ablation (Fig. 7): the forward sweep of SymGS touches only
+// the offsets that precede the center in lexicographic order, which for
+// 3d7/3d19/3d27 are 3/9/13 offsets plus the diagonal.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace smg {
+
+/// Relative neighbor offset of a stencil entry.
+struct Offset {
+  std::int8_t dx = 0;
+  std::int8_t dy = 0;
+  std::int8_t dz = 0;
+
+  constexpr bool operator==(const Offset&) const noexcept = default;
+
+  /// Lexicographic comparison in (dz, dy, dx): the sweep order of SymGS.
+  constexpr bool before_center() const noexcept {
+    if (dz != 0) {
+      return dz < 0;
+    }
+    if (dy != 0) {
+      return dy < 0;
+    }
+    return dx < 0;
+  }
+  constexpr bool is_center() const noexcept {
+    return dx == 0 && dy == 0 && dz == 0;
+  }
+};
+
+enum class Pattern {
+  P3d7,   ///< center + 6 faces
+  P3d15,  ///< center + 6 faces + 8 corners (solid-3D)
+  P3d19,  ///< center + 6 faces + 12 edges (weather)
+  P3d27,  ///< full 3x3x3 neighborhood
+  P3d4,   ///< lower part of 3d7 incl. center (SpTRSV)
+  P3d10,  ///< lower part of 3d19 incl. center (SpTRSV)
+  P3d14,  ///< lower part of 3d27 incl. center (SpTRSV)
+};
+
+std::string_view to_string(Pattern p) noexcept;
+
+/// Ordered list of stencil offsets; center position is tracked explicitly.
+class Stencil {
+ public:
+  Stencil() = default;
+  explicit Stencil(std::vector<Offset> offsets);
+
+  static Stencil make(Pattern p);
+
+  int ndiag() const noexcept { return static_cast<int>(offsets_.size()); }
+  const Offset& offset(int d) const noexcept { return offsets_[d]; }
+  const std::vector<Offset>& offsets() const noexcept { return offsets_; }
+
+  /// Index of the (0,0,0) entry; -1 if the pattern has no center.
+  int center() const noexcept { return center_; }
+
+  /// Indices of entries strictly before the center in sweep order.
+  const std::vector<int>& lower() const noexcept { return lower_; }
+  /// Indices of entries strictly after the center in sweep order.
+  const std::vector<int>& upper() const noexcept { return upper_; }
+
+  /// Find the index of a given offset; -1 if absent.
+  int find(int dx, int dy, int dz) const noexcept;
+
+  /// True if for every offset the negated offset is also present.
+  bool symmetric_pattern() const noexcept;
+
+  bool operator==(const Stencil& o) const noexcept {
+    return offsets_ == o.offsets_;
+  }
+
+ private:
+  std::vector<Offset> offsets_;
+  std::vector<int> lower_;
+  std::vector<int> upper_;
+  int center_ = -1;
+};
+
+}  // namespace smg

@@ -1,0 +1,89 @@
+// Vector (BLAS-1) kernels in iterative/compute precision.
+//
+// Guideline §3.4: vectors never drop below FP32, so these kernels are plain
+// same-precision loops; OpenMP-simd annotated and trivially vectorizable.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <span>
+
+#include "util/common.hpp"
+
+namespace smg {
+
+template <class T>
+void axpy(T alpha, std::span<const T> x, std::span<T> y) noexcept {
+  const std::size_t n = y.size();
+#pragma omp parallel for simd
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] += alpha * x[i];
+  }
+}
+
+/// y = x + alpha*y (the "xpay" update of CG's direction vector).
+template <class T>
+void xpay(std::span<const T> x, T alpha, std::span<T> y) noexcept {
+  const std::size_t n = y.size();
+#pragma omp parallel for simd
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = x[i] + alpha * y[i];
+  }
+}
+
+template <class T>
+void scal(T alpha, std::span<T> x) noexcept {
+  const std::size_t n = x.size();
+#pragma omp parallel for simd
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] *= alpha;
+  }
+}
+
+template <class T>
+void set_zero(std::span<T> x) noexcept {
+  const std::size_t n = x.size();
+#pragma omp parallel for simd
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = T{0};
+  }
+}
+
+template <class Dst, class Src>
+void copy_convert(std::span<const Src> x, std::span<Dst> y) noexcept {
+  const std::size_t n = y.size();
+#pragma omp parallel for simd
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = static_cast<Dst>(x[i]);
+  }
+}
+
+/// Dot product accumulated in double regardless of T (iterative-precision
+/// safety: FP32 Krylov still needs robust inner products).
+template <class T>
+double dot(std::span<const T> x, std::span<const T> y) noexcept {
+  const std::size_t n = x.size();
+  double acc = 0.0;
+#pragma omp parallel for simd reduction(+ : acc)
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += static_cast<double>(x[i]) * static_cast<double>(y[i]);
+  }
+  return acc;
+}
+
+template <class T>
+double nrm2(std::span<const T> x) noexcept {
+  return std::sqrt(dot(x, x));
+}
+
+template <class T>
+double nrm_inf(std::span<const T> x) noexcept {
+  double m = 0.0;
+  for (const T& v : x) {
+    m = std::max(m, std::abs(static_cast<double>(v)));
+  }
+  return m;
+}
+
+}  // namespace smg

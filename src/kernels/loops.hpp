@@ -1,0 +1,36 @@
+// Shared loop-bound helpers for structured-stencil kernels.
+//
+// For a fixed line (j,k) and stencil offset o, the set of cells whose
+// neighbor (i+dx, j+dy, k+dz) is in the box is either empty (line invalid) or
+// the contiguous i-range [ilo, ihi).  Precomputing these per line removes all
+// per-entry bounds branches from the interior of every kernel.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "grid/box.hpp"
+#include "grid/stencil.hpp"
+
+namespace smg {
+
+struct DiagRange {
+  int ilo = 0;
+  int ihi = 0;             ///< empty if ihi <= ilo or !line_valid
+  bool line_valid = false; ///< neighbor line (j+dy, k+dz) is inside the box
+  std::int64_t shift = 0;  ///< linear index shift to the neighbor cell
+};
+
+inline DiagRange diag_range(const Box& b, const Offset& o, int j,
+                            int k) noexcept {
+  DiagRange r;
+  r.line_valid = (j + o.dy >= 0 && j + o.dy < b.ny && k + o.dz >= 0 &&
+                  k + o.dz < b.nz);
+  r.ilo = std::max(0, -static_cast<int>(o.dx));
+  r.ihi = std::min(b.nx, b.nx - static_cast<int>(o.dx));
+  r.shift = o.dx + static_cast<std::int64_t>(b.nx) *
+                       (o.dy + static_cast<std::int64_t>(b.ny) * o.dz);
+  return r;
+}
+
+}  // namespace smg

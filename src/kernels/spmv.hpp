@@ -1,0 +1,667 @@
+// Structured SpMV and fused residual with recover-and-rescale on the fly.
+//
+// All kernels are templated on the matrix *storage* type ST (double, float,
+// half, bfloat16) and the vector *compute* type CT (double or float); FP16
+// entries are widened to CT in registers — an FP32 copy of the matrix is
+// never materialized (Alg. 3 of the paper).
+//
+// The optional q2 vector applies the setup-then-scale recovery: with
+// Â = Q^{-1/2} A Q^{-1/2} stored and q2 = diag(Q)^{1/2},
+//     y_i = q2_i * sum_d Â[d]_i * q2_j * x_j,   j = neighbor(i, d),
+// which reproduces A x exactly up to FP16 truncation of Â.
+//
+// Three implementation families reproduce the Fig. 7 kernel ablation:
+//  * apply_soa  — SOA/SOAL layouts; for (half,float) a register-blocked
+//                 AVX2/F16C path converts 8 entries per vcvtph2ps
+//                 ("MG-fp16/fp32(opt)"); block matrices use per-line widen
+//                 buffers.
+//  * apply_aos  — AOS layout; one scalar convert per entry
+//                 ("MG-fp16/fp32(naive)" when ST is 2-byte).
+//  * spmv_ref   — layout-agnostic scalar reference used by tests.
+#pragma once
+
+#include <span>
+
+#include "kernels/loops.hpp"
+#include "sgdia/struct_matrix.hpp"
+#include "util/common.hpp"
+
+#if defined(SMG_SIMD_AVX2)
+#include <immintrin.h>
+#endif
+
+namespace smg {
+
+namespace detail {
+
+/// Widen one stored matrix entry to the compute type.
+template <class CT, class ST>
+inline CT widen1(ST v) noexcept {
+  if constexpr (is_storage_only_v<ST>) {
+    return static_cast<CT>(static_cast<float>(v));
+  } else {
+    return static_cast<CT>(v);
+  }
+}
+
+#if defined(SMG_SIMD_AVX2)
+
+/// All-ones in the first n lanes (n in [0, 8]).
+inline __m256i tail_mask(int n) noexcept {
+  alignas(32) static constexpr std::int32_t kMask[16] = {
+      -1, -1, -1, -1, -1, -1, -1, -1, 0, 0, 0, 0, 0, 0, 0, 0};
+  return _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(kMask + 8 - n));
+}
+
+/// All-ones in lanes [s, 8) (s in [0, 8]).
+inline __m256i head_mask(int s) noexcept {
+  alignas(32) static constexpr std::int32_t kMask[16] = {
+      0, 0, 0, 0, 0, 0, 0, 0, -1, -1, -1, -1, -1, -1, -1, -1};
+  return _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(kMask + 8 - s));
+}
+
+/// 8-wide fused multiply-add over one diagonal run: acc logic for
+/// y[i] (+)= a[i] * x[i+shift] (* q2[i+shift]), half storage, float compute.
+/// The tail is one masked block: matrix reads may touch up to 14 bytes past
+/// the run (covered by StructMat::kSimdSlack); x/q2/y use masked accesses,
+/// and garbage in dead lanes never reaches memory.
+template <bool kSubtract, bool kScaled>
+inline void soa_diag_fma_f16(const half* SMG_RESTRICT a,
+                             const float* SMG_RESTRICT x,
+                             const float* SMG_RESTRICT q2, float* SMG_RESTRICT y,
+                             int n) noexcept {
+  int i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i hraw =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    __m256 av = _mm256_cvtph_ps(hraw);
+    __m256 xv = _mm256_loadu_ps(x + i);
+    if constexpr (kScaled) {
+      xv = _mm256_mul_ps(xv, _mm256_loadu_ps(q2 + i));
+    }
+    __m256 yv = _mm256_loadu_ps(y + i);
+    if constexpr (kSubtract) {
+      yv = _mm256_fnmadd_ps(av, xv, yv);
+    } else {
+      yv = _mm256_fmadd_ps(av, xv, yv);
+    }
+    _mm256_storeu_ps(y + i, yv);
+  }
+  if (i < n) {
+    const __m256i m = tail_mask(n - i);
+    const __m128i hraw =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m256 av = _mm256_cvtph_ps(hraw);
+    __m256 xv = _mm256_maskload_ps(x + i, m);
+    if constexpr (kScaled) {
+      xv = _mm256_mul_ps(xv, _mm256_maskload_ps(q2 + i, m));
+    }
+    __m256 yv = _mm256_maskload_ps(y + i, m);
+    if constexpr (kSubtract) {
+      yv = _mm256_fnmadd_ps(av, xv, yv);
+    } else {
+      yv = _mm256_fmadd_ps(av, xv, yv);
+    }
+    _mm256_maskstore_ps(y + i, m, yv);
+  }
+}
+
+#endif  // SMG_SIMD_AVX2
+
+/// Start of the nx-long run of diagonal d on the line that begins at cell
+/// index `base` (line number `line`), for the two SOA-family layouts.
+template <class ST>
+inline const ST* line_diag_ptr(const ST* vals, Layout layout,
+                               std::int64_t base, std::int64_t line, int d,
+                               int nd, std::int64_t ncells, int nx) noexcept {
+  return layout == Layout::SOA
+             ? vals + static_cast<std::int64_t>(d) * ncells + base
+             : vals + (line * nd + d) * static_cast<std::int64_t>(nx);
+}
+
+/// Scalar diagonal run (compiler-vectorizable when ST == CT).
+template <bool kSubtract, bool kScaled, class ST, class CT>
+inline void soa_diag_fma(const ST* SMG_RESTRICT a, const CT* SMG_RESTRICT x,
+                         const CT* SMG_RESTRICT q2, CT* SMG_RESTRICT y,
+                         int n) noexcept {
+#if defined(SMG_SIMD_AVX2)
+  if constexpr (std::is_same_v<ST, half> && std::is_same_v<CT, float>) {
+    soa_diag_fma_f16<kSubtract, kScaled>(a, x, q2, y, n);
+    return;
+  }
+#endif
+#pragma omp simd
+  for (int i = 0; i < n; ++i) {
+    const CT ax =
+        widen1<CT>(a[i]) * (kScaled ? q2[i] * x[i] : x[i]);
+    y[i] += kSubtract ? -ax : ax;
+  }
+}
+
+#if defined(SMG_SIMD_AVX2)
+
+/// Register-blocked fp16 SOA kernel (scalar unknowns): the line accumulator
+/// lives in a ymm register across ALL diagonals, so each 8-entry block costs
+/// one load + one vcvtph2ps + one x-load + one fma per diagonal and a single
+/// y store — the uop diet that lets the halved matrix traffic actually show
+/// up as kernel speedup (Fig. 7's "MG-fp16/fp32(opt)" series).
+template <bool kResidual, bool kScaled>
+void apply_soa_f16_blocked(const StructMat<half>& A,
+                           const float* SMG_RESTRICT x,
+                           const float* SMG_RESTRICT b, float* SMG_RESTRICT y,
+                           const float* SMG_RESTRICT q2) {
+  const Box& box = A.box();
+  const Stencil& st = A.stencil();
+  const int nd = st.ndiag();
+  const int nx = box.nx;
+  const std::int64_t ncells = A.ncells();
+  const half* SMG_RESTRICT vals = A.data();
+  SMG_CHECK(nd <= 32, "stencil wider than 3x3x3 is unsupported");
+  const Layout layout = A.layout();
+
+  // Interior-line prototype, hoisted out of the line loop (per-line
+  // descriptor construction would otherwise rival the math itself):
+  // aoff[v] is the offset of diagonal v's run relative to the line's
+  // matrix base, shift[v] the x/q2 offset, [ilo, ihi) the valid columns.
+  std::int64_t p_aoff[32];
+  std::int64_t p_shift[32];
+  int p_ilo[32];
+  int p_ihi[32];
+  int jlo = 0, jhi = box.ny, klo = 0, khi = box.nz;
+  int p_lo = 0, p_hi = nx;
+  for (int d = 0; d < nd; ++d) {
+    const Offset& o = st.offset(d);
+    p_aoff[d] = layout == Layout::SOA
+                    ? static_cast<std::int64_t>(d) * ncells
+                    : static_cast<std::int64_t>(d) * nx;
+    p_shift[d] = o.dx + static_cast<std::int64_t>(nx) *
+                            (o.dy + static_cast<std::int64_t>(box.ny) * o.dz);
+    p_ilo[d] = std::max(0, -static_cast<int>(o.dx));
+    p_ihi[d] = std::min(nx, nx - static_cast<int>(o.dx));
+    p_lo = std::max(p_lo, p_ilo[d]);
+    p_hi = std::min(p_hi, p_ihi[d]);
+    jlo = std::max(jlo, -static_cast<int>(o.dy));
+    jhi = std::min(jhi, box.ny - static_cast<int>(o.dy));
+    klo = std::max(klo, -static_cast<int>(o.dz));
+    khi = std::min(khi, box.nz - static_cast<int>(o.dz));
+  }
+  p_hi = std::max(p_hi, p_lo);
+
+  // Core line runner: every 8-lane block is SIMD.  Interior blocks take the
+  // unmasked fast path; the at-most-two edge blocks use per-diagonal masked
+  // x loads.  Boundary-truncated matrix entries are zero by StructMat's
+  // invariant, so a dead lane contributes 0 * x = 0 and the masks are only
+  // needed for memory safety; 16-byte matrix loads past a run are covered
+  // by kSimdSlack.
+  const auto run_line = [&](std::int64_t abase, std::int64_t base, int nv,
+                            const std::int64_t* SMG_RESTRICT aoff,
+                            const std::int64_t* SMG_RESTRICT shift,
+                            const int* SMG_RESTRICT vilo,
+                            const int* SMG_RESTRICT vihi, int lo, int hi) {
+    const half* SMG_RESTRICT am = vals + abase;
+    const float* SMG_RESTRICT xb = x + base;
+    for (int i = 0; i < nx; i += 8) {
+      if (i >= lo && i + 8 <= hi) {
+        __m256 acc = _mm256_setzero_ps();
+        for (int v = 0; v < nv; ++v) {
+          const __m256 av = _mm256_cvtph_ps(_mm_loadu_si128(
+              reinterpret_cast<const __m128i*>(am + aoff[v] + i)));
+          __m256 xv = _mm256_loadu_ps(xb + shift[v] + i);
+          if constexpr (kScaled) {
+            xv = _mm256_mul_ps(xv, _mm256_loadu_ps(q2 + base + shift[v] + i));
+          }
+          acc = _mm256_fmadd_ps(av, xv, acc);
+        }
+        if constexpr (kScaled) {
+          acc = _mm256_mul_ps(acc, _mm256_loadu_ps(q2 + base + i));
+        }
+        if constexpr (kResidual) {
+          acc = _mm256_sub_ps(_mm256_loadu_ps(b + base + i), acc);
+        }
+        _mm256_storeu_ps(y + base + i, acc);
+        continue;
+      }
+      const int blen = std::min(8, nx - i);
+      const __m256i ms = tail_mask(blen);
+      __m256 acc = _mm256_setzero_ps();
+      for (int v = 0; v < nv; ++v) {
+        const int s = std::clamp(vilo[v] - i, 0, 8);
+        const int e = std::clamp(vihi[v] - i, 0, 8);
+        if (e <= s) {
+          continue;
+        }
+        const __m256i mv = _mm256_and_si256(head_mask(s), tail_mask(e));
+        const __m256 av = _mm256_cvtph_ps(_mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(am + aoff[v] + i)));
+        __m256 xv = _mm256_maskload_ps(xb + shift[v] + i, mv);
+        if constexpr (kScaled) {
+          xv = _mm256_mul_ps(xv,
+                             _mm256_maskload_ps(q2 + base + shift[v] + i, mv));
+        }
+        acc = _mm256_fmadd_ps(av, xv, acc);
+      }
+      if constexpr (kScaled) {
+        acc = _mm256_mul_ps(acc, _mm256_maskload_ps(q2 + base + i, ms));
+      }
+      if constexpr (kResidual) {
+        acc = _mm256_sub_ps(_mm256_maskload_ps(b + base + i, ms), acc);
+      }
+      _mm256_maskstore_ps(y + base + i, ms, acc);
+    }
+  };
+
+#pragma omp parallel for collapse(2) schedule(static)
+  for (int k = 0; k < box.nz; ++k) {
+    for (int j = 0; j < box.ny; ++j) {
+      const std::int64_t base = box.idx(0, j, k);
+      const std::int64_t line = j + static_cast<std::int64_t>(box.ny) * k;
+      const std::int64_t abase =
+          layout == Layout::SOA
+              ? base
+              : line * static_cast<std::int64_t>(nd) * nx;
+      if (j >= jlo && j < jhi && k >= klo && k < khi) {
+        run_line(abase, base, nd, p_aoff, p_shift, p_ilo, p_ihi, p_lo, p_hi);
+        continue;
+      }
+      // Boundary line: compact the valid diagonals, then reuse the runner.
+      std::int64_t c_aoff[32];
+      std::int64_t c_shift[32];
+      int c_ilo[32];
+      int c_ihi[32];
+      int nv = 0;
+      int lo = 0, hi = nx;
+      for (int d = 0; d < nd; ++d) {
+        const Offset& o = st.offset(d);
+        if (j + o.dy < 0 || j + o.dy >= box.ny || k + o.dz < 0 ||
+            k + o.dz >= box.nz || p_ihi[d] <= p_ilo[d]) {
+          continue;
+        }
+        c_aoff[nv] = p_aoff[d];
+        c_shift[nv] = p_shift[d];
+        c_ilo[nv] = p_ilo[d];
+        c_ihi[nv] = p_ihi[d];
+        lo = std::max(lo, p_ilo[d]);
+        hi = std::min(hi, p_ihi[d]);
+        ++nv;
+      }
+      hi = std::max(hi, lo);
+      run_line(abase, base, nv, c_aoff, c_shift, c_ilo, c_ihi, lo, hi);
+    }
+  }
+}
+
+#endif  // SMG_SIMD_AVX2
+
+/// Expose a (line, diagonal) coefficient run in compute precision: identity
+/// when storage == compute, otherwise a SIMD widen into `buf`.
+template <class CT, class ST>
+inline const CT* widen_run(const ST* src, std::size_t n, avec<CT>& buf) {
+  if constexpr (std::is_same_v<ST, CT>) {
+    return src;
+  } else {
+    if (buf.size() < n) {
+      buf.resize(n);
+    }
+    if constexpr (is_storage_only_v<ST> && std::is_same_v<CT, float>) {
+      widen(src, buf.data(), n);
+    } else {
+      for (std::size_t q = 0; q < n; ++q) {
+        buf[q] = widen1<CT>(src[q]);
+      }
+    }
+    return buf.data();
+  }
+}
+
+/// Block (bs > 1) SOA-family kernel: per (line, diagonal) the r x r block
+/// coefficients are widened once into an L1 buffer (amortized conversion),
+/// then dense block math runs in compute precision.  Accumulates the raw
+/// matrix-vector sum into y and applies b/q2 in a post pass, which lets the
+/// scaled residual fuse correctly.
+template <bool kResidual, class ST, class CT>
+void apply_soa_block_lines(const StructMat<ST>& A, const CT* SMG_RESTRICT x,
+                           const CT* SMG_RESTRICT b, CT* SMG_RESTRICT y,
+                           const CT* SMG_RESTRICT q2) {
+  const Box& box = A.box();
+  const Stencil& st = A.stencil();
+  const int bs = A.block_size();
+  const int nd = st.ndiag();
+  const int nx = box.nx;
+  const std::int64_t ncells = A.ncells();
+  const std::int64_t block2 = static_cast<std::int64_t>(bs) * bs;
+  const ST* SMG_RESTRICT vals = A.data();
+  const Layout layout = A.layout();
+  const std::size_t runlen = static_cast<std::size_t>(nx) *
+                             static_cast<std::size_t>(block2);
+
+  thread_local avec<CT> coefbuf;
+
+  // Scaled recovery reads q2 .* x everywhere; x is static here, so pay one
+  // fused pass up front instead of a load + multiply per matrix entry.
+  thread_local avec<CT> xqbuf;
+  if (q2 != nullptr) {
+    const std::size_t n = static_cast<std::size_t>(A.nrows());
+    xqbuf.resize(n);
+#pragma omp parallel for simd
+    for (std::size_t q = 0; q < n; ++q) {
+      xqbuf[q] = q2[q] * x[q];
+    }
+    x = xqbuf.data();
+  }
+  const bool scaled = q2 != nullptr;
+
+#pragma omp parallel for collapse(2) schedule(static)
+  for (int k = 0; k < box.nz; ++k) {
+    for (int j = 0; j < box.ny; ++j) {
+      const std::int64_t base = box.idx(0, j, k);
+      const std::int64_t line = j + static_cast<std::int64_t>(box.ny) * k;
+      for (std::int64_t q = 0; q < static_cast<std::int64_t>(nx) * bs; ++q) {
+        y[base * bs + q] = CT{0};
+      }
+      for (int d = 0; d < nd; ++d) {
+        const DiagRange r = diag_range(box, st.offset(d), j, k);
+        if (!r.line_valid || r.ihi <= r.ilo) {
+          continue;
+        }
+        const ST* araw =
+            vals + (layout == Layout::SOA
+                        ? (static_cast<std::int64_t>(d) * ncells + base) *
+                              block2
+                        : (line * nd + d) * static_cast<std::int64_t>(nx) *
+                              block2);
+        const CT* SMG_RESTRICT coef = widen_run<CT>(araw, runlen, coefbuf);
+        const std::int64_t xoff = (base + r.shift) * bs;
+        for (int i = r.ilo; i < r.ihi; ++i) {
+          const CT* blk = coef + static_cast<std::int64_t>(i) * block2;
+          const CT* xv = x + xoff + static_cast<std::int64_t>(i) * bs;
+          CT* yv = y + (base + i) * bs;
+          for (int br = 0; br < bs; ++br) {
+            CT acc{0};
+            for (int bc = 0; bc < bs; ++bc) {
+              acc += blk[br * bs + bc] * xv[bc];
+            }
+            yv[br] += acc;
+          }
+        }
+      }
+      // Post pass: apply the row q2 recovery and/or the residual form.
+      CT* SMG_RESTRICT yl = y + base * bs;
+      const std::int64_t ndof = static_cast<std::int64_t>(nx) * bs;
+      if (scaled) {
+        const CT* SMG_RESTRICT ql = q2 + base * bs;
+        if constexpr (kResidual) {
+          const CT* SMG_RESTRICT bl = b + base * bs;
+          for (std::int64_t q = 0; q < ndof; ++q) {
+            yl[q] = bl[q] - ql[q] * yl[q];
+          }
+        } else {
+          for (std::int64_t q = 0; q < ndof; ++q) {
+            yl[q] *= ql[q];
+          }
+        }
+      } else if constexpr (kResidual) {
+        const CT* SMG_RESTRICT bl = b + base * bs;
+        for (std::int64_t q = 0; q < ndof; ++q) {
+          yl[q] = bl[q] - yl[q];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace detail
+
+/// SOA kernel: y = b - A x (kResidual) or y = A x (otherwise), with optional
+/// on-the-fly rescaling by q2 (length nrows).  b may be null iff !kResidual.
+template <bool kResidual, class ST, class CT>
+void apply_soa(const StructMat<ST>& A, const CT* SMG_RESTRICT x,
+               const CT* SMG_RESTRICT b, CT* SMG_RESTRICT y,
+               const CT* SMG_RESTRICT q2) {
+#if defined(SMG_SIMD_AVX2)
+  if constexpr (std::is_same_v<ST, half> && std::is_same_v<CT, float>) {
+    if (A.block_size() == 1) {
+      if (q2 != nullptr) {
+        detail::apply_soa_f16_blocked<kResidual, true>(A, x, b, y, q2);
+      } else {
+        detail::apply_soa_f16_blocked<kResidual, false>(A, x, b, y, q2);
+      }
+      return;
+    }
+  }
+#endif
+  if (A.block_size() > 1) {
+    detail::apply_soa_block_lines<kResidual>(A, x, b, y, q2);
+    return;
+  }
+  // Scaled residual must go through spmv-then-subtract (see residual()):
+  // q2_i cannot be folded into per-diagonal passes without scaling b too.
+  SMG_CHECK(!(kResidual && q2 != nullptr), "scaled residual not fused");
+  const Box& box = A.box();
+  const Stencil& st = A.stencil();
+  const int bs = A.block_size();
+  const int nd = st.ndiag();
+  const std::int64_t ncells = A.ncells();
+  const ST* SMG_RESTRICT vals = A.data();
+
+  if (bs == 1) {
+    const Layout layout = A.layout();
+#pragma omp parallel for collapse(2) schedule(static)
+    for (int k = 0; k < box.nz; ++k) {
+      for (int j = 0; j < box.ny; ++j) {
+        const std::int64_t base = box.idx(0, j, k);
+        const std::int64_t line = j + static_cast<std::int64_t>(box.ny) * k;
+        // Initialize the line: 0 for SpMV, b for residual.
+        for (int i = 0; i < box.nx; ++i) {
+          y[base + i] = kResidual ? b[base + i] : CT{0};
+        }
+        for (int d = 0; d < nd; ++d) {
+          const DiagRange r = diag_range(box, st.offset(d), j, k);
+          if (!r.line_valid || r.ihi <= r.ilo) {
+            continue;
+          }
+          const ST* a = detail::line_diag_ptr(vals, layout, base, line, d,
+                                              nd, ncells, box.nx);
+          const std::int64_t xoff = base + r.shift;
+          // For residual we subtract the A x contribution.
+          if (q2 != nullptr) {
+            detail::soa_diag_fma<kResidual, true>(
+                a + r.ilo, x + xoff + r.ilo, q2 + xoff + r.ilo,
+                y + base + r.ilo, r.ihi - r.ilo);
+          } else {
+            detail::soa_diag_fma<kResidual, false>(
+                a + r.ilo, x + xoff + r.ilo, static_cast<const CT*>(nullptr),
+                y + base + r.ilo, r.ihi - r.ilo);
+          }
+        }
+        if (q2 != nullptr && !kResidual) {
+          for (int i = 0; i < box.nx; ++i) {
+            y[base + i] *= q2[base + i];
+          }
+        }
+      }
+    }
+    return;
+  }
+}
+
+/// AOS kernel: same contract as apply_soa.  For 2-byte ST this is the
+/// "naive" mixed-precision variant paying one convert per entry.  The line
+/// is split into boundary regions (per-entry range checks) and an interior
+/// fast path over the line's valid diagonals only, so the AOS baseline is a
+/// fair full-FP32 reference and the 2-byte slowdown isolates the fcvt cost.
+template <bool kResidual, class ST, class CT>
+void apply_aos(const StructMat<ST>& A, const CT* SMG_RESTRICT x,
+               const CT* SMG_RESTRICT b, CT* SMG_RESTRICT y,
+               const CT* SMG_RESTRICT q2) {
+  const Box& box = A.box();
+  const Stencil& st = A.stencil();
+  const int bs = A.block_size();
+  const int nd = st.ndiag();
+  const std::int64_t block2 = static_cast<std::int64_t>(bs) * bs;
+  const ST* SMG_RESTRICT vals = A.data();
+  SMG_CHECK(nd <= 32, "stencil wider than 3x3x3 is unsupported");
+
+#pragma omp parallel for collapse(2) schedule(static)
+  for (int k = 0; k < box.nz; ++k) {
+    for (int j = 0; j < box.ny; ++j) {
+      const std::int64_t base = box.idx(0, j, k);
+      // Valid diagonals of this line, and the interior region where all of
+      // them apply unconditionally.
+      struct Valid {
+        int d;
+        int ilo, ihi;
+        std::int64_t shift;
+      };
+      Valid vd[32];
+      int nvalid = 0;
+      int lo = 0;
+      int hi = box.nx;
+      for (int d = 0; d < nd; ++d) {
+        const DiagRange r = diag_range(box, st.offset(d), j, k);
+        if (!r.line_valid || r.ihi <= r.ilo) {
+          continue;
+        }
+        vd[nvalid++] = {d, r.ilo, r.ihi, r.shift};
+        lo = std::max(lo, r.ilo);
+        hi = std::min(hi, r.ihi);
+      }
+      hi = std::max(hi, lo);
+
+      const auto cell_body = [&](int i, bool checked) {
+        const std::int64_t cell = base + i;
+        const ST* cell_vals = vals + cell * nd * block2;
+        for (int br = 0; br < bs; ++br) {
+          CT acc{0};
+          for (int v = 0; v < nvalid; ++v) {
+            if (checked && (i < vd[v].ilo || i >= vd[v].ihi)) {
+              continue;
+            }
+            const std::int64_t nbr = cell + vd[v].shift;
+            const ST* blk = cell_vals + vd[v].d * block2;
+            for (int bc = 0; bc < bs; ++bc) {
+              CT xv = x[nbr * bs + bc];
+              if (q2 != nullptr) {
+                xv *= q2[nbr * bs + bc];
+              }
+              acc += detail::widen1<CT>(blk[br * bs + bc]) * xv;
+            }
+          }
+          if (q2 != nullptr) {
+            acc *= q2[cell * bs + br];
+          }
+          const std::int64_t row = cell * bs + br;
+          y[row] = kResidual ? b[row] - acc : acc;
+        }
+      };
+
+      for (int i = 0; i < lo; ++i) {
+        cell_body(i, true);
+      }
+      for (int i = lo; i < hi; ++i) {
+        cell_body(i, false);
+      }
+      for (int i = hi; i < box.nx; ++i) {
+        cell_body(i, true);
+      }
+    }
+  }
+}
+
+/// y = A x (optionally rescaled); dispatches on the stored layout.
+template <class ST, class CT>
+void spmv(const StructMat<ST>& A, std::span<const CT> x, std::span<CT> y,
+          const CT* q2 = nullptr) {
+  SMG_CHECK(static_cast<std::int64_t>(x.size()) == A.nrows() &&
+                static_cast<std::int64_t>(y.size()) == A.nrows(),
+            "spmv size mismatch");
+  if (A.layout() != Layout::AOS) {
+    apply_soa<false>(A, x.data(), static_cast<const CT*>(nullptr), y.data(),
+                     q2);
+  } else {
+    apply_aos<false>(A, x.data(), static_cast<const CT*>(nullptr), y.data(),
+                     q2);
+  }
+}
+
+/// r = b - A x (optionally rescaled); dispatches on the stored layout.
+template <class ST, class CT>
+void residual(const StructMat<ST>& A, std::span<const CT> b,
+              std::span<const CT> x, std::span<CT> r,
+              const CT* q2 = nullptr) {
+  SMG_CHECK(static_cast<std::int64_t>(x.size()) == A.nrows() &&
+                static_cast<std::int64_t>(b.size()) == A.nrows() &&
+                static_cast<std::int64_t>(r.size()) == A.nrows(),
+            "residual size mismatch");
+  // The SOA-family block path and the register-blocked fp16 path fuse the
+  // scaled residual correctly (the accumulator is separate from b until the
+  // final combination).
+  if (A.layout() != Layout::AOS && A.block_size() > 1) {
+    apply_soa<true>(A, x.data(), b.data(), r.data(), q2);
+    return;
+  }
+#if defined(SMG_SIMD_AVX2)
+  if constexpr (std::is_same_v<ST, half> && std::is_same_v<CT, float>) {
+    if (A.layout() != Layout::AOS && A.block_size() == 1) {
+      apply_soa<true>(A, x.data(), b.data(), r.data(), q2);
+      return;
+    }
+  }
+#endif
+  if (q2 != nullptr) {
+    // The scaled-matrix residual cannot fold q2_i into per-diagonal passes
+    // (the b term must stay unscaled), so compute y = A x then r = b - y.
+    thread_local avec<CT> tmp;
+    tmp.resize(static_cast<std::size_t>(A.nrows()));
+    spmv(A, x, std::span<CT>{tmp.data(), tmp.size()}, q2);
+    for (std::size_t i = 0; i < tmp.size(); ++i) {
+      r[i] = b[i] - tmp[i];
+    }
+    return;
+  }
+  if (A.layout() != Layout::AOS) {
+    apply_soa<true>(A, x.data(), b.data(), r.data(), q2);
+  } else {
+    apply_aos<true>(A, x.data(), b.data(), r.data(), q2);
+  }
+}
+
+/// Scalar reference SpMV used to validate the optimized kernels.
+template <class ST, class CT>
+void spmv_ref(const StructMat<ST>& A, std::span<const CT> x, std::span<CT> y,
+              const CT* q2 = nullptr) {
+  const Box& box = A.box();
+  const Stencil& st = A.stencil();
+  const int bs = A.block_size();
+  for (int k = 0; k < box.nz; ++k) {
+    for (int j = 0; j < box.ny; ++j) {
+      for (int i = 0; i < box.nx; ++i) {
+        const std::int64_t cell = box.idx(i, j, k);
+        for (int br = 0; br < bs; ++br) {
+          CT acc{0};
+          for (int d = 0; d < st.ndiag(); ++d) {
+            const Offset& o = st.offset(d);
+            if (!box.contains(i + o.dx, j + o.dy, k + o.dz)) {
+              continue;
+            }
+            const std::int64_t nbr = box.idx(i + o.dx, j + o.dy, k + o.dz);
+            for (int bc = 0; bc < bs; ++bc) {
+              CT xv = x[nbr * bs + bc];
+              if (q2 != nullptr) {
+                xv *= q2[nbr * bs + bc];
+              }
+              acc += detail::widen1<CT>(A.at(cell, d, br, bc)) * xv;
+            }
+          }
+          if (q2 != nullptr) {
+            acc *= q2[cell * bs + br];
+          }
+          y[cell * bs + br] = acc;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace smg

@@ -1,0 +1,372 @@
+// Gauss-Seidel sweeps (the SymGS smoother / SpTRSV-shaped hotspot, §5).
+//
+// Forward sweep in lexicographic cell order; backward sweep reversed.  The
+// diagonal (block) inverse is precomputed by smoother setup in compute
+// precision from the *high-precision* matrix (Alg. 1 line 13); off-diagonal
+// entries are read from storage precision with recover-and-rescale on the
+// fly, exactly as SpMV.
+//
+// Vectorization strategy for the SOA layout (the "(opt)" variant of Fig. 7):
+// every supported stencil has at most one same-line lower offset (-1,0,0) and
+// one same-line upper offset (+1,0,0); all other offsets reference previous
+// or later grid lines whose values are fixed for the duration of the current
+// line.  Their contributions are therefore computed in a vectorized pre-pass
+// (8 FP16 entries per vcvtph2ps), leaving a one-term scalar recurrence.
+// The AOS path is the straightforward scalar sweep paying one convert per
+// entry (the "(naive)" variant).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "kernels/loops.hpp"
+#include "kernels/spmv.hpp"
+#include "sgdia/struct_matrix.hpp"
+#include "util/aligned.hpp"
+#include "util/common.hpp"
+
+namespace smg {
+
+namespace detail {
+
+/// Multiply the bs x bs row-major block at `blk` with vector `v`.
+template <class CT>
+inline void block_apply(const CT* blk, const CT* v, CT* out, int bs) noexcept {
+  for (int br = 0; br < bs; ++br) {
+    CT acc{0};
+    for (int bc = 0; bc < bs; ++bc) {
+      acc += blk[br * bs + bc] * v[bc];
+    }
+    out[br] = acc;
+  }
+}
+
+/// Scalar Gauss-Seidel sweep over all cells in the given direction.
+/// Works for any layout; the AOS ("naive") path for 2-byte storage.
+template <bool kForward, class ST, class CT>
+void gs_sweep_scalar(const StructMat<ST>& A, std::span<const CT> f,
+                     std::span<CT> u, std::span<const CT> invdiag,
+                     const CT* SMG_RESTRICT q2) {
+  const Box& box = A.box();
+  const Stencil& st = A.stencil();
+  const int bs = A.block_size();
+  const int nd = st.ndiag();
+  const int center = st.center();
+  SMG_CHECK(center >= 0, "GS sweep needs a diagonal entry");
+  const std::int64_t block2 = static_cast<std::int64_t>(bs) * bs;
+
+  CT acc[8];
+  CT upd[8];
+  SMG_CHECK(bs <= 8, "block size > 8 unsupported");
+
+  const int k0 = kForward ? 0 : box.nz - 1;
+  const int kstep = kForward ? 1 : -1;
+  for (int k = k0; k >= 0 && k < box.nz; k += kstep) {
+    const int j0 = kForward ? 0 : box.ny - 1;
+    for (int j = j0; j >= 0 && j < box.ny; j += kstep) {
+      const int i0 = kForward ? 0 : box.nx - 1;
+      for (int i = i0; i >= 0 && i < box.nx; i += kstep) {
+        const std::int64_t cell = box.idx(i, j, k);
+        for (int br = 0; br < bs; ++br) {
+          acc[br] = f[cell * bs + br];
+        }
+        for (int d = 0; d < nd; ++d) {
+          if (d == center) {
+            continue;
+          }
+          const Offset& o = st.offset(d);
+          if (!box.contains(i + o.dx, j + o.dy, k + o.dz)) {
+            continue;
+          }
+          const std::int64_t nbr = box.idx(i + o.dx, j + o.dy, k + o.dz);
+          const ST* blk = A.data() + A.block_index(cell, d);
+          for (int br = 0; br < bs; ++br) {
+            CT s{0};
+            for (int bc = 0; bc < bs; ++bc) {
+              CT xv = u[nbr * bs + bc];
+              if (q2 != nullptr) {
+                xv *= q2[nbr * bs + bc];
+              }
+              s += widen1<CT>(blk[br * bs + bc]) * xv;
+            }
+            if (q2 != nullptr) {
+              s *= q2[cell * bs + br];
+            }
+            acc[br] -= s;
+          }
+        }
+        block_apply(invdiag.data() + cell * block2, acc, upd, bs);
+        for (int br = 0; br < bs; ++br) {
+          u[cell * bs + br] = upd[br];
+        }
+      }
+    }
+  }
+}
+
+/// Line-buffered sweep for SOA scalar (bs == 1) matrices.
+template <bool kForward, class ST, class CT>
+void gs_sweep_soa_lines(const StructMat<ST>& A, std::span<const CT> f,
+                        std::span<CT> u, std::span<const CT> invdiag,
+                        const CT* SMG_RESTRICT q2) {
+  const Box& box = A.box();
+  const Stencil& st = A.stencil();
+  const int nd = st.ndiag();
+  const int center = st.center();
+  const std::int64_t ncells = A.ncells();
+  const ST* SMG_RESTRICT vals = A.data();
+  const Layout layout = A.layout();
+
+  // The single same-line offset participating in the recurrence.
+  const int recur_d = kForward ? st.find(-1, 0, 0) : st.find(+1, 0, 0);
+  const int recur_dx = kForward ? -1 : +1;
+
+  thread_local avec<CT> accbuf;
+  accbuf.resize(static_cast<std::size_t>(box.nx));
+  CT* SMG_RESTRICT acc = accbuf.data();
+
+  // Scaled recovery: maintain uq = q2 .* u incrementally so the vectorized
+  // pre-pass reads a single vector (one load + fma per entry, same as the
+  // unscaled sweep).
+  thread_local avec<CT> uqbuf;
+  const CT* SMG_RESTRICT uread = u.data();
+  CT* SMG_RESTRICT uq = nullptr;
+  if (q2 != nullptr) {
+    const std::size_t n = u.size();
+    uqbuf.resize(n);
+    for (std::size_t q = 0; q < n; ++q) {
+      uqbuf[q] = q2[q] * u[q];
+    }
+    uq = uqbuf.data();
+    uread = uq;
+  }
+
+  const int k0 = kForward ? 0 : box.nz - 1;
+  const int kstep = kForward ? 1 : -1;
+  for (int k = k0; k >= 0 && k < box.nz; k += kstep) {
+    const int j0 = kForward ? 0 : box.ny - 1;
+    for (int j = j0; j >= 0 && j < box.ny; j += kstep) {
+      const std::int64_t base = box.idx(0, j, k);
+      const std::int64_t line = j + static_cast<std::int64_t>(box.ny) * k;
+      for (int i = 0; i < box.nx; ++i) {
+        acc[i] = CT{0};
+      }
+      // Vectorized pre-pass: every off-line (and the old-value same-line
+      // opposite) contribution, accumulating a[i] * (q2*) u[nbr].
+      for (int d = 0; d < nd; ++d) {
+        if (d == center || d == recur_d) {
+          continue;
+        }
+        const DiagRange r = diag_range(box, st.offset(d), j, k);
+        if (!r.line_valid || r.ihi <= r.ilo) {
+          continue;
+        }
+        const ST* a =
+            line_diag_ptr(vals, layout, base, line, d, nd, ncells, box.nx);
+        const std::int64_t xoff = base + r.shift;
+        soa_diag_fma<false, false>(a + r.ilo, uread + xoff + r.ilo,
+                                   static_cast<const CT*>(nullptr),
+                                   acc + r.ilo, r.ihi - r.ilo);
+      }
+      // Scalar recurrence along the line.
+      const ST* arec = recur_d >= 0
+                           ? line_diag_ptr(vals, layout, base, line, recur_d,
+                                           nd, ncells, box.nx)
+                           : nullptr;
+      const int i0 = kForward ? 0 : box.nx - 1;
+      const int istep = kForward ? 1 : -1;
+      for (int i = i0; i >= 0 && i < box.nx; i += istep) {
+        CT s = acc[i];
+        const int inbr = i + recur_dx;
+        if (arec != nullptr && inbr >= 0 && inbr < box.nx) {
+          s += widen1<CT>(arec[i]) * uread[base + inbr];
+        }
+        CT rhs = f[base + i];
+        if (q2 != nullptr) {
+          rhs -= q2[base + i] * s;
+        } else {
+          rhs -= s;
+        }
+        const CT unew = invdiag[base + i] * rhs;
+        u[base + i] = unew;
+        if (uq != nullptr) {
+          uq[base + i] = q2[base + i] * unew;
+        }
+      }
+    }
+  }
+}
+
+/// Line-buffered sweep for SOA-family block (bs > 1) matrices: per (line,
+/// diagonal) the half blocks are widened once (SIMD) into an L1 buffer, the
+/// off-line contributions accumulate into a per-line buffer, and only the
+/// one same-line offset stays in the per-cell recurrence — the block
+/// analogue of gs_sweep_soa_lines.
+template <bool kForward, class ST, class CT>
+void gs_sweep_block_lines(const StructMat<ST>& A, std::span<const CT> f,
+                          std::span<CT> u, std::span<const CT> invdiag,
+                          const CT* SMG_RESTRICT q2) {
+  const Box& box = A.box();
+  const Stencil& st = A.stencil();
+  const int bs = A.block_size();
+  const int nd = st.ndiag();
+  const int nx = box.nx;
+  const int center = st.center();
+  const std::int64_t ncells = A.ncells();
+  const std::int64_t block2 = static_cast<std::int64_t>(bs) * bs;
+  const ST* SMG_RESTRICT vals = A.data();
+  const Layout layout = A.layout();
+  const std::size_t runlen =
+      static_cast<std::size_t>(nx) * static_cast<std::size_t>(block2);
+
+  const int recur_d = kForward ? st.find(-1, 0, 0) : st.find(+1, 0, 0);
+  const int recur_dx = kForward ? -1 : +1;
+
+  thread_local avec<CT> accbuf;
+  thread_local avec<CT> coefbuf;
+  thread_local avec<CT> recurbuf;
+  accbuf.resize(static_cast<std::size_t>(nx) * bs);
+  CT* SMG_RESTRICT acc = accbuf.data();
+  CT s[8];
+  CT upd[8];
+  SMG_CHECK(bs <= 8, "block size > 8 unsupported");
+
+  // Scaled recovery: maintain uq = q2 .* u incrementally (updated together
+  // with u in the recurrence) so the hot off-line pass reads one vector
+  // instead of paying a load + multiply per matrix entry.
+  thread_local avec<CT> uqbuf;
+  const CT* SMG_RESTRICT uread = u.data();
+  CT* SMG_RESTRICT uq = nullptr;
+  if (q2 != nullptr) {
+    const std::size_t n = u.size();
+    uqbuf.resize(n);
+    for (std::size_t q = 0; q < n; ++q) {
+      uqbuf[q] = q2[q] * u[q];
+    }
+    uq = uqbuf.data();
+    uread = uq;
+  }
+
+  const auto run_ptr = [&](std::int64_t base, std::int64_t line, int d) {
+    return vals + (layout == Layout::SOA
+                       ? (static_cast<std::int64_t>(d) * ncells + base) *
+                             block2
+                       : (line * nd + d) * static_cast<std::int64_t>(nx) *
+                             block2);
+  };
+
+  const int k0 = kForward ? 0 : box.nz - 1;
+  const int kstep = kForward ? 1 : -1;
+  for (int k = k0; k >= 0 && k < box.nz; k += kstep) {
+    const int j0 = kForward ? 0 : box.ny - 1;
+    for (int j = j0; j >= 0 && j < box.ny; j += kstep) {
+      const std::int64_t base = box.idx(0, j, k);
+      const std::int64_t line = j + static_cast<std::int64_t>(box.ny) * k;
+      for (std::size_t q = 0; q < static_cast<std::size_t>(nx) * bs; ++q) {
+        acc[q] = CT{0};
+      }
+      // Off-line (and same-line old-value) contributions.
+      for (int d = 0; d < nd; ++d) {
+        if (d == center || d == recur_d) {
+          continue;
+        }
+        const DiagRange r = diag_range(box, st.offset(d), j, k);
+        if (!r.line_valid || r.ihi <= r.ilo) {
+          continue;
+        }
+        const CT* coef = widen_run<CT>(run_ptr(base, line, d), runlen,
+                                       coefbuf);
+        const std::int64_t xoff = (base + r.shift) * bs;
+        for (int i = r.ilo; i < r.ihi; ++i) {
+          const CT* blk = coef + static_cast<std::int64_t>(i) * block2;
+          const CT* xv = uread + xoff + static_cast<std::int64_t>(i) * bs;
+          CT* av = acc + static_cast<std::int64_t>(i) * bs;
+          for (int br = 0; br < bs; ++br) {
+            CT a2{0};
+            for (int bc = 0; bc < bs; ++bc) {
+              a2 += blk[br * bs + bc] * xv[bc];
+            }
+            av[br] += a2;
+          }
+        }
+      }
+      // Per-cell recurrence with the same-line coupling block.
+      const CT* rec = recur_d >= 0
+                          ? widen_run<CT>(run_ptr(base, line, recur_d),
+                                          runlen, recurbuf)
+                          : nullptr;
+      const int i0 = kForward ? 0 : nx - 1;
+      const int istep = kForward ? 1 : -1;
+      for (int i = i0; i >= 0 && i < nx; i += istep) {
+        const std::int64_t cell = base + i;
+        for (int br = 0; br < bs; ++br) {
+          s[br] = acc[static_cast<std::int64_t>(i) * bs + br];
+        }
+        const int inbr = i + recur_dx;
+        if (rec != nullptr && inbr >= 0 && inbr < nx) {
+          const CT* blk = rec + static_cast<std::int64_t>(i) * block2;
+          const CT* xv = uread + (base + inbr) * bs;
+          for (int br = 0; br < bs; ++br) {
+            CT a2{0};
+            for (int bc = 0; bc < bs; ++bc) {
+              a2 += blk[br * bs + bc] * xv[bc];
+            }
+            s[br] += a2;
+          }
+        }
+        for (int br = 0; br < bs; ++br) {
+          CT rhs = f[cell * bs + br];
+          if (q2 != nullptr) {
+            rhs -= q2[cell * bs + br] * s[br];
+          } else {
+            rhs -= s[br];
+          }
+          s[br] = rhs;
+        }
+        block_apply(invdiag.data() + cell * block2, s, upd, bs);
+        for (int br = 0; br < bs; ++br) {
+          u[cell * bs + br] = upd[br];
+          if (uq != nullptr) {
+            uq[cell * bs + br] = q2[cell * bs + br] * upd[br];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace detail
+
+/// One forward Gauss-Seidel sweep: u <- (D + L)^{-1} (f - U u).
+/// For lower-triangular-pattern matrices this *is* SpTRSV.
+template <class ST, class CT>
+void gs_forward(const StructMat<ST>& A, std::span<const CT> f, std::span<CT> u,
+                std::span<const CT> invdiag, const CT* q2 = nullptr) {
+  if (A.layout() != Layout::AOS) {
+    if (A.block_size() == 1) {
+      detail::gs_sweep_soa_lines<true>(A, f, u, invdiag, q2);
+    } else {
+      detail::gs_sweep_block_lines<true>(A, f, u, invdiag, q2);
+    }
+  } else {
+    detail::gs_sweep_scalar<true>(A, f, u, invdiag, q2);
+  }
+}
+
+/// One backward Gauss-Seidel sweep: u <- (D + U)^{-1} (f - L u).
+template <class ST, class CT>
+void gs_backward(const StructMat<ST>& A, std::span<const CT> f,
+                 std::span<CT> u, std::span<const CT> invdiag,
+                 const CT* q2 = nullptr) {
+  if (A.layout() != Layout::AOS) {
+    if (A.block_size() == 1) {
+      detail::gs_sweep_soa_lines<false>(A, f, u, invdiag, q2);
+    } else {
+      detail::gs_sweep_block_lines<false>(A, f, u, invdiag, q2);
+    }
+  } else {
+    detail::gs_sweep_scalar<false>(A, f, u, invdiag, q2);
+  }
+}
+
+}  // namespace smg

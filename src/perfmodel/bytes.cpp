@@ -1,0 +1,29 @@
+#include "perfmodel/bytes.hpp"
+
+#include "csr/csr_matrix.hpp"
+
+namespace smg {
+
+double sgdia_bytes_per_nnz(Prec value_prec) noexcept {
+  return static_cast<double>(bytes_of(value_prec));
+}
+
+double speedup_bound_sgdia(Prec from, Prec to) noexcept {
+  return sgdia_bytes_per_nnz(from) / sgdia_bytes_per_nnz(to);
+}
+
+double speedup_bound_csr(Prec from, Prec to, std::size_t index_bytes,
+                         double delta) noexcept {
+  return csr_bytes_per_nnz(bytes_of(from), index_bytes, delta) /
+         csr_bytes_per_nnz(bytes_of(to), index_bytes, delta);
+}
+
+double percent_matrix(double nnz, double m) noexcept {
+  return nnz / (nnz + 2.0 * m);
+}
+
+double stencil_nnz_per_row(Pattern p, int block_size) noexcept {
+  return static_cast<double>(Stencil::make(p).ndiag()) * block_size;
+}
+
+}  // namespace smg

@@ -1,0 +1,33 @@
+// Memory-volume accounting (guidelines §3.1-§3.2, Table 2).
+//
+// Sparse solvers are memory-bound, so the attainable mixed-precision speedup
+// is bounded by the reduction of bytes moved.  SG-DIA moves exactly one
+// floating value per stored nonzero; CSR adds one column index per nonzero
+// plus the amortized row pointer.
+#pragma once
+
+#include <cstddef>
+
+#include "fp/precision.hpp"
+#include "grid/stencil.hpp"
+
+namespace smg {
+
+/// SG-DIA bytes per nonzero: just the value bytes.
+double sgdia_bytes_per_nnz(Prec value_prec) noexcept;
+
+/// Upper bound of preconditioner speedup when switching value precision
+/// (ratio of bytes per nonzero), for either format family.
+double speedup_bound_sgdia(Prec from, Prec to) noexcept;
+double speedup_bound_csr(Prec from, Prec to, std::size_t index_bytes,
+                         double delta) noexcept;
+
+/// percent_A of Eq. 2: matrix share of the memory traffic of one SpMV,
+/// given nnz and m (vector length counts x and b once each).
+double percent_matrix(double nnz, double m) noexcept;
+
+/// nnz/m for a full interior stencil (boundary effects ignored): equals the
+/// stencil size for scalar problems, times block size for vector PDEs.
+double stencil_nnz_per_row(Pattern p, int block_size) noexcept;
+
+}  // namespace smg

@@ -1,0 +1,167 @@
+#include "perfmodel/scaling_sim.hpp"
+
+#include <cmath>
+
+namespace smg {
+
+namespace {
+
+/// Aggregate deliverable bandwidth at P cores (GB/s).
+double bandwidth_gbs(const MachineModel& m, int cores) {
+  const int full_nodes = cores / m.cores_per_node;
+  const int rem = cores % m.cores_per_node;
+  double bw = full_nodes * m.node_bw_gbs;
+  bw += std::min(rem * m.core_bw_gbs, m.node_bw_gbs);
+  return std::max(bw, m.core_bw_gbs);
+}
+
+/// Balanced 3D factorization of P (largest factors first).
+void decompose3(int p, int out[3]) {
+  int best[3] = {p, 1, 1};
+  double best_score = 1e300;
+  for (int a = 1; a <= p; ++a) {
+    if (p % a != 0) {
+      continue;
+    }
+    const int pq = p / a;
+    for (int b = 1; b <= pq; ++b) {
+      if (pq % b != 0) {
+        continue;
+      }
+      const int c = pq / b;
+      const double score = std::abs(std::log(double(a) / b)) +
+                           std::abs(std::log(double(b) / c));
+      if (score < best_score) {
+        best_score = score;
+        best[0] = a;
+        best[1] = b;
+        best[2] = c;
+      }
+    }
+  }
+  out[0] = best[0];
+  out[1] = best[1];
+  out[2] = best[2];
+}
+
+struct LevelCost {
+  double matrix_bytes = 0.0;  ///< stored matrix bytes (per full pass)
+  double vector_bytes = 0.0;  ///< dof vector bytes (per pass, one vector)
+  double halo_dofs = 0.0;     ///< per rank at P=1 granularity (scaled later)
+  std::int64_t dofs = 0;
+  int nx = 0, ny = 0, nz = 0, bs = 1;
+  bool scaled = false;
+};
+
+/// Seconds for one preconditioned iteration at P cores.
+double iteration_seconds(const std::vector<LevelCost>& levels,
+                         double krylov_bytes, const MachineModel& m,
+                         int cores, int passes, bool mixed) {
+  const double bw = bandwidth_gbs(m, cores) * 1e9;
+  int grid[3];
+  decompose3(cores, grid);
+
+  double t = 0.0;
+  for (const LevelCost& L : levels) {
+    // --- computation: matrix + vector traffic of all smoother/residual
+    // passes, divided by deliverable bandwidth ---
+    double traffic =
+        passes * (L.matrix_bytes + 3.0 * L.vector_bytes) +
+        (L.scaled ? passes * L.vector_bytes : 0.0);
+    const double dpc = static_cast<double>(L.dofs) / cores;
+    double penalty = 1.0;
+    if (mixed) {
+      // Conversion overhead stops being amortized when per-core blocks
+      // starve the SIMD pipeline.
+      const double sat = std::min(1.0, dpc / m.simd_saturation_dofs);
+      penalty = 1.0 + 0.6 * (1.0 - sat);
+    }
+    t += traffic / bw * penalty;
+
+    // --- halo exchange: 6 faces of the local block, vectors in compute
+    // precision (FP32 for mixed, FP64 for full) ---
+    const double lx = std::max(1.0, static_cast<double>(L.nx) / grid[0]);
+    const double ly = std::max(1.0, static_cast<double>(L.ny) / grid[1]);
+    const double lz = std::max(1.0, static_cast<double>(L.nz) / grid[2]);
+    const double surface = 2.0 * (lx * ly + ly * lz + lx * lz) * L.bs;
+    const double elem_bytes = mixed ? 4.0 : 8.0;
+    if (cores > 1) {
+      const double msgs = 6.0 * passes;
+      t += msgs * m.net_latency_s +
+           passes * surface * elem_bytes / (m.net_bw_gbs * 1e9);
+    }
+  }
+  // Krylov work on the finest level: one operator apply plus vector updates.
+  t += krylov_bytes / bw;
+  if (cores > 1) {
+    // Two allreduces (dot products) per iteration.
+    t += 2.0 * std::log2(static_cast<double>(cores)) * m.net_latency_s;
+  }
+  return t;
+}
+
+std::vector<LevelCost> level_costs(const MGHierarchy& h) {
+  std::vector<LevelCost> out;
+  const double ct_bytes =
+      h.config().compute == Prec::FP64 ? 8.0 : 4.0;
+  for (int l = 0; l < h.nlevels(); ++l) {
+    const Level& lev = h.level(l);
+    LevelCost c;
+    c.matrix_bytes = static_cast<double>(lev.A_stored.value_bytes());
+    c.dofs = lev.A_full.nrows();
+    c.vector_bytes = static_cast<double>(c.dofs) * ct_bytes;
+    c.nx = lev.A_full.box().nx;
+    c.ny = lev.A_full.box().ny;
+    c.nz = lev.A_full.box().nz;
+    c.bs = lev.A_full.block_size();
+    c.scaled = lev.scaled;
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<ScalingPoint> simulate_strong_scaling(
+    const MGHierarchy& full_h, const MGHierarchy& mix_h, int iters_full,
+    int iters_mix, const MachineModel& m, std::span<const int> core_counts) {
+  const auto full_levels = level_costs(full_h);
+  const auto mix_levels = level_costs(mix_h);
+  // One pre-smooth + one post-smooth + one residual per level (paper §8).
+  const int passes =
+      full_h.config().nu1 + full_h.config().nu2 + 1;
+
+  // Krylov traffic: finest operator (FP64) + ~6 vector reads/writes.
+  const Level& finest = full_h.level(0);
+  const double krylov_bytes =
+      static_cast<double>(finest.A_full.nnz_logical()) * 8.0 +
+      6.0 * static_cast<double>(finest.A_full.nrows()) * 8.0;
+
+  std::vector<ScalingPoint> pts;
+  for (int cores : core_counts) {
+    ScalingPoint p;
+    p.cores = cores;
+    p.time_full =
+        iters_full *
+        iteration_seconds(full_levels, krylov_bytes, m, cores, passes, false);
+    p.time_mix =
+        iters_mix *
+        iteration_seconds(mix_levels, krylov_bytes, m, cores, passes, true);
+    pts.push_back(p);
+  }
+  return pts;
+}
+
+double relative_efficiency(std::span<const ScalingPoint> pts) {
+  if (pts.size() < 2) {
+    return 1.0;
+  }
+  const ScalingPoint& first = pts.front();
+  const ScalingPoint& last = pts.back();
+  const double scale = static_cast<double>(last.cores) / first.cores;
+  const double eff_full = first.time_full / (last.time_full * scale);
+  const double eff_mix = first.time_mix / (last.time_mix * scale);
+  return eff_mix / eff_full;
+}
+
+}  // namespace smg

@@ -1,0 +1,49 @@
+// Strong-scaling simulator (substitute for the paper's 64-node clusters,
+// Fig. 10).
+//
+// This host has one core and no interconnect, so the distributed experiment
+// is reproduced as a calibrated analytic model: per-level memory traffic of
+// one preconditioned iteration (derived from the actual hierarchy) over a
+// bandwidth-saturation machine model, plus a 3D-decomposition halo-exchange
+// and allreduce term.  The paper's qualitative claims this reproduces:
+//  * mix-precision scales nearly as well as full precision at medium/large
+//    sizes;
+//  * its efficiency degrades first, because FP16 shrinks the compute share
+//    (communication untouched) and small per-core blocks underuse SIMD.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/mg_hierarchy.hpp"
+
+namespace smg {
+
+struct MachineModel {
+  int cores_per_node = 64;
+  double core_bw_gbs = 9.0;    ///< per-core attainable stream bandwidth
+  double node_bw_gbs = 138.0;  ///< node saturation (ARM Kunpeng-like default)
+  double net_latency_s = 2e-6;
+  double net_bw_gbs = 12.5;    ///< 100 Gb/s InfiniBand
+  /// Mixed-precision SIMD starvation: below this many dofs per core the
+  /// conversion overhead stops being amortized (paper §7.4).
+  double simd_saturation_dofs = 32768.0;
+};
+
+struct ScalingPoint {
+  int cores = 0;
+  double time_full = 0.0;  ///< seconds, full-iterative-precision workflow
+  double time_mix = 0.0;   ///< seconds, FP16-storage preconditioner
+};
+
+/// Predict total solve time for both configurations across core counts.
+/// iters_* are the measured iteration counts of each configuration.
+std::vector<ScalingPoint> simulate_strong_scaling(
+    const MGHierarchy& full_h, const MGHierarchy& mix_h, int iters_full,
+    int iters_mix, const MachineModel& m, std::span<const int> core_counts);
+
+/// Parallel efficiency of mix relative to full at the largest core count
+/// (the paper reports 62%..99% across problems).
+double relative_efficiency(std::span<const ScalingPoint> pts);
+
+}  // namespace smg

@@ -1,0 +1,43 @@
+#include "perfmodel/stream.hpp"
+
+#include <algorithm>
+
+#include "util/aligned.hpp"
+#include "util/timer.hpp"
+
+namespace smg {
+
+StreamResult measure_stream(std::size_t n, int reps) {
+  avec<double> a(n, 1.0), b(n, 2.0), c(n, 0.5);
+  StreamResult res;
+  res.bytes = n * sizeof(double);
+
+  double best_triad = 0.0;
+  double best_copy = 0.0;
+  volatile double sink = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+#pragma omp parallel for simd
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = b[i] + 1.5 * c[i];
+    }
+    const double triad_s = t.seconds();
+    best_triad = std::max(
+        best_triad, 3.0 * static_cast<double>(res.bytes) / triad_s / 1e9);
+
+    t.reset();
+#pragma omp parallel for simd
+    for (std::size_t i = 0; i < n; ++i) {
+      c[i] = a[i];
+    }
+    const double copy_s = t.seconds();
+    best_copy = std::max(
+        best_copy, 2.0 * static_cast<double>(res.bytes) / copy_s / 1e9);
+    sink = sink + a[n / 2] + c[n / 3];
+  }
+  res.triad_gbs = best_triad;
+  res.copy_gbs = best_copy;
+  return res;
+}
+
+}  // namespace smg

@@ -1,0 +1,22 @@
+// STREAM-triad bandwidth probe.
+//
+// The paper's "bandwidth efficiency" metric divides a kernel's effective
+// bandwidth (minimal memory volume / time) by the machine's stream triad
+// bandwidth; this probe supplies the denominator on the host.
+#pragma once
+
+#include <cstddef>
+
+namespace smg {
+
+struct StreamResult {
+  double triad_gbs = 0.0;   ///< best-of-N triad bandwidth, GB/s
+  double copy_gbs = 0.0;    ///< best-of-N copy bandwidth, GB/s
+  std::size_t bytes = 0;    ///< working-set bytes per array
+};
+
+/// Measure with arrays of `n` doubles, `reps` repetitions (best taken).
+StreamResult measure_stream(std::size_t n = std::size_t{1} << 23,
+                            int reps = 5);
+
+}  // namespace smg

@@ -1,0 +1,114 @@
+// Internal helpers shared by problem generators: smooth random fields and
+// face-coefficient (finite-volume) assembly for diffusion operators.
+#pragma once
+
+#include <cmath>
+#include <numbers>
+
+#include "sgdia/struct_matrix.hpp"
+#include "util/aligned.hpp"
+#include "util/rng.hpp"
+
+namespace smg::detail {
+
+/// Smooth random field in [-1, 1]: a few random-phase low-frequency modes
+/// plus mild white noise.  Smoothness keeps neighboring cells correlated so
+/// harmonic-mean face coefficients stay well-defined (rhd-style "low
+/// anisotropy with a huge value span").
+class SmoothField {
+ public:
+  SmoothField(std::uint64_t seed, int nmodes = 5, double noise = 0.05)
+      : noise_(noise), rng_(seed) {
+    for (int m = 0; m < nmodes; ++m) {
+      Mode mode;
+      mode.kx = rng_.uniform(0.5, 3.0);
+      mode.ky = rng_.uniform(0.5, 3.0);
+      mode.kz = rng_.uniform(0.5, 3.0);
+      mode.phase = rng_.uniform(0.0, 2.0 * std::numbers::pi);
+      mode.amp = rng_.uniform(0.4, 1.0);
+      modes_.push_back(mode);
+      norm_ += mode.amp;
+    }
+  }
+
+  /// Value at normalized coordinates (x,y,z in [0,1]); cellwise noise is
+  /// derived from the cell hash so the field is mesh-deterministic.
+  double at(double x, double y, double z, std::uint64_t cell_hash) const {
+    double v = 0.0;
+    for (const Mode& m : modes_) {
+      v += m.amp * std::sin(2.0 * std::numbers::pi *
+                                (m.kx * x + m.ky * y + m.kz * z) +
+                            m.phase);
+    }
+    std::uint64_t h = cell_hash;
+    const double n =
+        (static_cast<double>(splitmix64(h) >> 11) * 0x1.0p-53) * 2.0 - 1.0;
+    return v / norm_ * (1.0 - noise_) + n * noise_;
+  }
+
+ private:
+  struct Mode {
+    double kx, ky, kz, phase, amp;
+  };
+  std::vector<Mode> modes_;
+  double norm_ = 0.0;
+  double noise_;
+  Rng rng_;
+};
+
+inline double harmonic_mean(double a, double b) noexcept {
+  return 2.0 * a * b / (a + b);
+}
+
+/// Assemble a symmetric 3d7 finite-volume diffusion operator
+///   -div(kappa grad u) + sigma u
+/// from per-cell, per-direction diffusivities.  kappa(cell, dir) with dir in
+/// {0,1,2} = x,y,z; sigma(cell) >= 0 adds absorption to the diagonal.
+/// Dirichlet boundary by truncation: the diagonal keeps the full face sum.
+template <class KappaFn, class SigmaFn>
+StructMat<double> assemble_diffusion_3d7(const Box& box, KappaFn&& kappa,
+                                         SigmaFn&& sigma) {
+  StructMat<double> A(box, Stencil::make(Pattern::P3d7), 1, Layout::SOA);
+  const Stencil& st = A.stencil();
+  const int center = st.center();
+  for (int k = 0; k < box.nz; ++k) {
+    for (int j = 0; j < box.ny; ++j) {
+      for (int i = 0; i < box.nx; ++i) {
+        const std::int64_t cell = box.idx(i, j, k);
+        double diag = sigma(i, j, k);
+        for (int d = 0; d < st.ndiag(); ++d) {
+          if (d == center) {
+            continue;
+          }
+          const Offset& o = st.offset(d);
+          const int dir = o.dx != 0 ? 0 : (o.dy != 0 ? 1 : 2);
+          const double kc = kappa(i, j, k, dir);
+          double w;
+          if (box.contains(i + o.dx, j + o.dy, k + o.dz)) {
+            const double kn = kappa(i + o.dx, j + o.dy, k + o.dz, dir);
+            w = harmonic_mean(kc, kn);
+            A.at(cell, d) = -w;
+          } else {
+            // Dirichlet ghost with the cell's own diffusivity.
+            w = kc;
+          }
+          diag += w;
+        }
+        A.at(cell, center) = diag;
+      }
+    }
+  }
+  return A;
+}
+
+/// Deterministic right-hand side in [-1, 1] per dof.
+inline avec<double> random_rhs(std::int64_t nrows, std::uint64_t seed) {
+  Rng rng(seed);
+  avec<double> b(static_cast<std::size_t>(nrows));
+  for (auto& v : b) {
+    v = rng.uniform(-1.0, 1.0);
+  }
+  return b;
+}
+
+}  // namespace smg::detail

@@ -1,0 +1,57 @@
+#include "problems/field_util.hpp"
+#include "problems/problem.hpp"
+
+namespace smg {
+
+namespace {
+
+/// HPCG-style 27-point Laplacian: diagonal 26, all 26 neighbors -1,
+/// homogeneous Dirichlet boundary by truncation.  Fully isotropic and
+/// constant-coefficient — the paper's idealized benchmark.
+Problem make_laplace_impl(const Box& box, double scale, std::string name,
+                          std::string dist) {
+  Problem p;
+  p.name = std::move(name);
+  p.real_world = false;
+  p.dist = std::move(dist);
+  p.aniso = "None";
+  p.solver = "cg";
+
+  StructMat<double> A(box, Stencil::make(Pattern::P3d27), 1, Layout::SOA);
+  const Stencil& st = A.stencil();
+  const int center = st.center();
+  for (int k = 0; k < box.nz; ++k) {
+    for (int j = 0; j < box.ny; ++j) {
+      for (int i = 0; i < box.nx; ++i) {
+        const std::int64_t cell = box.idx(i, j, k);
+        A.at(cell, center) = 26.0 * scale;
+        for (int d = 0; d < st.ndiag(); ++d) {
+          if (d == center) {
+            continue;
+          }
+          const Offset& o = st.offset(d);
+          if (box.contains(i + o.dx, j + o.dy, k + o.dz)) {
+            A.at(cell, d) = -1.0 * scale;
+          }
+        }
+      }
+    }
+  }
+  p.A = std::move(A);
+  p.b = detail::random_rhs(p.A.nrows(), 0x1A91ACEull);
+  return p;
+}
+
+}  // namespace
+
+Problem make_laplace27(const Box& box) {
+  return make_laplace_impl(box, 1.0, "laplace27", "None");
+}
+
+Problem make_laplace27e8(const Box& box) {
+  // Multiplying by 1e8 pushes every entry far beyond FP16_MAX = 65504 while
+  // changing nothing about the spectrum: the pure out-of-range ablation.
+  return make_laplace_impl(box, 1e8, "laplace27e8", "Far");
+}
+
+}  // namespace smg

@@ -1,0 +1,178 @@
+// Petroleum-reservoir-style problems (paper's oil / oil-4C, from SPE1/SPE10
+// settings via OpenCAEPoro).
+//
+// Feature targets (Table 3):
+//  * oil    — scalar 3d7, layered lognormal permeability with k_z = 1e-3 k_xy
+//             (high anisotropy), value range *inside* FP16, mildly
+//             nonsymmetric (upwinded well/flux terms) -> GMRES.
+//  * oil-4C — block r=4 (oil, water, gas, dissolved gas): pressure-like
+//             leading component plus weaker component diffusion, asymmetric
+//             inter-component transfer; values near the FP16 boundary.
+#include <algorithm>
+
+#include "problems/field_util.hpp"
+#include "problems/problem.hpp"
+
+namespace smg {
+
+namespace {
+
+/// Layer-wise lognormal horizontal permeability (SPE10 flavor): strong layer
+/// contrast plus cellwise noise, clipped so values stay in FP16 range.
+struct PermField {
+  explicit PermField(std::uint64_t seed, const Box& box) : box_(box) {
+    Rng rng(seed);
+    layer_exp_.resize(static_cast<std::size_t>(box.nz));
+    for (auto& e : layer_exp_) {
+      e = 2.2 * rng.normal();  // layer log10-permeability offset
+    }
+  }
+
+  double kxy(int i, int j, int k) const {
+    std::uint64_t h = static_cast<std::uint64_t>(box_.idx(i, j, k)) ^
+                      0xBEEFCAFEull;
+    const double noise =
+        (static_cast<double>(splitmix64(h) >> 11) * 0x1.0p-53) * 2.0 - 1.0;
+    const double e = layer_exp_[static_cast<std::size_t>(k)] + 0.5 * noise;
+    return std::pow(10.0, std::clamp(e, -3.2, 3.2));
+  }
+
+  Box box_;
+  std::vector<double> layer_exp_;
+};
+
+}  // namespace
+
+Problem make_oil(const Box& box) {
+  Problem p;
+  p.name = "oil";
+  p.real_world = true;
+  p.dist = "None";  // in FP16 range (Table 3: not out-of-range)
+  p.aniso = "High";
+  p.solver = "gmres";
+
+  PermField perm(0x0117EEull, box);
+  constexpr double kVerticalRatio = 1e-3;  // k_z / k_xy
+  auto kappa = [&](int i, int j, int k, int dir) {
+    const double kh = perm.kxy(i, j, k);
+    return dir == 2 ? kVerticalRatio * kh : kh;
+  };
+  auto sigma = [&](int i, int j, int k) {
+    // Compressibility/well term: a handful of well columns get a strong
+    // diagonal contribution.
+    const bool well = ((i == box.nx / 4 || i == 3 * box.nx / 4) &&
+                       (j == box.ny / 4 || j == 3 * box.ny / 4));
+    return well ? 10.0 : 1e-3;
+  };
+  StructMat<double> A = detail::assemble_diffusion_3d7(box, kappa, sigma);
+
+  // Upwind flux asymmetry along x (drive toward producers): scale +x faces
+  // up and -x faces down, breaking symmetry without losing diagonal
+  // dominance.
+  const Stencil& st = A.stencil();
+  const int dxp = st.find(+1, 0, 0);
+  const int dxm = st.find(-1, 0, 0);
+  constexpr double kUpwind = 0.12;
+  for (std::int64_t cell = 0; cell < A.ncells(); ++cell) {
+    A.at(cell, dxp) *= (1.0 + kUpwind);
+    A.at(cell, dxm) *= (1.0 - kUpwind);
+  }
+  p.A = std::move(A);
+  p.b = detail::random_rhs(p.A.nrows(), 0x5BE10ull);
+  return p;
+}
+
+Problem make_oil4c(const Box& box) {
+  Problem p;
+  p.name = "oil4c";
+  p.real_world = true;
+  p.dist = "Near";
+  p.aniso = "High";
+  p.solver = "gmres";
+
+  constexpr int kBs = 4;  // oil, water, gas, dissolved gas
+  StructMat<double> A(box, Stencil::make(Pattern::P3d7), kBs, Layout::SOA);
+  const Stencil& st = A.stencil();
+  const int center = st.center();
+  PermField perm(0x0114Cull, box);
+
+  // Component mobility scales: the pressure-like leading component couples
+  // strongly; saturations/concentrations diffuse weakly.
+  const double mob[kBs] = {1.0, 0.15, 0.4, 0.05};
+  // Near-FP16 magnitude: scale so maxima land around ~1e5 (slightly out of
+  // FP16 range, "Near" in Fig. 1 terms).
+  constexpr double kMag = 60.0;
+  constexpr double kVerticalRatio = 1e-3;
+  constexpr double kUpwind = 0.12;
+
+  for (int k = 0; k < box.nz; ++k) {
+    for (int j = 0; j < box.ny; ++j) {
+      for (int i = 0; i < box.nx; ++i) {
+        const std::int64_t cell = box.idx(i, j, k);
+        double diag[kBs] = {};
+        for (int d = 0; d < st.ndiag(); ++d) {
+          if (d == center) {
+            continue;
+          }
+          const Offset& o = st.offset(d);
+          const bool inside = box.contains(i + o.dx, j + o.dy, k + o.dz);
+          const int dir = o.dx != 0 ? 0 : (o.dy != 0 ? 1 : 2);
+          double face;
+          if (inside) {
+            face = detail::harmonic_mean(
+                perm.kxy(i, j, k), perm.kxy(i + o.dx, j + o.dy, k + o.dz));
+          } else {
+            face = perm.kxy(i, j, k);
+          }
+          if (dir == 2) {
+            face *= kVerticalRatio;
+          }
+          face *= kMag;
+          // Upwind asymmetry along x for all transported components.
+          double bias = 1.0;
+          if (o.dx > 0) {
+            bias = 1.0 + kUpwind;
+          } else if (o.dx < 0) {
+            bias = 1.0 - kUpwind;
+          }
+          for (int f = 0; f < kBs; ++f) {
+            const double w = mob[f] * face * bias;
+            if (inside) {
+              A.at(cell, d, f, f) = -w;
+            }
+            diag[f] += mob[f] * face;  // unbiased sum keeps rows dominant
+          }
+        }
+        // Inter-component transfer (gas dissolving into oil etc.):
+        // asymmetric but diagonally bounded.
+        std::uint64_t h = static_cast<std::uint64_t>(cell) ^ 0xD15501Ull;
+        const double t =
+            0.2 * (static_cast<double>(splitmix64(h) >> 11) * 0x1.0p-53);
+        const double base = kMag * 0.5;
+        const double xfer[kBs][kBs] = {
+            {0.0, 0.1, 0.2, 0.3 + t},
+            {0.05, 0.0, 0.0, 0.0},
+            {0.15, 0.0, 0.0, 0.4 - t},
+            {0.25 + t, 0.0, 0.3, 0.0},
+        };
+        for (int f = 0; f < kBs; ++f) {
+          double offsum = 0.0;
+          for (int g = 0; g < kBs; ++g) {
+            if (f == g) {
+              continue;
+            }
+            const double v = base * xfer[f][g];
+            A.at(cell, center, f, g) = -v;
+            offsum += v;
+          }
+          A.at(cell, center, f, f) = diag[f] + offsum + 1e-3 * kMag;
+        }
+      }
+    }
+  }
+  p.A = std::move(A);
+  p.b = detail::random_rhs(p.A.nrows(), 0x0114C5ull);
+  return p;
+}
+
+}  // namespace smg

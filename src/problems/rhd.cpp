@@ -1,0 +1,124 @@
+// Radiation-hydrodynamics-style diffusion problems (paper's rhd / rhd-3T).
+//
+// Feature targets (Table 3 / Fig. 1 / Fig. 5):
+//  * rhd    — scalar 3d7, coefficient magnitudes spanning ~1e-9..1e9 (far
+//             outside FP16 in both directions), smooth fields so directional
+//             couplings stay balanced (low anisotropy), cond ~1e8.
+//  * rhd-3T — block r=3 (radiation/electron/ion temperatures): each field
+//             diffuses at a wildly different scale and cellwise coupling
+//             terms exchange energy between them, giving the multi-physics
+//             multi-scale structure (high anisotropy, cond ~1e15).
+#include "problems/field_util.hpp"
+#include "problems/problem.hpp"
+
+namespace smg {
+
+Problem make_rhd(const Box& box) {
+  Problem p;
+  p.name = "rhd";
+  p.real_world = true;
+  p.dist = "Far";
+  p.aniso = "Low";
+  p.solver = "cg";
+
+  // kappa = 10^(9 * smooth field): spans 1e-9..1e9.
+  detail::SmoothField field(0x0DDF00Dull, 5, 0.03);
+  auto kappa = [&](int i, int j, int k, int /*dir*/) {
+    const double x = (i + 0.5) / box.nx;
+    const double y = (j + 0.5) / box.ny;
+    const double z = (k + 0.5) / box.nz;
+    const std::uint64_t h = static_cast<std::uint64_t>(box.idx(i, j, k));
+    return std::pow(10.0, 9.0 * field.at(x, y, z, h));
+  };
+  // Weak absorption keeps the operator definite without shrinking the span.
+  auto sigma = [&](int i, int j, int k) {
+    return 1e-4 * kappa(i, j, k, 0);
+  };
+  p.A = detail::assemble_diffusion_3d7(box, kappa, sigma);
+  p.b = detail::random_rhs(p.A.nrows(), 0xAD5EEDull);
+  return p;
+}
+
+Problem make_rhd3t(const Box& box) {
+  Problem p;
+  p.name = "rhd3t";
+  p.real_world = true;
+  p.dist = "Far";
+  p.aniso = "High";
+  p.solver = "cg";
+
+  constexpr int kBs = 3;  // radiation, electron, ion temperatures
+  StructMat<double> A(box, Stencil::make(Pattern::P3d7), kBs, Layout::SOA);
+  const Stencil& st = A.stencil();
+  const int center = st.center();
+
+  // Per-field diffusivity scale: radiation conducts ~9 decades above ions.
+  const double base_exp[kBs] = {6.0, 1.0, -3.0};
+  const double span[kBs] = {3.0, 2.5, 2.0};
+  detail::SmoothField fields[kBs] = {
+      detail::SmoothField(0x3A11, 4, 0.03),
+      detail::SmoothField(0x3A12, 4, 0.03),
+      detail::SmoothField(0x3A13, 4, 0.03),
+  };
+  detail::SmoothField couple_re(0x3A21, 3, 0.05);
+  detail::SmoothField couple_ei(0x3A22, 3, 0.05);
+
+  auto kap = [&](int f, int i, int j, int k) {
+    const double x = (i + 0.5) / box.nx;
+    const double y = (j + 0.5) / box.ny;
+    const double z = (k + 0.5) / box.nz;
+    const std::uint64_t h =
+        static_cast<std::uint64_t>(box.idx(i, j, k)) * 3 + f;
+    return std::pow(10.0, base_exp[f] + span[f] * fields[f].at(x, y, z, h));
+  };
+
+  for (int k = 0; k < box.nz; ++k) {
+    for (int j = 0; j < box.ny; ++j) {
+      for (int i = 0; i < box.nx; ++i) {
+        const std::int64_t cell = box.idx(i, j, k);
+        double diag[kBs] = {0.0, 0.0, 0.0};
+        for (int d = 0; d < st.ndiag(); ++d) {
+          if (d == center) {
+            continue;
+          }
+          const Offset& o = st.offset(d);
+          const bool inside = box.contains(i + o.dx, j + o.dy, k + o.dz);
+          for (int f = 0; f < kBs; ++f) {
+            const double kc = kap(f, i, j, k);
+            double w;
+            if (inside) {
+              const double kn = kap(f, i + o.dx, j + o.dy, k + o.dz);
+              w = detail::harmonic_mean(kc, kn);
+              A.at(cell, d, f, f) = -w;
+            } else {
+              w = kc;
+            }
+            diag[f] += w;
+          }
+        }
+        // Energy-exchange coupling: symmetric PSD 3x3 graph Laplacian over
+        // the (r,e,i) chain with cellwise rates spanning several decades.
+        const double x = (i + 0.5) / box.nx;
+        const double y = (j + 0.5) / box.ny;
+        const double z = (k + 0.5) / box.nz;
+        const std::uint64_t h = static_cast<std::uint64_t>(cell);
+        const double w_re = std::pow(10.0, 2.0 + 3.0 * couple_re.at(x, y, z, h));
+        const double w_ei =
+            std::pow(10.0, 0.0 + 3.0 * couple_ei.at(x, y, z, h ^ 0x9E37ull));
+        A.at(cell, center, 0, 0) = diag[0] + w_re + 1e-4 * kap(0, i, j, k);
+        A.at(cell, center, 1, 1) =
+            diag[1] + w_re + w_ei + 1e-4 * kap(1, i, j, k);
+        A.at(cell, center, 2, 2) = diag[2] + w_ei + 1e-4 * kap(2, i, j, k);
+        A.at(cell, center, 0, 1) = -w_re;
+        A.at(cell, center, 1, 0) = -w_re;
+        A.at(cell, center, 1, 2) = -w_ei;
+        A.at(cell, center, 2, 1) = -w_ei;
+      }
+    }
+  }
+  p.A = std::move(A);
+  p.b = detail::random_rhs(p.A.nrows(), 0x37E3Full);
+  return p;
+}
+
+}  // namespace smg

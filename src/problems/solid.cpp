@@ -1,0 +1,92 @@
+// Linear-elasticity problem (paper's solid-3D: weak form of elastostatics,
+// three displacement components per element, 3d15 pattern).
+//
+// Feature targets (Table 3): block r=3, 3d15 (faces + corners), coefficient
+// magnitudes set by steel-like Lame parameters (~1e10..1e11, far above
+// FP16_MAX), homogeneous coefficients -> low anisotropy, SPD -> CG.
+//
+// Construction: a vector graph Laplacian with PSD edge-weight blocks
+//   W(n) = mu * I + (lambda + mu) * n n^T
+// for each stencil direction n (normalized), face edges weighted 1 and
+// corner edges 1/4 — the algebraic skeleton of a trilinear FEM elasticity
+// stiffness matrix.  Dirichlet truncation at the boundary keeps it PD.
+#include <cmath>
+
+#include "problems/field_util.hpp"
+#include "problems/problem.hpp"
+
+namespace smg {
+
+Problem make_solid3d(const Box& box) {
+  Problem p;
+  p.name = "solid3d";
+  p.real_world = false;  // generated, like the paper's own solid-3D cases
+  p.dist = "Far";
+  p.aniso = "Low";
+  p.solver = "cg";
+
+  constexpr int kBs = 3;
+  // Steel: E = 2.0e11 Pa, nu = 0.3.
+  constexpr double kE = 2.0e11;
+  constexpr double kNu = 0.3;
+  const double lambda = kE * kNu / ((1.0 + kNu) * (1.0 - 2.0 * kNu));
+  const double mu = kE / (2.0 * (1.0 + kNu));
+
+  StructMat<double> A(box, Stencil::make(Pattern::P3d15), kBs, Layout::SOA);
+  const Stencil& st = A.stencil();
+  const int center = st.center();
+
+  // Precompute the edge-weight block for every non-center offset.
+  double W[16][kBs][kBs];
+  for (int d = 0; d < st.ndiag(); ++d) {
+    if (d == center) {
+      continue;
+    }
+    const Offset& o = st.offset(d);
+    const double len = std::sqrt(static_cast<double>(
+        o.dx * o.dx + o.dy * o.dy + o.dz * o.dz));
+    const double n[kBs] = {o.dx / len, o.dy / len, o.dz / len};
+    const double wgt = (len > 1.5) ? 0.25 : 1.0;  // corners vs faces
+    for (int r = 0; r < kBs; ++r) {
+      for (int c = 0; c < kBs; ++c) {
+        W[d][r][c] =
+            wgt * (mu * (r == c ? 1.0 : 0.0) + (lambda + mu) * n[r] * n[c]);
+      }
+    }
+  }
+
+  for (int k = 0; k < box.nz; ++k) {
+    for (int j = 0; j < box.ny; ++j) {
+      for (int i = 0; i < box.nx; ++i) {
+        const std::int64_t cell = box.idx(i, j, k);
+        double diag[kBs][kBs] = {};
+        for (int d = 0; d < st.ndiag(); ++d) {
+          if (d == center) {
+            continue;
+          }
+          const Offset& o = st.offset(d);
+          const bool inside = box.contains(i + o.dx, j + o.dy, k + o.dz);
+          for (int r = 0; r < kBs; ++r) {
+            for (int c = 0; c < kBs; ++c) {
+              if (inside) {
+                A.at(cell, d, r, c) = -W[d][r][c];
+              }
+              diag[r][c] += W[d][r][c];  // full sum (Dirichlet truncation)
+            }
+          }
+        }
+        for (int r = 0; r < kBs; ++r) {
+          for (int c = 0; c < kBs; ++c) {
+            A.at(cell, center, r, c) =
+                diag[r][c] + (r == c ? 1e-5 * mu : 0.0);
+          }
+        }
+      }
+    }
+  }
+  p.A = std::move(A);
+  p.b = detail::random_rhs(p.A.nrows(), 0x5011D3Dull);
+  return p;
+}
+
+}  // namespace smg

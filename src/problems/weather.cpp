@@ -1,0 +1,97 @@
+// Atmospheric-dynamics-style Helmholtz problem (paper's weather case, from
+// the GRAPES-MESO dynamic core).
+//
+// Feature targets (Table 3): scalar 3d19 pattern, values *near* the FP16
+// upper bound, high anisotropy from (a) the huge horizontal-to-vertical grid
+// aspect ratio of an atmosphere, (b) latitude-dependent metric factors that
+// blow up toward the poles, and (c) irregular topography modulating the
+// lowest model levels.  Mildly nonsymmetric (advection) -> GMRES.
+#include <algorithm>
+
+#include "problems/field_util.hpp"
+#include "problems/problem.hpp"
+
+namespace smg {
+
+Problem make_weather(const Box& box) {
+  Problem p;
+  p.name = "weather";
+  p.real_world = true;
+  p.dist = "Near";
+  p.aniso = "High";
+  p.solver = "gmres";
+
+  StructMat<double> A(box, Stencil::make(Pattern::P3d19), 1, Layout::SOA);
+  const Stencil& st = A.stencil();
+  const int center = st.center();
+
+  detail::SmoothField topo(0x7EA7Full, 4, 0.1);
+
+  // Latitude spans +/-80 degrees over the y index; the metric factor
+  // 1/cos^2(phi) stretches zonal couplings toward the poles.
+  auto lat_factor = [&](int j) {
+    const double phi = (static_cast<double>(j) / (box.ny - 1) - 0.5) *
+                       (160.0 / 180.0) * std::numbers::pi;
+    const double c = std::max(std::cos(phi), 0.17);
+    return 1.0 / (c * c);
+  };
+  // Vertical coupling ~ (dx/dz)^2: atmospheres are ~1000x wider than tall.
+  constexpr double kAspect2 = 2.0e4;
+  // Global magnitude scale placing the maxima just above FP16_MAX ("Near").
+  constexpr double kMag = 6.0;
+  constexpr double kAdvect = 0.08;  // zonal wind upwind asymmetry
+
+  auto terrain = [&](int i, int j, int k) {
+    // Topography strengthens near-surface couplings (k small).
+    const double x = (i + 0.5) / box.nx;
+    const double y = (j + 0.5) / box.ny;
+    const double h =
+        0.5 * (1.0 + topo.at(x, y, 0.0,
+                             static_cast<std::uint64_t>(box.idx(i, j, 0))));
+    const double depth = 1.0 - static_cast<double>(k) / box.nz;
+    return 1.0 + 4.0 * h * depth * depth;
+  };
+
+  for (int k = 0; k < box.nz; ++k) {
+    for (int j = 0; j < box.ny; ++j) {
+      for (int i = 0; i < box.nx; ++i) {
+        const std::int64_t cell = box.idx(i, j, k);
+        double diag = 0.0;
+        for (int d = 0; d < st.ndiag(); ++d) {
+          if (d == center) {
+            continue;
+          }
+          const Offset& o = st.offset(d);
+          double w = kMag * terrain(i, j, k);
+          if (o.dz != 0 && o.dx == 0 && o.dy == 0) {
+            w *= kAspect2;  // pure vertical face
+          } else if (o.dz != 0) {
+            w *= 0.25 * std::sqrt(kAspect2);  // vertical-horizontal edge
+          } else if (o.dx != 0 && o.dy != 0) {
+            w *= 0.5 * lat_factor(j);  // horizontal edge term
+          } else if (o.dx != 0) {
+            w *= lat_factor(j);  // zonal face
+          }
+          // else: meridional face keeps the base weight.
+          double bias = 1.0;
+          if (o.dx > 0) {
+            bias = 1.0 + kAdvect;
+          } else if (o.dx < 0) {
+            bias = 1.0 - kAdvect;
+          }
+          if (box.contains(i + o.dx, j + o.dy, k + o.dz)) {
+            A.at(cell, d) = -w * bias;
+          }
+          diag += w;  // full sum: Dirichlet truncation keeps dominance
+        }
+        // Helmholtz shift (acoustic/implicit time step term).
+        A.at(cell, center) = diag + 0.05 * kMag;
+      }
+    }
+  }
+  p.A = std::move(A);
+  p.b = detail::random_rhs(p.A.nrows(), 0x6EA7E5ull);
+  return p;
+}
+
+}  // namespace smg

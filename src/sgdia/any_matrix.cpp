@@ -1,0 +1,59 @@
+#include "sgdia/any_matrix.hpp"
+
+namespace smg {
+
+AnyMat AnyMat::from(const StructMat<double>& src, Prec p, Layout layout,
+                    TruncateReport* report) {
+  switch (p) {
+    case Prec::FP64:
+      return AnyMat(convert<double>(src, layout, report));
+    case Prec::FP32:
+      return AnyMat(convert<float>(src, layout, report));
+    case Prec::FP16:
+      return AnyMat(convert<half>(src, layout, report));
+    case Prec::BF16:
+      return AnyMat(convert<bfloat16>(src, layout, report));
+  }
+  SMG_CHECK(false, "unknown precision");
+}
+
+Prec AnyMat::precision() const noexcept {
+  return visit([](const auto& m) {
+    using T = typename std::decay_t<decltype(m)>;
+    return prec_of_v<typename T::value_type>;
+  });
+}
+
+Layout AnyMat::layout() const noexcept {
+  return visit([](const auto& m) { return m.layout(); });
+}
+
+const Box& AnyMat::box() const noexcept {
+  return visit([](const auto& m) -> const Box& { return m.box(); });
+}
+
+const Stencil& AnyMat::stencil() const noexcept {
+  return visit([](const auto& m) -> const Stencil& { return m.stencil(); });
+}
+
+int AnyMat::block_size() const noexcept {
+  return visit([](const auto& m) { return m.block_size(); });
+}
+
+std::int64_t AnyMat::ncells() const noexcept {
+  return visit([](const auto& m) { return m.ncells(); });
+}
+
+std::int64_t AnyMat::nrows() const noexcept {
+  return visit([](const auto& m) { return m.nrows(); });
+}
+
+std::size_t AnyMat::value_bytes() const noexcept {
+  return visit([](const auto& m) { return m.value_bytes(); });
+}
+
+std::int64_t AnyMat::nnz_logical() const noexcept {
+  return visit([](const auto& m) { return m.nnz_logical(); });
+}
+
+}  // namespace smg

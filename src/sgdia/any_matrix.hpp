@@ -1,0 +1,53 @@
+// Type-erased SG-DIA matrix over the four supported storage precisions.
+//
+// The multigrid hierarchy decides storage precision per level at runtime
+// (PrecisionConfig + shift_levid, §4.3); AnyMat lets a Level own "a matrix in
+// whatever precision setup chose" while kernels stay statically typed via
+// std::visit dispatch.
+#pragma once
+
+#include <variant>
+
+#include "sgdia/struct_matrix.hpp"
+
+namespace smg {
+
+class AnyMat {
+ public:
+  using Variant = std::variant<StructMat<double>, StructMat<float>,
+                               StructMat<half>, StructMat<bfloat16>>;
+
+  AnyMat() : m_(StructMat<double>{}) {}
+
+  template <class T>
+  explicit AnyMat(StructMat<T> m) : m_(std::move(m)) {}
+
+  /// Truncate `src` into the requested precision and layout.
+  static AnyMat from(const StructMat<double>& src, Prec p, Layout layout,
+                     TruncateReport* report = nullptr);
+
+  Prec precision() const noexcept;
+  Layout layout() const noexcept;
+  const Box& box() const noexcept;
+  const Stencil& stencil() const noexcept;
+  int block_size() const noexcept;
+  std::int64_t ncells() const noexcept;
+  std::int64_t nrows() const noexcept;
+  std::size_t value_bytes() const noexcept;
+  std::int64_t nnz_logical() const noexcept;
+
+  template <class F>
+  decltype(auto) visit(F&& f) const {
+    return std::visit(std::forward<F>(f), m_);
+  }
+
+  template <class T>
+  const StructMat<T>* get_if() const noexcept {
+    return std::get_if<StructMat<T>>(&m_);
+  }
+
+ private:
+  Variant m_;
+};
+
+}  // namespace smg

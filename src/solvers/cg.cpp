@@ -1,0 +1,96 @@
+#include "solvers/cg.hpp"
+
+#include <cmath>
+
+#include "kernels/blas1.hpp"
+#include "util/aligned.hpp"
+#include "util/timer.hpp"
+
+namespace smg {
+
+template <class KT>
+SolveResult pcg(const LinOp<KT>& A, std::span<const KT> b, std::span<KT> x,
+                PrecondBase<KT>& M, const SolveOptions& opts) {
+  SolveResult res;
+  Timer timer;
+  M.reset_timing();
+
+  const std::size_t n = b.size();
+  avec<KT> r(n), z(n), p(n), ap(n);
+  std::span<KT> rs{r.data(), n}, zs{z.data(), n}, ps{p.data(), n},
+      aps{ap.data(), n};
+
+  // r = b - A x
+  A(x, aps);
+  for (std::size_t i = 0; i < n; ++i) {
+    r[i] = b[i] - ap[i];
+  }
+
+  const double bnorm = nrm2<KT>(b);
+  const double target = opts.rtol * (bnorm > 0.0 ? bnorm : 1.0);
+  double rnorm = nrm2<KT>(rs);
+  if (opts.record_history) {
+    res.history.push_back(rnorm / (bnorm > 0.0 ? bnorm : 1.0));
+  }
+
+  M.apply(rs, zs);
+  for (std::size_t i = 0; i < n; ++i) {
+    p[i] = z[i];
+  }
+  double rz = dot<KT>(rs, zs);
+
+  for (int it = 0; it < opts.max_iters; ++it) {
+    if (!std::isfinite(rnorm) || !std::isfinite(rz)) {
+      res.breakdown = true;
+      break;
+    }
+    if (rnorm < target) {
+      res.converged = true;
+      break;
+    }
+    A(ps, aps);
+    const double pap = dot<KT>(std::span<const KT>{p.data(), n},
+                               std::span<const KT>{ap.data(), n});
+    if (pap == 0.0 || !std::isfinite(pap)) {
+      res.breakdown = !std::isfinite(pap);
+      break;
+    }
+    const double alpha = rz / pap;
+    axpy<KT>(static_cast<KT>(alpha), std::span<const KT>{p.data(), n}, x);
+    axpy<KT>(static_cast<KT>(-alpha), std::span<const KT>{ap.data(), n}, rs);
+
+    rnorm = nrm2<KT>(rs);
+    ++res.iters;
+    if (opts.record_history) {
+      res.history.push_back(rnorm / (bnorm > 0.0 ? bnorm : 1.0));
+    }
+    if (rnorm < target) {
+      res.converged = true;
+      break;
+    }
+
+    M.apply(rs, zs);
+    const double rz_new = dot<KT>(std::span<const KT>{r.data(), n},
+                                  std::span<const KT>{z.data(), n});
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    xpay<KT>(std::span<const KT>{z.data(), n}, static_cast<KT>(beta), ps);
+  }
+
+  res.final_relres = rnorm / (bnorm > 0.0 ? bnorm : 1.0);
+  if (!std::isfinite(res.final_relres)) {
+    res.breakdown = true;
+  }
+  res.solve_seconds = timer.seconds();
+  res.precond_seconds = M.apply_seconds();
+  return res;
+}
+
+template SolveResult pcg<double>(const LinOp<double>&, std::span<const double>,
+                                 std::span<double>, PrecondBase<double>&,
+                                 const SolveOptions&);
+template SolveResult pcg<float>(const LinOp<float>&, std::span<const float>,
+                                std::span<float>, PrecondBase<float>&,
+                                const SolveOptions&);
+
+}  // namespace smg

@@ -1,0 +1,176 @@
+#include "solvers/gmres.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "kernels/blas1.hpp"
+#include "util/aligned.hpp"
+#include "util/timer.hpp"
+
+namespace smg {
+
+template <class KT>
+SolveResult pgmres(const LinOp<KT>& A, std::span<const KT> b, std::span<KT> x,
+                   PrecondBase<KT>& M, const SolveOptions& opts) {
+  SolveResult res;
+  Timer timer;
+  M.reset_timing();
+
+  const std::size_t n = b.size();
+  const int m = opts.restart;
+
+  std::vector<avec<KT>> V(static_cast<std::size_t>(m) + 1);
+  for (auto& v : V) {
+    v.assign(n, KT{0});
+  }
+  avec<KT> w(n), z(n);
+  // Hessenberg in column-major: H[(j)*(m+1) + i].
+  std::vector<double> H(static_cast<std::size_t>(m + 1) * m, 0.0);
+  std::vector<double> cs(static_cast<std::size_t>(m), 0.0);
+  std::vector<double> sn(static_cast<std::size_t>(m), 0.0);
+  std::vector<double> g(static_cast<std::size_t>(m) + 1, 0.0);
+
+  const double bnorm = nrm2<KT>(b);
+  const double scale = bnorm > 0.0 ? bnorm : 1.0;
+  const double target = opts.rtol * scale;
+
+  // Initial residual into V[0].
+  A(x, {w.data(), n});
+  for (std::size_t i = 0; i < n; ++i) {
+    V[0][i] = b[i] - w[i];
+  }
+  double beta = nrm2<KT>(std::span<const KT>{V[0].data(), n});
+  if (opts.record_history) {
+    res.history.push_back(beta / scale);
+  }
+
+  while (res.iters < opts.max_iters && beta >= target) {
+    if (!std::isfinite(beta)) {
+      res.breakdown = true;
+      break;
+    }
+    // Start (or restart) an Arnoldi cycle.
+    scal<KT>(static_cast<KT>(1.0 / beta), {V[0].data(), n});
+    std::fill(g.begin(), g.end(), 0.0);
+    g[0] = beta;
+
+    int j = 0;
+    bool stop = false;
+    for (; j < m && res.iters < opts.max_iters && !stop; ++j) {
+      // w = A M^{-1} v_j
+      M.apply({V[static_cast<std::size_t>(j)].data(), n}, {z.data(), n});
+      A({z.data(), n}, {w.data(), n});
+
+      // Modified Gram-Schmidt.
+      for (int i = 0; i <= j; ++i) {
+        const double h =
+            dot<KT>(std::span<const KT>{w.data(), n},
+                    std::span<const KT>{V[static_cast<std::size_t>(i)].data(),
+                                        n});
+        H[static_cast<std::size_t>(j) * (m + 1) + i] = h;
+        axpy<KT>(static_cast<KT>(-h),
+                 std::span<const KT>{V[static_cast<std::size_t>(i)].data(), n},
+                 std::span<KT>{w.data(), n});
+      }
+      const double hlast = nrm2<KT>(std::span<const KT>{w.data(), n});
+      H[static_cast<std::size_t>(j) * (m + 1) + j + 1] = hlast;
+      if (!std::isfinite(hlast)) {
+        res.breakdown = true;
+        stop = true;
+        break;
+      }
+      if (hlast > 0.0) {
+        for (std::size_t i = 0; i < n; ++i) {
+          V[static_cast<std::size_t>(j) + 1][i] =
+              static_cast<KT>(static_cast<double>(w[i]) / hlast);
+        }
+      }
+
+      // Apply the accumulated Givens rotations to the new column.
+      double* col = H.data() + static_cast<std::size_t>(j) * (m + 1);
+      for (int i = 0; i < j; ++i) {
+        const double t = cs[static_cast<std::size_t>(i)] * col[i] +
+                         sn[static_cast<std::size_t>(i)] * col[i + 1];
+        col[i + 1] = -sn[static_cast<std::size_t>(i)] * col[i] +
+                     cs[static_cast<std::size_t>(i)] * col[i + 1];
+        col[i] = t;
+      }
+      // New rotation to zero col[j+1].
+      const double denom = std::hypot(col[j], col[j + 1]);
+      if (denom == 0.0) {
+        cs[static_cast<std::size_t>(j)] = 1.0;
+        sn[static_cast<std::size_t>(j)] = 0.0;
+      } else {
+        cs[static_cast<std::size_t>(j)] = col[j] / denom;
+        sn[static_cast<std::size_t>(j)] = col[j + 1] / denom;
+      }
+      col[j] = denom;
+      col[j + 1] = 0.0;
+      const double gj = g[static_cast<std::size_t>(j)];
+      g[static_cast<std::size_t>(j)] = cs[static_cast<std::size_t>(j)] * gj;
+      g[static_cast<std::size_t>(j) + 1] =
+          -sn[static_cast<std::size_t>(j)] * gj;
+
+      beta = std::abs(g[static_cast<std::size_t>(j) + 1]);
+      ++res.iters;
+      if (opts.record_history) {
+        res.history.push_back(beta / scale);
+      }
+      if (beta < target || hlast == 0.0) {
+        stop = true;
+        ++j;  // include this column in the solution update
+        break;
+      }
+    }
+
+    // Solve the j x j triangular system and update x += M^{-1} (V y).
+    std::vector<double> y(static_cast<std::size_t>(j), 0.0);
+    for (int i = j - 1; i >= 0; --i) {
+      double acc = g[static_cast<std::size_t>(i)];
+      for (int kk = i + 1; kk < j; ++kk) {
+        acc -= H[static_cast<std::size_t>(kk) * (m + 1) + i] *
+               y[static_cast<std::size_t>(kk)];
+      }
+      const double hii = H[static_cast<std::size_t>(i) * (m + 1) + i];
+      y[static_cast<std::size_t>(i)] = hii != 0.0 ? acc / hii : 0.0;
+    }
+    set_zero(std::span<KT>{w.data(), n});
+    for (int i = 0; i < j; ++i) {
+      axpy<KT>(static_cast<KT>(y[static_cast<std::size_t>(i)]),
+               std::span<const KT>{V[static_cast<std::size_t>(i)].data(), n},
+               std::span<KT>{w.data(), n});
+    }
+    M.apply({w.data(), n}, {z.data(), n});
+    axpy<KT>(KT{1}, std::span<const KT>{z.data(), n}, x);
+
+    if (res.breakdown) {
+      break;
+    }
+
+    // True residual for the next cycle (and final report).
+    A(x, {w.data(), n});
+    for (std::size_t i = 0; i < n; ++i) {
+      V[0][i] = b[i] - w[i];
+    }
+    beta = nrm2<KT>(std::span<const KT>{V[0].data(), n});
+  }
+
+  res.converged = std::isfinite(beta) && beta < target;
+  res.final_relres = beta / scale;
+  if (!std::isfinite(res.final_relres)) {
+    res.breakdown = true;
+  }
+  res.solve_seconds = timer.seconds();
+  res.precond_seconds = M.apply_seconds();
+  return res;
+}
+
+template SolveResult pgmres<double>(const LinOp<double>&,
+                                    std::span<const double>,
+                                    std::span<double>, PrecondBase<double>&,
+                                    const SolveOptions&);
+template SolveResult pgmres<float>(const LinOp<float>&,
+                                   std::span<const float>, std::span<float>,
+                                   PrecondBase<float>&, const SolveOptions&);
+
+}  // namespace smg

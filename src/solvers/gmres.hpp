@@ -1,0 +1,31 @@
+// Right-preconditioned restarted GMRES(m) in iterative precision KT.
+//
+// Right preconditioning keeps the Arnoldi residual equal to the true
+// residual of A x = b, so the recorded descent curves (Fig. 6) are directly
+// comparable across preconditioner precisions.
+#pragma once
+
+#include <span>
+
+#include "solvers/precond.hpp"
+#include "solvers/solver_types.hpp"
+
+namespace smg {
+
+/// Solve A x = b with GMRES(opts.restart).  x holds the initial guess.
+template <class KT>
+SolveResult pgmres(const LinOp<KT>& A, std::span<const KT> b, std::span<KT> x,
+                   PrecondBase<KT>& M, const SolveOptions& opts = {});
+
+extern template SolveResult pgmres<double>(const LinOp<double>&,
+                                           std::span<const double>,
+                                           std::span<double>,
+                                           PrecondBase<double>&,
+                                           const SolveOptions&);
+extern template SolveResult pgmres<float>(const LinOp<float>&,
+                                          std::span<const float>,
+                                          std::span<float>,
+                                          PrecondBase<float>&,
+                                          const SolveOptions&);
+
+}  // namespace smg

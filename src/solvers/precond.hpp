@@ -1,0 +1,40 @@
+// Preconditioner interface seen by the iterative (Krylov) solvers.
+//
+// KT is the iterative precision (Alg. 2's red).  The preconditioner
+// internally runs at its own compute/storage precision; the interface is a
+// plain residual -> error-correction map.
+#pragma once
+
+#include <span>
+
+#include "util/common.hpp"
+
+namespace smg {
+
+template <class KT>
+class PrecondBase {
+ public:
+  virtual ~PrecondBase() = default;
+
+  /// e = M^{-1} r.
+  virtual void apply(std::span<const KT> r, std::span<KT> e) = 0;
+
+  /// Cumulative seconds spent inside apply() (preconditioner phase timing
+  /// for the Fig. 8/9 breakdown).
+  virtual double apply_seconds() const { return 0.0; }
+  virtual void reset_timing() {}
+};
+
+/// No preconditioning: e = r.
+template <class KT>
+class IdentityPrecond final : public PrecondBase<KT> {
+ public:
+  void apply(std::span<const KT> r, std::span<KT> e) override {
+    SMG_CHECK(r.size() == e.size(), "identity precond size mismatch");
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      e[i] = r[i];
+    }
+  }
+};
+
+}  // namespace smg

@@ -1,0 +1,28 @@
+// Stationary (Richardson) iteration — Alg. 2 of the paper verbatim:
+//   r = b - A x;  e = M(r);  x += e.
+#pragma once
+
+#include <span>
+
+#include "solvers/precond.hpp"
+#include "solvers/solver_types.hpp"
+
+namespace smg {
+
+template <class KT>
+SolveResult richardson(const LinOp<KT>& A, std::span<const KT> b,
+                       std::span<KT> x, PrecondBase<KT>& M,
+                       const SolveOptions& opts = {});
+
+extern template SolveResult richardson<double>(const LinOp<double>&,
+                                               std::span<const double>,
+                                               std::span<double>,
+                                               PrecondBase<double>&,
+                                               const SolveOptions&);
+extern template SolveResult richardson<float>(const LinOp<float>&,
+                                              std::span<const float>,
+                                              std::span<float>,
+                                              PrecondBase<float>&,
+                                              const SolveOptions&);
+
+}  // namespace smg

@@ -1,0 +1,40 @@
+// Shared solver types: operator abstraction, options, results.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace smg {
+
+/// y = A x in iterative precision KT.
+template <class KT>
+using LinOp = std::function<void(std::span<const KT>, std::span<KT>)>;
+
+struct SolveOptions {
+  int max_iters = 500;
+  double rtol = 1e-10;       ///< convergence: ||r||_2 / ||b||_2 < rtol
+  bool record_history = true;
+  int restart = 30;          ///< GMRES restart length m
+};
+
+struct SolveResult {
+  bool converged = false;
+  bool breakdown = false;    ///< NaN/inf encountered (e.g. FP16 overflow)
+  int iters = 0;
+  double final_relres = 0.0;
+  std::vector<double> history;  ///< relative residual norm per iteration
+  double solve_seconds = 0.0;
+  double precond_seconds = 0.0;
+
+  std::string status() const {
+    if (breakdown) {
+      return "breakdown(NaN)";
+    }
+    return converged ? "converged" : "max-iters";
+  }
+};
+
+}  // namespace smg

@@ -1,0 +1,48 @@
+// 64-byte aligned vector for SIMD kernels.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace smg {
+
+/// Minimal allocator giving cache-line (and AVX) alignment.
+template <class T, std::size_t Align = 64>
+struct AlignedAllocator {
+  using value_type = T;
+
+  // The non-type Align parameter defeats allocator_traits' automatic rebind
+  // deduction; spell it out.
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  AlignedAllocator() = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    if (n == 0) {
+      return nullptr;
+    }
+    void* p = ::operator new(n * sizeof(T), std::align_val_t{Align});
+    return static_cast<T*>(p);
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Align});
+  }
+
+  template <class U>
+  bool operator==(const AlignedAllocator<U, Align>&) const noexcept {
+    return true;
+  }
+};
+
+template <class T>
+using avec = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace smg

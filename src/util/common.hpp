@@ -1,0 +1,28 @@
+// Shared small utilities: assertions and restrict qualifier.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#if defined(__GNUC__) || defined(__clang__)
+#define SMG_RESTRICT __restrict__
+#else
+#define SMG_RESTRICT
+#endif
+
+namespace smg {
+
+[[noreturn]] inline void fail(const char* msg, const char* file, int line) {
+  std::fprintf(stderr, "smg fatal: %s (%s:%d)\n", msg, file, line);
+  std::abort();
+}
+
+}  // namespace smg
+
+/// Always-on invariant check (solver correctness beats branch cost here).
+#define SMG_CHECK(cond, msg)                  \
+  do {                                        \
+    if (!(cond)) {                            \
+      ::smg::fail(msg, __FILE__, __LINE__);   \
+    }                                         \
+  } while (0)

@@ -1,0 +1,80 @@
+// Deterministic RNG for problem generators.
+//
+// Problem matrices must be bit-reproducible across runs so that convergence
+// curves (Fig. 6) and tables are stable; std::mt19937 distributions are not
+// guaranteed identical across standard libraries, so we implement
+// splitmix64/xoshiro256** and our own uniform/normal transforms.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+namespace smg {
+
+/// splitmix64: used to seed xoshiro and as a cheap hash.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** by Blackman & Vigna; deterministic and fast.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5EEDDA7Aull) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) {
+      word = splitmix64(sm);
+    }
+  }
+
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Standard normal via Box-Muller (deterministic, no cached spare).
+  double normal() noexcept {
+    double u1 = uniform();
+    while (u1 <= 1e-300) {
+      u1 = uniform();
+    }
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  /// Lognormal with the given log-mean and log-std.
+  double lognormal(double mu, double sigma) noexcept {
+    return std::exp(mu + sigma * normal());
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace smg

@@ -1,0 +1,68 @@
+// Small statistics helpers used by benchmarks and problem metadata.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <vector>
+
+namespace smg {
+
+inline double geomean(std::span<const double> xs) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  double acc = 0.0;
+  for (double x : xs) {
+    acc += std::log(x);
+  }
+  return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+inline double mean(std::span<const double> xs) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  double acc = 0.0;
+  for (double x : xs) {
+    acc += x;
+  }
+  return acc / static_cast<double>(xs.size());
+}
+
+inline double minimum(std::span<const double> xs) {
+  return xs.empty() ? 0.0 : *std::min_element(xs.begin(), xs.end());
+}
+
+inline double maximum(std::span<const double> xs) {
+  return xs.empty() ? 0.0 : *std::max_element(xs.begin(), xs.end());
+}
+
+/// p in [0,100]; linear interpolation between order statistics.
+inline double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  std::sort(xs.begin(), xs.end());
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+/// Fraction of values <= threshold (for cumulative-frequency curves, Fig. 3).
+inline double cumulative_at(std::span<const double> xs, double threshold) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  std::size_t count = 0;
+  for (double x : xs) {
+    if (x <= threshold) {
+      ++count;
+    }
+  }
+  return static_cast<double>(count) / static_cast<double>(xs.size());
+}
+
+}  // namespace smg

@@ -1,0 +1,69 @@
+// Fixed-width ASCII table printer so benches emit paper-like rows.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace smg {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  Table& row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+    }
+    for (const auto& r : rows_) {
+      for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], r[c].size());
+      }
+    }
+    print_row(os, headers_, widths);
+    std::size_t total = 0;
+    for (auto w : widths) {
+      total += w + 3;
+    }
+    os << std::string(total, '-') << "\n";
+    for (const auto& r : rows_) {
+      print_row(os, r, widths);
+    }
+  }
+
+  static std::string fmt(double v, int prec = 3) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+  }
+
+  static std::string sci(double v, int prec = 2) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*e", prec, v);
+    return buf;
+  }
+
+ private:
+  static void print_row(std::ostream& os, const std::vector<std::string>& r,
+                        const std::vector<std::size_t>& widths) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < r.size() ? r[c] : std::string{};
+      os << cell << std::string(widths[c] - cell.size() + 3, ' ');
+    }
+    os << "\n";
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace smg

@@ -1,0 +1,37 @@
+// Wall-clock timing helpers for kernels and solver phases.
+#pragma once
+
+#include <chrono>
+
+namespace smg {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates time over repeated start/stop windows (phase timing).
+class PhaseTimer {
+ public:
+  void start() { t_.reset(); }
+  void stop() { total_ += t_.seconds(); }
+  double total() const { return total_; }
+  void clear() { total_ = 0.0; }
+
+ private:
+  Timer t_;
+  double total_ = 0.0;
+};
+
+}  // namespace smg

@@ -1,0 +1,109 @@
+// Dense LU coarse solver tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/dense_lu.hpp"
+#include "kernels/spmv.hpp"
+#include "util/rng.hpp"
+
+namespace smg {
+namespace {
+
+TEST(DenseLU, SolvesSmallExplicitSystem) {
+  // A = [[2,1],[1,3]], b = [3,5] -> x = [4/5, 7/5].
+  avec<double> a = {2, 1, 1, 3};
+  DenseLU lu(2, std::move(a));
+  avec<double> b = {3, 5}, x(2);
+  lu.solve<double>({b.data(), 2}, {x.data(), 2});
+  EXPECT_NEAR(x[0], 0.8, 1e-14);
+  EXPECT_NEAR(x[1], 1.4, 1e-14);
+}
+
+TEST(DenseLU, PivotingHandlesZeroLeadingEntry) {
+  avec<double> a = {0, 1, 1, 0};  // permutation matrix
+  DenseLU lu(2, std::move(a));
+  avec<double> b = {7, 9}, x(2);
+  lu.solve<double>({b.data(), 2}, {x.data(), 2});
+  EXPECT_NEAR(x[0], 9.0, 1e-14);
+  EXPECT_NEAR(x[1], 7.0, 1e-14);
+  EXPECT_GT(lu.min_pivot(), 0.5);
+}
+
+TEST(DenseLU, RandomSystemResidualIsTiny) {
+  const std::int64_t n = 50;
+  Rng rng(123);
+  avec<double> a(static_cast<std::size_t>(n * n));
+  for (auto& v : a) {
+    v = rng.uniform(-1.0, 1.0);
+  }
+  for (std::int64_t i = 0; i < n; ++i) {
+    a[static_cast<std::size_t>(i * n + i)] += 10.0;  // keep well-conditioned
+  }
+  const avec<double> acopy = a;
+  DenseLU lu(n, std::move(a));
+  avec<double> b(static_cast<std::size_t>(n)), x(static_cast<std::size_t>(n));
+  for (auto& v : b) {
+    v = rng.uniform(-1.0, 1.0);
+  }
+  lu.solve<double>({b.data(), b.size()}, {x.data(), x.size()});
+  for (std::int64_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::int64_t j = 0; j < n; ++j) {
+      acc += acopy[static_cast<std::size_t>(i * n + j)]
+             * x[static_cast<std::size_t>(j)];
+    }
+    EXPECT_NEAR(acc, b[static_cast<std::size_t>(i)], 1e-11);
+  }
+}
+
+TEST(DenseLU, FactorsStructuredMatrix) {
+  const Box box{4, 3, 3};
+  StructMat<double> A(box, Stencil::make(Pattern::P3d7), 2, Layout::SOA);
+  Rng rng(7);
+  const int center = A.stencil().center();
+  for (std::int64_t cell = 0; cell < A.ncells(); ++cell) {
+    for (int d = 0; d < A.ndiag(); ++d) {
+      for (int br = 0; br < 2; ++br) {
+        for (int bc = 0; bc < 2; ++bc) {
+          A.at(cell, d, br, bc) = (d == center && br == bc)
+                                      ? 20.0
+                                      : rng.uniform(-1.0, 1.0);
+        }
+      }
+    }
+  }
+  A.clear_out_of_box();
+
+  DenseLU lu(A);
+  EXPECT_EQ(lu.size(), A.nrows());
+  avec<double> b(static_cast<std::size_t>(A.nrows()));
+  for (auto& v : b) {
+    v = rng.uniform(-1.0, 1.0);
+  }
+  avec<double> x(b.size());
+  lu.solve<double>({b.data(), b.size()}, {x.data(), x.size()});
+  avec<double> ax(b.size());
+  spmv<double, double>(A, {x.data(), x.size()}, {ax.data(), ax.size()});
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_NEAR(ax[i], b[i], 1e-11);
+  }
+}
+
+TEST(DenseLU, FloatInterfaceRoundTrips) {
+  avec<double> a = {4, 1, 1, 3};
+  DenseLU lu(2, std::move(a));
+  avec<float> b = {5, 4}, x(2);
+  lu.solve<float>({b.data(), 2}, {x.data(), 2});
+  EXPECT_NEAR(4.0 * x[0] + x[1], 5.0, 1e-5);
+  EXPECT_NEAR(x[0] + 3.0 * x[1], 4.0, 1e-5);
+}
+
+TEST(DenseLU, SingularMatrixReportsZeroPivot) {
+  avec<double> a = {1, 2, 2, 4};  // rank 1
+  DenseLU lu(2, std::move(a));
+  EXPECT_LT(lu.min_pivot(), 1e-12);
+}
+
+}  // namespace
+}  // namespace smg

@@ -1,0 +1,146 @@
+// MG hierarchy setup tests: level structure, precision assignment,
+// shift_levid, scaling decisions, complexities.
+#include <gtest/gtest.h>
+
+#include "core/mg_hierarchy.hpp"
+#include "problems/problem.hpp"
+
+namespace smg {
+namespace {
+
+MGConfig base_config() {
+  MGConfig cfg = config_d16_setup_scale();
+  cfg.min_coarse_cells = 64;
+  return cfg;
+}
+
+TEST(Hierarchy, BuildsMultipleLevels) {
+  auto p = make_laplace27(Box{17, 17, 17});
+  MGHierarchy h(std::move(p.A), base_config());
+  EXPECT_GE(h.nlevels(), 3);
+  // Levels shrink monotonically.
+  for (int l = 1; l < h.nlevels(); ++l) {
+    EXPECT_LT(h.level(l).A_full.ncells(), h.level(l - 1).A_full.ncells());
+  }
+  // Coarse levels expand to 3d27.
+  for (int l = 1; l < h.nlevels(); ++l) {
+    EXPECT_EQ(h.level(l).A_full.stencil().ndiag(), 27);
+  }
+}
+
+TEST(Hierarchy, ComplexitiesAreLowAsInPaper) {
+  // Paper Fig. 3 / Table 3: C_G ~ 1.14, C_O ~ 1.14-1.44 for these stencils.
+  auto p = make_laplace27(Box{33, 33, 33});
+  MGHierarchy h(std::move(p.A), base_config());
+  EXPECT_GT(h.grid_complexity(), 1.0);
+  EXPECT_LT(h.grid_complexity(), 1.3);
+  EXPECT_GT(h.operator_complexity(), 1.0);
+  EXPECT_LT(h.operator_complexity(), 1.6);
+}
+
+TEST(Hierarchy, InRangeProblemIsNotScaled) {
+  auto p = make_laplace27(Box{15, 15, 15});  // values 26 and -1: in range
+  MGHierarchy h(std::move(p.A), base_config());
+  for (int l = 0; l < h.nlevels(); ++l) {
+    EXPECT_FALSE(h.level(l).scaled) << "level " << l;
+    EXPECT_EQ(h.level(l).trunc.overflowed, 0u) << "level " << l;
+  }
+}
+
+TEST(Hierarchy, OutOfRangeProblemIsScaledAndSafe) {
+  auto p = make_laplace27e8(Box{15, 15, 15});  // 2.6e9: far out of range
+  MGHierarchy h(std::move(p.A), base_config());
+  EXPECT_TRUE(h.level(0).scaled);
+  for (int l = 0; l < h.nlevels(); ++l) {
+    EXPECT_EQ(h.level(l).trunc.overflowed, 0u)
+        << "Theorem 4.1 violated on level " << l;
+    if (h.level(l).scaled) {
+      EXPECT_EQ(h.level(l).q2.size(),
+                static_cast<std::size_t>(h.level(l).A_full.nrows()));
+      EXPECT_GT(h.level(l).gmax, 0.0);
+    }
+  }
+}
+
+TEST(Hierarchy, NoneModeProducesOverflow) {
+  auto p = make_laplace27e8(Box{15, 15, 15});
+  MGConfig cfg = config_d16_none();
+  cfg.min_coarse_cells = 64;
+  MGHierarchy h(std::move(p.A), cfg);
+  EXPECT_GT(h.total_truncation().overflowed, 0u);
+}
+
+TEST(Hierarchy, ScaleThenSetupWrapsFinestOnly) {
+  auto p = make_laplace27e8(Box{15, 15, 15});
+  MGConfig cfg = config_d16_scale_setup();
+  cfg.min_coarse_cells = 64;
+  MGHierarchy h(std::move(p.A), cfg);
+  EXPECT_TRUE(h.finest_wrapped());
+  EXPECT_EQ(h.finest_q2().size(),
+            static_cast<std::size_t>(h.level(0).A_full.nrows()));
+  // Per-level q2 is not used in this mode.
+  for (int l = 0; l < h.nlevels(); ++l) {
+    EXPECT_FALSE(h.level(l).scaled);
+  }
+}
+
+TEST(Hierarchy, StoragePrecisionFollowsShiftLevid) {
+  auto p = make_laplace27(Box{33, 33, 33});
+  MGConfig cfg = base_config();
+  cfg.shift_levid = 2;  // levels >= 2 stored in compute precision (FP32)
+  MGHierarchy h(std::move(p.A), cfg);
+  ASSERT_GE(h.nlevels(), 3);
+  EXPECT_EQ(h.level(0).A_stored.precision(), Prec::FP16);
+  EXPECT_EQ(h.level(1).A_stored.precision(), Prec::FP16);
+  for (int l = 2; l < h.nlevels(); ++l) {
+    EXPECT_EQ(h.level(l).A_stored.precision(), Prec::FP32);
+  }
+}
+
+TEST(Hierarchy, StoredBytesShrinkWithFp16) {
+  auto p1 = make_laplace27(Box{17, 17, 17});
+  auto p2 = make_laplace27(Box{17, 17, 17});
+  MGConfig c64 = config_full64();
+  c64.min_coarse_cells = 64;
+  MGHierarchy h64(std::move(p1.A), c64);
+  MGHierarchy h16(std::move(p2.A), base_config());
+  EXPECT_EQ(h64.stored_matrix_bytes(), 4 * h16.stored_matrix_bytes());
+  EXPECT_EQ(h16.fp64_matrix_bytes(), h64.stored_matrix_bytes());
+}
+
+TEST(Hierarchy, RespectsMaxLevels) {
+  auto p = make_laplace27(Box{33, 33, 33});
+  MGConfig cfg = base_config();
+  cfg.max_levels = 2;
+  MGHierarchy h(std::move(p.A), cfg);
+  EXPECT_EQ(h.nlevels(), 2);
+}
+
+TEST(Hierarchy, CoarsestSolverMatchesCoarsestLevel) {
+  auto p = make_laplace27(Box{17, 17, 17});
+  MGHierarchy h(std::move(p.A), base_config());
+  EXPECT_EQ(h.coarse_solver().size(),
+            h.level(h.nlevels() - 1).A_full.nrows());
+  EXPECT_GT(h.coarse_solver().min_pivot(), 0.0);
+}
+
+TEST(Hierarchy, PencilGridSemicoarsens) {
+  auto p = make_laplace27(Box{33, 33, 4});
+  MGHierarchy h(std::move(p.A), base_config());
+  ASSERT_GE(h.nlevels(), 2);
+  // z was too short to coarsen: it must be preserved on level 1.
+  EXPECT_EQ(h.level(1).A_full.box().nz, 4);
+  EXPECT_LT(h.level(1).A_full.box().nx, 33);
+}
+
+TEST(Hierarchy, BlockProblemKeepsBlockSize) {
+  auto p = make_rhd3t(Box{10, 10, 10});
+  MGHierarchy h(std::move(p.A), base_config());
+  for (int l = 0; l < h.nlevels(); ++l) {
+    EXPECT_EQ(h.level(l).A_full.block_size(), 3);
+    EXPECT_EQ(h.level(l).A_stored.block_size(), 3);
+  }
+}
+
+}  // namespace
+}  // namespace smg

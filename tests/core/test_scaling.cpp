@@ -1,0 +1,142 @@
+// Theorem 4.1 scaling tests: G_max admissibility, overflow-free truncation,
+// exact recovery.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/scaling.hpp"
+#include "fp/convert.hpp"
+#include "fp/half.hpp"
+#include "sgdia/struct_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace smg {
+namespace {
+
+/// SPD-style matrix with positive diagonal and values spanning many decades.
+StructMat<double> wild_matrix(const Box& box, double decades,
+                              std::uint64_t seed = 7) {
+  StructMat<double> A(box, Stencil::make(Pattern::P3d7), 1, Layout::SOA);
+  Rng rng(seed);
+  const int center = A.stencil().center();
+  for (std::int64_t cell = 0; cell < A.ncells(); ++cell) {
+    const double mag = std::pow(10.0, rng.uniform(-decades, decades));
+    for (int d = 0; d < A.ndiag(); ++d) {
+      A.at(cell, d) = d == center ? 7.0 * mag : -mag * rng.uniform(0.5, 1.0);
+    }
+  }
+  A.clear_out_of_box();
+  return A;
+}
+
+TEST(Scaling, GmaxAdmitsNoOverflow) {
+  auto A = wild_matrix(Box{6, 6, 6}, 8.0);
+  EXPECT_GT(max_abs_value(A), static_cast<double>(kHalfMax));
+
+  const double gmax = compute_gmax(A, kHalfMax);
+  EXPECT_GT(gmax, 0.0);
+
+  // Theorem 4.1: any G < G_max keeps every scaled entry below FP16_MAX.
+  for (double safety : {0.999, 0.5, 0.25, 0.01}) {
+    auto B = A;
+    const ScaleResult sr = scale_matrix(B, safety, kHalfMax);
+    EXPECT_TRUE(sr.applied);
+    EXPECT_LT(max_abs_value(B), static_cast<double>(kHalfMax) * 1.0000001)
+        << "safety=" << safety;
+    TruncateReport rep;
+    auto H = convert<half>(B, Layout::SOA, &rep);
+    EXPECT_EQ(rep.overflowed, 0u) << "safety=" << safety;
+  }
+}
+
+TEST(Scaling, ScaledDiagonalEqualsG) {
+  // After Q^{-1/2} A Q^{-1/2} with Q = diag(A)/G the diagonal becomes G.
+  auto A = wild_matrix(Box{5, 5, 5}, 6.0);
+  const ScaleResult sr = scale_matrix(A, 0.25, kHalfMax);
+  const int center = A.stencil().center();
+  for (std::int64_t cell = 0; cell < A.ncells(); ++cell) {
+    EXPECT_NEAR(A.at(cell, center), sr.G, sr.G * 1e-12);
+  }
+}
+
+TEST(Scaling, RecoveryReproducesOriginal) {
+  auto A = wild_matrix(Box{4, 4, 4}, 5.0);
+  const StructMat<double> orig = A;
+  const ScaleResult sr = scale_matrix(A, 0.25, kHalfMax);
+
+  // a_ij == q2_i * a_hat_ij * q2_j entrywise.
+  const Box& box = A.box();
+  const Stencil& st = A.stencil();
+  for (int k = 0; k < box.nz; ++k) {
+    for (int j = 0; j < box.ny; ++j) {
+      for (int i = 0; i < box.nx; ++i) {
+        const std::int64_t cell = box.idx(i, j, k);
+        for (int d = 0; d < st.ndiag(); ++d) {
+          const Offset& o = st.offset(d);
+          if (!box.contains(i + o.dx, j + o.dy, k + o.dz)) {
+            continue;
+          }
+          const std::int64_t nbr = box.idx(i + o.dx, j + o.dy, k + o.dz);
+          const double rec = sr.q2[static_cast<std::size_t>(cell)] *
+                             A.at(cell, d) *
+                             sr.q2[static_cast<std::size_t>(nbr)];
+          EXPECT_NEAR(rec, orig.at(cell, d),
+                      std::abs(orig.at(cell, d)) * 1e-12 + 1e-300);
+        }
+      }
+    }
+  }
+}
+
+TEST(Scaling, BlockMatrixPerDofDiagonal) {
+  const Box box{3, 3, 3};
+  StructMat<double> A(box, Stencil::make(Pattern::P3d7), 3, Layout::SOA);
+  Rng rng(17);
+  const int center = A.stencil().center();
+  for (std::int64_t cell = 0; cell < A.ncells(); ++cell) {
+    const double mag = std::pow(10.0, rng.uniform(-6.0, 6.0));
+    for (int d = 0; d < A.ndiag(); ++d) {
+      for (int br = 0; br < 3; ++br) {
+        for (int bc = 0; bc < 3; ++bc) {
+          A.at(cell, d, br, bc) = (d == center && br == bc)
+                                      ? 20.0 * mag
+                                      : -mag * rng.uniform(0.1, 1.0);
+        }
+      }
+    }
+  }
+  A.clear_out_of_box();
+  const ScaleResult sr = scale_matrix(A, 0.25, kHalfMax);
+  EXPECT_EQ(sr.q2.size(), static_cast<std::size_t>(A.nrows()));
+  EXPECT_LT(max_abs_value(A), static_cast<double>(kHalfMax));
+  TruncateReport rep;
+  convert<half>(A, Layout::SOA, &rep);
+  EXPECT_EQ(rep.overflowed, 0u);
+}
+
+TEST(Scaling, DirectTruncationOfWildMatrixOverflows) {
+  // The control experiment: without scaling the same matrix produces inf.
+  auto A = wild_matrix(Box{5, 5, 5}, 8.0);
+  TruncateReport rep;
+  convert<half>(A, Layout::SOA, &rep);
+  EXPECT_GT(rep.overflowed, 0u);
+}
+
+TEST(Scaling, MinMaxAbsHelpers) {
+  StructMat<double> A(Box{2, 2, 2}, Stencil::make(Pattern::P3d7), 1,
+                      Layout::SOA);
+  A.at(0, A.stencil().center()) = -42.0;
+  A.at(1, A.stencil().center()) = 1e-5;
+  EXPECT_DOUBLE_EQ(max_abs_value(A), 42.0);
+  EXPECT_DOUBLE_EQ(min_abs_nonzero(A), 1e-5);
+}
+
+TEST(Scaling, GmaxScalesLinearlyWithS) {
+  auto A = wild_matrix(Box{4, 4, 4}, 4.0);
+  const double g16 = compute_gmax(A, kHalfMax);
+  const double g2 = compute_gmax(A, 2.0 * kHalfMax);
+  EXPECT_NEAR(g2 / g16, 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace smg

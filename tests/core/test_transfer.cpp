@@ -1,0 +1,139 @@
+// Transfer operator tests: geometry, R = P^T duality, constant preservation.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/transfer.hpp"
+#include "util/aligned.hpp"
+#include "util/rng.hpp"
+
+namespace smg {
+namespace {
+
+TEST(Coarsening, HalvesLongDimsOnly) {
+  const Coarsening c = Coarsening::make(Box{9, 8, 3}, 5);
+  EXPECT_TRUE(c.mask[0]);
+  EXPECT_TRUE(c.mask[1]);
+  EXPECT_FALSE(c.mask[2]);  // 3 < min_dim
+  EXPECT_EQ(c.coarse.nx, 5);
+  EXPECT_EQ(c.coarse.ny, 4);
+  EXPECT_EQ(c.coarse.nz, 3);
+  EXPECT_TRUE(c.any());
+}
+
+TEST(Coarsening, StopsWhenAllDimsShort) {
+  const Coarsening c = Coarsening::make(Box{3, 4, 2}, 5);
+  EXPECT_FALSE(c.any());
+}
+
+TEST(Transfer, ProlongOfConstantIsConstantInInterior) {
+  // Trilinear interpolation reproduces constants wherever all parents exist.
+  const Coarsening c = Coarsening::make(Box{9, 9, 9}, 5);
+  avec<double> ec(static_cast<std::size_t>(c.coarse.size()), 1.0);
+  avec<double> uf(static_cast<std::size_t>(c.fine.size()), 0.0);
+  prolong_add<double>(c, 1, {ec.data(), ec.size()}, {uf.data(), uf.size()});
+  for (int k = 0; k < c.fine.nz; ++k) {
+    for (int j = 0; j < c.fine.ny; ++j) {
+      for (int i = 0; i < c.fine.nx; ++i) {
+        EXPECT_NEAR(uf[static_cast<std::size_t>(c.fine.idx(i, j, k))], 1.0,
+                    1e-14)
+            << i << "," << j << "," << k;
+      }
+    }
+  }
+}
+
+TEST(Transfer, ProlongAccumulates) {
+  const Coarsening c = Coarsening::make(Box{5, 5, 5}, 5);
+  avec<double> ec(static_cast<std::size_t>(c.coarse.size()), 2.0);
+  avec<double> uf(static_cast<std::size_t>(c.fine.size()), 10.0);
+  prolong_add<double>(c, 1, {ec.data(), ec.size()}, {uf.data(), uf.size()});
+  EXPECT_NEAR(uf[0], 12.0, 1e-14);  // corner fine point is a coarse point
+}
+
+TEST(Transfer, RestrictionIsScaledTransposeOfProlongation) {
+  // <R r, e>_coarse == restrict_scale * <r, P e>_fine for random vectors:
+  // verifies R = (1/2^d) P^T including every boundary-clipping case.
+  for (const Box fine : {Box{8, 7, 6}, Box{9, 9, 9}, Box{6, 3, 10}}) {
+    const Coarsening c = Coarsening::make(fine, 5);
+    for (int bs : {1, 3}) {
+      Rng rng(1234);
+      const std::size_t nf = static_cast<std::size_t>(fine.size() * bs);
+      const std::size_t nc =
+          static_cast<std::size_t>(c.coarse.size() * bs);
+      avec<double> r(nf), e(nc), Rr(nc), Pe(nf, 0.0);
+      for (auto& v : r) {
+        v = rng.uniform(-1.0, 1.0);
+      }
+      for (auto& v : e) {
+        v = rng.uniform(-1.0, 1.0);
+      }
+      restrict_to_coarse<double>(c, bs, {r.data(), nf}, {Rr.data(), nc});
+      prolong_add<double>(c, bs, {e.data(), nc}, {Pe.data(), nf});
+      double lhs = 0.0, rhs = 0.0;
+      for (std::size_t i = 0; i < nc; ++i) {
+        lhs += Rr[i] * e[i];
+      }
+      for (std::size_t i = 0; i < nf; ++i) {
+        rhs += r[i] * Pe[i];
+      }
+      rhs *= c.restrict_scale();
+      EXPECT_NEAR(lhs, rhs, 1e-10 * (std::abs(lhs) + 1.0))
+          << "fine=" << fine.nx << "x" << fine.ny << "x" << fine.nz
+          << " bs=" << bs;
+    }
+  }
+}
+
+TEST(Transfer, RestrictZeroIsZero) {
+  const Coarsening c = Coarsening::make(Box{7, 7, 7}, 5);
+  avec<double> r(static_cast<std::size_t>(c.fine.size()), 0.0);
+  avec<double> fc(static_cast<std::size_t>(c.coarse.size()), 99.0);
+  restrict_to_coarse<double>(c, 1, {r.data(), r.size()},
+                             {fc.data(), fc.size()});
+  for (double v : fc) {
+    EXPECT_EQ(v, 0.0);
+  }
+}
+
+TEST(Transfer, SemicoarsenedDimIsIdentity) {
+  // With nz uncoarsened, restriction along z must be the identity map.
+  const Coarsening c = Coarsening::make(Box{9, 9, 3}, 5);
+  ASSERT_FALSE(c.mask[2]);
+  ASSERT_DOUBLE_EQ(c.restrict_scale(), 0.25);  // x and y coarsened only
+  avec<double> r(static_cast<std::size_t>(c.fine.size()), 0.0);
+  // A single fine point at an even (i,j) lands on exactly one coarse point
+  // with the full-weighting normalization 1/4.
+  r[static_cast<std::size_t>(c.fine.idx(4, 4, 1))] = 5.0;
+  avec<double> fc(static_cast<std::size_t>(c.coarse.size()), 0.0);
+  restrict_to_coarse<double>(c, 1, {r.data(), r.size()},
+                             {fc.data(), fc.size()});
+  EXPECT_NEAR(fc[static_cast<std::size_t>(c.coarse.idx(2, 2, 1))], 1.25,
+              1e-14);
+  double total = 0.0;
+  for (double v : fc) {
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.25, 1e-14);
+}
+
+TEST(Transfer, ParentWeightsSumToOneInside) {
+  // Odd fine index between two interior coarse points: weights 1/2 + 1/2.
+  const auto p = detail::parents_of(3, 4, true);
+  ASSERT_EQ(p.count, 2);
+  EXPECT_EQ(p.idx[0], 1);
+  EXPECT_EQ(p.idx[1], 2);
+  EXPECT_DOUBLE_EQ(p.w[0] + p.w[1], 1.0);
+}
+
+TEST(Transfer, BoundaryOddPointLosesClippedParent) {
+  // Fine index n-1 odd with its upper parent clipped: weight 1/2 only
+  // (Dirichlet truncation).
+  const auto p = detail::parents_of(7, 4, true);  // upper parent would be 4
+  ASSERT_EQ(p.count, 1);
+  EXPECT_EQ(p.idx[0], 3);
+  EXPECT_DOUBLE_EQ(p.w[0], 0.5);
+}
+
+}  // namespace
+}  // namespace smg

@@ -1,0 +1,129 @@
+// CSR baseline tests: assembly from SG-DIA, SpMV, triangular solve, bytes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "csr/csr_matrix.hpp"
+#include "kernels/spmv.hpp"
+#include "util/rng.hpp"
+
+namespace smg {
+namespace {
+
+StructMat<double> random_matrix(const Box& box, Pattern p, int bs,
+                                std::uint64_t seed = 7) {
+  StructMat<double> A(box, Stencil::make(p), bs, Layout::SOA);
+  Rng rng(seed);
+  for (auto& v : A.values()) {
+    v = rng.uniform(-1.0, 1.0);
+  }
+  A.clear_out_of_box();
+  return A;
+}
+
+TEST(Csr, AssemblyCountsMatchStructured) {
+  const Box box{5, 4, 3};
+  auto A = random_matrix(box, Pattern::P3d19, 1);
+  const auto C = csr_from_struct<double>(A);
+  EXPECT_EQ(C.nrows(), A.nrows());
+  EXPECT_EQ(C.nnz(), A.nnz_logical());
+}
+
+TEST(Csr, ColumnsAscendingPerRow) {
+  auto A = random_matrix(Box{4, 4, 4}, Pattern::P3d27, 2);
+  const auto C = csr_from_struct<double>(A);
+  const auto rp = C.row_ptr();
+  const auto ci = C.col_idx();
+  for (std::int64_t r = 0; r < C.nrows(); ++r) {
+    for (auto p = rp[r] + 1; p < rp[r + 1]; ++p) {
+      EXPECT_LT(ci[p - 1], ci[p]) << "row " << r;
+    }
+  }
+}
+
+TEST(Csr, SpmvMatchesStructured) {
+  for (int bs : {1, 3}) {
+    const Box box{6, 5, 4};
+    auto A = random_matrix(box, Pattern::P3d7, bs);
+    const auto C = csr_from_struct<double>(A);
+    Rng rng(5);
+    avec<double> x(static_cast<std::size_t>(A.nrows()));
+    for (auto& v : x) {
+      v = rng.uniform(-1.0, 1.0);
+    }
+    avec<double> y1(x.size()), y2(x.size());
+    spmv<double, double>(A, {x.data(), x.size()}, {y1.data(), y1.size()});
+    C.spmv<double>({x.data(), x.size()}, {y2.data(), y2.size()});
+    for (std::size_t i = 0; i < y1.size(); ++i) {
+      EXPECT_NEAR(y1[i], y2[i], 1e-12);
+    }
+  }
+}
+
+TEST(Csr, MixedPrecisionSpmv) {
+  const Box box{6, 6, 6};
+  auto A = random_matrix(box, Pattern::P3d7, 1);
+  const auto Cd = csr_from_struct<double>(A);
+  const auto Ch = csr_from_struct<half>(A);
+  Rng rng(15);
+  avec<float> x(static_cast<std::size_t>(A.nrows()));
+  for (auto& v : x) {
+    v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  avec<float> yd(x.size()), yh(x.size());
+  Cd.spmv<float>({x.data(), x.size()}, {yd.data(), yd.size()});
+  Ch.spmv<float>({x.data(), x.size()}, {yh.data(), yh.size()});
+  for (std::size_t i = 0; i < yd.size(); ++i) {
+    EXPECT_NEAR(yh[i], yd[i], 7.0 * 1e-3 + 1e-5);
+  }
+}
+
+TEST(Csr, LowerTriangularSolve) {
+  // Diagonally dominant lower-triangular structured matrix -> CSR -> solve.
+  const Box box{5, 4, 4};
+  StructMat<double> L(box, Stencil::make(Pattern::P3d4), 1, Layout::SOA);
+  Rng rng(25);
+  const int center = L.stencil().center();
+  for (std::int64_t cell = 0; cell < L.ncells(); ++cell) {
+    for (int d = 0; d < L.ndiag(); ++d) {
+      L.at(cell, d) = d == center ? rng.uniform(8.0, 10.0)
+                                  : rng.uniform(-1.0, 1.0);
+    }
+  }
+  L.clear_out_of_box();
+  const auto C = csr_from_struct<double>(L);
+
+  avec<double> b(static_cast<std::size_t>(L.nrows()));
+  for (auto& v : b) {
+    v = rng.uniform(-1.0, 1.0);
+  }
+  avec<double> x(b.size());
+  C.sptrsv_lower<double>({b.data(), b.size()}, {x.data(), x.size()});
+  // Verify L x = b.
+  avec<double> lx(b.size());
+  C.spmv<double>({x.data(), x.size()}, {lx.data(), lx.size()});
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_NEAR(lx[i], b[i], 1e-11);
+  }
+}
+
+TEST(Csr, BytesAccountingMatchesTable2Model) {
+  const Box box{8, 8, 8};
+  auto A = random_matrix(box, Pattern::P3d7, 1);
+  const auto C32 = csr_from_struct<float, std::int32_t>(A);
+  const std::size_t nnz = static_cast<std::size_t>(C32.nnz());
+  const std::size_t expected = nnz * (4 + 4) + (512 + 1) * 4;
+  EXPECT_EQ(C32.bytes(), expected);
+
+  const auto C64 = csr_from_struct<double, std::int64_t>(A);
+  EXPECT_EQ(C64.bytes(), nnz * (8 + 8) + (512 + 1) * 8);
+}
+
+TEST(Csr, BytesPerNnzFormula) {
+  // Table 2: fp64/int32 -> 12 + 4*delta.
+  EXPECT_DOUBLE_EQ(csr_bytes_per_nnz(8, 4, 0.15), 8 + 4 * 1.15);
+  EXPECT_DOUBLE_EQ(csr_bytes_per_nnz(2, 4, 0.0), 6.0);
+}
+
+}  // namespace
+}  // namespace smg

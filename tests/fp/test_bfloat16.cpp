@@ -1,0 +1,68 @@
+// Unit tests for the bfloat16 storage type.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "fp/bfloat16.hpp"
+
+namespace smg {
+namespace {
+
+TEST(BFloat16, KnownBitPatterns) {
+  EXPECT_EQ(bfloat16(1.0f).bits(), 0x3F80u);
+  EXPECT_EQ(bfloat16(-2.0f).bits(), 0xC000u);
+  EXPECT_EQ(bfloat16(0.0f).bits(), 0x0000u);
+}
+
+TEST(BFloat16, RangeMatchesFloat) {
+  // The paper's §8 point: BF16 needs no scaling because its exponent range
+  // equals FP32's.
+  EXPECT_FALSE(bfloat16(1e8f).is_inf());
+  EXPECT_FALSE(bfloat16(1e38f).is_inf());
+  EXPECT_FALSE(bfloat16(1e-38f).is_zero());
+  EXPECT_TRUE(bfloat16(std::numeric_limits<float>::infinity()).is_inf());
+}
+
+TEST(BFloat16, WorseAccuracyThanHalf) {
+  // 8 significand bits vs FP16's 11: relative error up to 2^-8.
+  const float x = 1.0f + 1.0f / 512.0f;  // needs 10 bits
+  EXPECT_EQ(static_cast<float>(bfloat16(x)), 1.0f);  // RNE drops it
+}
+
+TEST(BFloat16, RoundToNearestEven) {
+  // 1 + 2^-8 is exactly halfway between 1.0 and the next bf16; ties to even
+  // rounds down to 1.0.
+  const float halfway = 1.0f + 1.0f / 256.0f;
+  EXPECT_EQ(bfloat16(halfway).bits(), 0x3F80u);
+  // 1 + 3*2^-8 is halfway between reps 1+2^-7 and 1+2^-6... ties to even.
+  const float x = 1.0f + 3.0f / 256.0f;
+  const float back = static_cast<float>(bfloat16(x));
+  EXPECT_TRUE(back == 1.0f + 2.0f / 256.0f || back == 1.0f + 4.0f / 256.0f);
+}
+
+TEST(BFloat16, NanQuieted) {
+  const bfloat16 n(std::numeric_limits<float>::quiet_NaN());
+  EXPECT_TRUE(n.is_nan());
+  EXPECT_TRUE(std::isnan(static_cast<float>(n)));
+}
+
+TEST(BFloat16, RoundTripAllFinitePatterns) {
+  for (std::uint32_t bits = 0; bits <= 0xFFFFu; ++bits) {
+    const bfloat16 v = bfloat16::from_bits(static_cast<std::uint16_t>(bits));
+    if (!v.is_finite()) {
+      continue;
+    }
+    EXPECT_EQ(bfloat16(static_cast<float>(v)).bits(), v.bits())
+        << "bits=" << bits;
+  }
+}
+
+TEST(BFloat16, LimitsAreConsistent) {
+  EXPECT_FLOAT_EQ(static_cast<float>(std::numeric_limits<bfloat16>::epsilon()),
+                  0.0078125f);  // 2^-7
+  EXPECT_GT(static_cast<float>(std::numeric_limits<bfloat16>::max()), 3.3e38f);
+}
+
+}  // namespace
+}  // namespace smg

@@ -1,0 +1,142 @@
+// Unit tests for the IEEE binary16 storage type.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "fp/half.hpp"
+
+namespace smg {
+namespace {
+
+TEST(Half, ZeroRoundTrip) {
+  EXPECT_EQ(half(0.0f).bits(), 0x0000u);
+  EXPECT_EQ(half(-0.0f).bits(), 0x8000u);
+  EXPECT_EQ(static_cast<float>(half(0.0f)), 0.0f);
+  EXPECT_TRUE(half(0.0f).is_zero());
+  EXPECT_TRUE(half(-0.0f).is_zero());
+}
+
+TEST(Half, KnownBitPatterns) {
+  EXPECT_EQ(half(1.0f).bits(), 0x3C00u);
+  EXPECT_EQ(half(-1.0f).bits(), 0xBC00u);
+  EXPECT_EQ(half(2.0f).bits(), 0x4000u);
+  EXPECT_EQ(half(0.5f).bits(), 0x3800u);
+  EXPECT_EQ(half(65504.0f).bits(), 0x7BFFu);
+  EXPECT_EQ(half(-65504.0f).bits(), 0xFBFFu);
+}
+
+TEST(Half, MaxFiniteValue) {
+  EXPECT_FLOAT_EQ(static_cast<float>(std::numeric_limits<half>::max()),
+                  65504.0f);
+  EXPECT_TRUE(std::numeric_limits<half>::max().is_finite());
+}
+
+TEST(Half, OverflowToInfinity) {
+  EXPECT_TRUE(half(65536.0f).is_inf());
+  EXPECT_TRUE(half(1e8f).is_inf());
+  EXPECT_TRUE(half(-1e8f).is_inf());
+  EXPECT_TRUE(half(-1e8f).signbit());
+  EXPECT_FALSE(half(65504.0f).is_inf());
+}
+
+TEST(Half, RoundToNearestEvenAtMaxBoundary) {
+  // 65519.999 rounds down to 65504; >= 65520 rounds to inf.
+  EXPECT_FALSE(half(65519.0f).is_inf());
+  EXPECT_TRUE(half(65520.0f).is_inf());
+}
+
+TEST(Half, SubnormalRange) {
+  const float min_normal = 6.103515625e-05f;   // 2^-14
+  const float min_subnormal = 5.9604645e-08f;  // 2^-24
+  EXPECT_FALSE(half(min_normal).is_subnormal());
+  EXPECT_TRUE(half(min_subnormal).is_subnormal());
+  EXPECT_GT(static_cast<float>(half(min_subnormal)), 0.0f);
+}
+
+TEST(Half, UnderflowToZero) {
+  // Below half of the smallest subnormal, RNE rounds to zero.
+  EXPECT_TRUE(half(1e-9f).is_zero());
+  EXPECT_TRUE(half(2.9e-8f).is_zero());
+  EXPECT_FALSE(half(6e-8f).is_zero());
+}
+
+TEST(Half, NanPropagation) {
+  const half h(std::numeric_limits<float>::quiet_NaN());
+  EXPECT_TRUE(h.is_nan());
+  EXPECT_TRUE(std::isnan(static_cast<float>(h)));
+}
+
+TEST(Half, InfinityConversion) {
+  const half h(std::numeric_limits<float>::infinity());
+  EXPECT_TRUE(h.is_inf());
+  EXPECT_TRUE(std::isinf(static_cast<float>(h)));
+  EXPECT_FALSE(h.signbit());
+}
+
+TEST(Half, ArithmeticPromotesToFloat) {
+  const half a(1.5f), b(2.5f);
+  EXPECT_FLOAT_EQ(a + b, 4.0f);
+  EXPECT_FLOAT_EQ(a * 2.0f, 3.0f);
+  EXPECT_FLOAT_EQ(2.0f * b, 5.0f);
+}
+
+TEST(Half, Comparison) {
+  EXPECT_TRUE(half(1.0f) < half(2.0f));
+  EXPECT_TRUE(half(1.0f) == half(1.0f));
+  EXPECT_FALSE(half(-1.0f) == half(1.0f));
+}
+
+TEST(Half, SoftwareHardwareAgree) {
+  // The software conversion path must match the F16C hardware path bit for
+  // bit over a wide sample (incl. boundaries and subnormals).
+  for (int e = -30; e <= 20; ++e) {
+    for (double m : {1.0, 1.0009765625, 1.4999, 1.5, 1.999}) {
+      const float f = static_cast<float>(m * std::pow(2.0, e));
+      const std::uint16_t sw =
+          detail::f32_bits_to_f16_bits(std::bit_cast<std::uint32_t>(f));
+      const std::uint16_t hw = half::float_to_bits(f);
+      EXPECT_EQ(sw, hw) << "f=" << f;
+      const std::uint16_t swn =
+          detail::f32_bits_to_f16_bits(std::bit_cast<std::uint32_t>(-f));
+      EXPECT_EQ(swn, half::float_to_bits(-f)) << "f=" << -f;
+    }
+  }
+}
+
+TEST(Half, SoftwareWidenMatchesHardware) {
+  for (std::uint32_t bits = 0; bits <= 0xFFFFu; ++bits) {
+    const auto b16 = static_cast<std::uint16_t>(bits);
+    const float sw = std::bit_cast<float>(detail::f16_bits_to_f32_bits(b16));
+    const float hw = half::bits_to_float(b16);
+    if (std::isnan(sw) || std::isnan(hw)) {
+      EXPECT_EQ(std::isnan(sw), std::isnan(hw)) << "bits=" << bits;
+    } else {
+      EXPECT_EQ(sw, hw) << "bits=" << bits;
+    }
+  }
+}
+
+TEST(Half, RoundTripAllFiniteBitPatterns) {
+  // half -> float -> half must be the identity for every finite pattern.
+  for (std::uint32_t bits = 0; bits <= 0xFFFFu; ++bits) {
+    const half h = half::from_bits(static_cast<std::uint16_t>(bits));
+    if (!h.is_finite()) {
+      continue;
+    }
+    const half round_trip(static_cast<float>(h));
+    EXPECT_EQ(round_trip.bits(), h.bits()) << "bits=" << bits;
+  }
+}
+
+TEST(Half, EpsilonMatchesDigits) {
+  // 11 significand bits -> eps = 2^-10.
+  EXPECT_FLOAT_EQ(static_cast<float>(std::numeric_limits<half>::epsilon()),
+                  0.0009765625f);
+  const float one_plus_eps =
+      1.0f + static_cast<float>(std::numeric_limits<half>::epsilon());
+  EXPECT_NE(static_cast<float>(half(one_plus_eps)), 1.0f);
+}
+
+}  // namespace
+}  // namespace smg

@@ -1,0 +1,126 @@
+// Tests for Box indexing and stencil patterns.
+#include <gtest/gtest.h>
+
+#include "grid/box.hpp"
+#include "grid/stencil.hpp"
+
+namespace smg {
+namespace {
+
+TEST(Box, IndexingIsLexicographicXFastest) {
+  const Box b{4, 3, 2};
+  EXPECT_EQ(b.size(), 24);
+  EXPECT_EQ(b.idx(0, 0, 0), 0);
+  EXPECT_EQ(b.idx(1, 0, 0), 1);
+  EXPECT_EQ(b.idx(0, 1, 0), 4);
+  EXPECT_EQ(b.idx(0, 0, 1), 12);
+  EXPECT_EQ(b.idx(3, 2, 1), 23);
+}
+
+TEST(Box, Contains) {
+  const Box b{4, 3, 2};
+  EXPECT_TRUE(b.contains(0, 0, 0));
+  EXPECT_TRUE(b.contains(3, 2, 1));
+  EXPECT_FALSE(b.contains(-1, 0, 0));
+  EXPECT_FALSE(b.contains(4, 0, 0));
+  EXPECT_FALSE(b.contains(0, 3, 0));
+  EXPECT_FALSE(b.contains(0, 0, 2));
+}
+
+TEST(Box, NoOverflowForLargeGrids) {
+  const Box b{2048, 2048, 2048};
+  EXPECT_EQ(b.size(), 8589934592ll);
+  EXPECT_EQ(b.idx(2047, 2047, 2047), b.size() - 1);
+}
+
+struct PatternCase {
+  Pattern p;
+  int ndiag;
+  int nlower;
+};
+
+class StencilPattern : public ::testing::TestWithParam<PatternCase> {};
+
+TEST_P(StencilPattern, SizesMatchPaperNaming) {
+  const auto& pc = GetParam();
+  const Stencil st = Stencil::make(pc.p);
+  EXPECT_EQ(st.ndiag(), pc.ndiag);
+  EXPECT_EQ(static_cast<int>(st.lower().size()), pc.nlower);
+  EXPECT_GE(st.center(), 0);
+}
+
+// The 3dN names count stencil points; lower counts are the SpTRSV ablation
+// patterns of Fig. 7 (3d7 -> 3+1 = 3d4 etc.).
+INSTANTIATE_TEST_SUITE_P(AllPatterns, StencilPattern,
+                         ::testing::Values(PatternCase{Pattern::P3d7, 7, 3},
+                                           PatternCase{Pattern::P3d15, 15, 7},
+                                           PatternCase{Pattern::P3d19, 19, 9},
+                                           PatternCase{Pattern::P3d27, 27, 13},
+                                           PatternCase{Pattern::P3d4, 4, 3},
+                                           PatternCase{Pattern::P3d10, 10, 9},
+                                           PatternCase{Pattern::P3d14, 14,
+                                                       13}));
+
+TEST(Stencil, FullPatternsAreSymmetric) {
+  for (Pattern p :
+       {Pattern::P3d7, Pattern::P3d15, Pattern::P3d19, Pattern::P3d27}) {
+    EXPECT_TRUE(Stencil::make(p).symmetric_pattern()) << to_string(p);
+  }
+}
+
+TEST(Stencil, TriangularPatternsAreNotSymmetric) {
+  for (Pattern p : {Pattern::P3d4, Pattern::P3d10, Pattern::P3d14}) {
+    EXPECT_FALSE(Stencil::make(p).symmetric_pattern()) << to_string(p);
+  }
+}
+
+TEST(Stencil, TriangularPatternsHaveNoUpperEntries) {
+  for (Pattern p : {Pattern::P3d4, Pattern::P3d10, Pattern::P3d14}) {
+    EXPECT_TRUE(Stencil::make(p).upper().empty()) << to_string(p);
+  }
+}
+
+TEST(Stencil, FindLocatesOffsets) {
+  const Stencil st = Stencil::make(Pattern::P3d7);
+  EXPECT_GE(st.find(0, 0, 0), 0);
+  EXPECT_GE(st.find(-1, 0, 0), 0);
+  EXPECT_GE(st.find(0, 0, 1), 0);
+  EXPECT_EQ(st.find(1, 1, 0), -1);  // edge offset not in 3d7
+}
+
+TEST(Stencil, LowerUpperPartitionExhaustively) {
+  for (Pattern p :
+       {Pattern::P3d7, Pattern::P3d15, Pattern::P3d19, Pattern::P3d27}) {
+    const Stencil st = Stencil::make(p);
+    EXPECT_EQ(static_cast<int>(st.lower().size() + st.upper().size()) + 1,
+              st.ndiag());
+    // Lower offsets precede the center in sweep order; upper follow it.
+    for (int d : st.lower()) {
+      EXPECT_TRUE(st.offset(d).before_center());
+    }
+    for (int d : st.upper()) {
+      EXPECT_FALSE(st.offset(d).before_center());
+      EXPECT_FALSE(st.offset(d).is_center());
+    }
+  }
+}
+
+TEST(Stencil, AtMostOneSameLineLowerOffset) {
+  // The line-buffered SymGS relies on this structural fact.
+  for (Pattern p :
+       {Pattern::P3d7, Pattern::P3d15, Pattern::P3d19, Pattern::P3d27}) {
+    const Stencil st = Stencil::make(p);
+    int same_line_lower = 0;
+    for (int d : st.lower()) {
+      const Offset& o = st.offset(d);
+      if (o.dy == 0 && o.dz == 0) {
+        ++same_line_lower;
+        EXPECT_EQ(o.dx, -1);
+      }
+    }
+    EXPECT_LE(same_line_lower, 1) << to_string(p);
+  }
+}
+
+}  // namespace
+}  // namespace smg

@@ -1,0 +1,155 @@
+// Tests for the SG-DIA structured matrix container.
+#include <gtest/gtest.h>
+
+#include "sgdia/any_matrix.hpp"
+#include "sgdia/struct_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace smg {
+namespace {
+
+StructMat<double> random_matrix(const Box& box, Pattern p, int bs,
+                                Layout layout, double scale = 1.0) {
+  StructMat<double> A(box, Stencil::make(p), bs, layout);
+  Rng rng(42);
+  for (auto& v : A.values()) {
+    v = rng.uniform(-1.0, 1.0) * scale;
+  }
+  A.clear_out_of_box();
+  return A;
+}
+
+TEST(StructMat, DimensionsAndCounts) {
+  const Box box{5, 4, 3};
+  StructMat<double> A(box, Stencil::make(Pattern::P3d7), 2);
+  EXPECT_EQ(A.ncells(), 60);
+  EXPECT_EQ(A.nrows(), 120);
+  EXPECT_EQ(A.ndiag(), 7);
+  EXPECT_EQ(A.values().size(), 60u * 7u * 4u);
+}
+
+TEST(StructMat, NnzLogicalExcludesBoundaryTruncation) {
+  const Box box{4, 4, 4};
+  StructMat<double> A(box, Stencil::make(Pattern::P3d7), 1);
+  // center: 64; each face offset: 4*4*3 = 48; six of them.
+  EXPECT_EQ(A.nnz_logical(), 64 + 6 * 48);
+}
+
+TEST(StructMat, AosSoaIndexDiffer) {
+  const Box box{3, 3, 3};
+  StructMat<float> aos(box, Stencil::make(Pattern::P3d7), 1, Layout::AOS);
+  StructMat<float> soa(box, Stencil::make(Pattern::P3d7), 1, Layout::SOA);
+  // AOS: consecutive diags of one cell adjacent; SOA: consecutive cells of
+  // one diag adjacent.
+  EXPECT_EQ(aos.block_index(0, 1) - aos.block_index(0, 0), 1);
+  EXPECT_EQ(soa.block_index(1, 0) - soa.block_index(0, 0), 1);
+  EXPECT_EQ(soa.block_index(0, 1) - soa.block_index(0, 0), 27);
+}
+
+TEST(StructMat, BlockIndexingRowMajor) {
+  const Box box{2, 2, 2};
+  StructMat<double> A(box, Stencil::make(Pattern::P3d7), 3, Layout::SOA);
+  A.at(1, 2, 1, 2) = 7.5;
+  EXPECT_EQ(A.at(1, 2, 1, 2), 7.5);
+  const std::int64_t base = A.block_index(1, 2);
+  EXPECT_EQ(A.values()[static_cast<std::size_t>(base + 1 * 3 + 2)], 7.5);
+}
+
+TEST(StructMat, OutOfBoxInvariant) {
+  auto A = random_matrix(Box{4, 4, 4}, Pattern::P3d27, 1, Layout::SOA);
+  EXPECT_TRUE(A.out_of_box_clear());
+  // Violate and repair.
+  const Stencil& st = A.stencil();
+  const int d = st.find(-1, -1, -1);
+  A.at(0, 0, 0, d) = 1.0;  // neighbor (-1,-1,-1) is outside
+  EXPECT_FALSE(A.out_of_box_clear());
+  A.clear_out_of_box();
+  EXPECT_TRUE(A.out_of_box_clear());
+}
+
+class ConvertParam
+    : public ::testing::TestWithParam<std::tuple<Layout, Layout, int>> {};
+
+TEST_P(ConvertParam, LayoutAndPrecisionConversionPreservesValues) {
+  const auto [from, to, bs] = GetParam();
+  const Box box{5, 3, 4};
+  auto A = random_matrix(box, Pattern::P3d19, bs, from, 100.0);
+
+  // double -> float -> compare entrywise through the accessor (layout
+  // change must not permute logical entries).
+  TruncateReport rep;
+  auto B = convert<float>(A, to, &rep);
+  EXPECT_EQ(rep.overflowed, 0u);
+  for (std::int64_t cell = 0; cell < A.ncells(); ++cell) {
+    for (int d = 0; d < A.ndiag(); ++d) {
+      for (int br = 0; br < bs; ++br) {
+        for (int bc = 0; bc < bs; ++bc) {
+          EXPECT_FLOAT_EQ(B.at(cell, d, br, bc),
+                          static_cast<float>(A.at(cell, d, br, bc)));
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Layouts, ConvertParam,
+    ::testing::Combine(
+        ::testing::Values(Layout::AOS, Layout::SOA, Layout::SOAL),
+        ::testing::Values(Layout::AOS, Layout::SOA, Layout::SOAL),
+        ::testing::Values(1, 3)));
+
+TEST(StructMat, SoalLayoutIndexing) {
+  const Box box{4, 3, 2};
+  StructMat<float> m(box, Stencil::make(Pattern::P3d7), 1, Layout::SOAL);
+  // Within a line, consecutive cells of one diagonal are adjacent; the next
+  // diagonal of the same line follows after nx entries.
+  EXPECT_EQ(m.block_index(1, 0) - m.block_index(0, 0), 1);
+  EXPECT_EQ(m.block_index(0, 1) - m.block_index(0, 0), 4);
+  // The next line starts after ndiag * nx entries.
+  EXPECT_EQ(m.block_index(4, 0) - m.block_index(0, 0), 7 * 4);
+}
+
+TEST(StructMatConvert, HalfTruncationReportsOverflow) {
+  auto A = random_matrix(Box{4, 4, 4}, Pattern::P3d7, 1, Layout::SOA, 1e6);
+  TruncateReport rep;
+  auto H = convert<half>(A, Layout::SOA, &rep);
+  EXPECT_GT(rep.overflowed, 0u);
+}
+
+TEST(StructMatConvert, RoundTripDoubleHalfDouble) {
+  auto A = random_matrix(Box{3, 3, 3}, Pattern::P3d7, 1, Layout::SOA, 10.0);
+  auto H = convert<half>(A, Layout::SOA);
+  auto D = convert<double>(H, Layout::SOA);
+  // Relative error bounded by half epsilon.
+  for (std::size_t i = 0; i < A.values().size(); ++i) {
+    const double orig = A.values()[i];
+    const double back = D.values()[i];
+    EXPECT_NEAR(back, orig, std::abs(orig) * 1e-3 + 1e-7);
+  }
+}
+
+TEST(AnyMat, DispatchesPrecisionAndMetadata) {
+  auto A = random_matrix(Box{4, 3, 2}, Pattern::P3d7, 2, Layout::SOA, 5.0);
+  for (Prec p : {Prec::FP64, Prec::FP32, Prec::FP16, Prec::BF16}) {
+    const AnyMat m = AnyMat::from(A, p, Layout::SOA);
+    EXPECT_EQ(m.precision(), p);
+    EXPECT_EQ(m.block_size(), 2);
+    EXPECT_EQ(m.ncells(), 24);
+    EXPECT_EQ(m.nrows(), 48);
+    EXPECT_EQ(m.value_bytes(),
+              static_cast<std::size_t>(24 * 7 * 4) * bytes_of(p));
+  }
+}
+
+TEST(AnyMat, ValueBytesHalveWithPrecision) {
+  auto A = random_matrix(Box{8, 8, 8}, Pattern::P3d27, 1, Layout::SOA);
+  const auto b64 = AnyMat::from(A, Prec::FP64, Layout::SOA).value_bytes();
+  const auto b32 = AnyMat::from(A, Prec::FP32, Layout::SOA).value_bytes();
+  const auto b16 = AnyMat::from(A, Prec::FP16, Layout::SOA).value_bytes();
+  EXPECT_EQ(b64, 2 * b32);
+  EXPECT_EQ(b32, 2 * b16);
+}
+
+}  // namespace
+}  // namespace smg

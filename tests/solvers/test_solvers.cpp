@@ -1,0 +1,196 @@
+// Krylov solver tests with identity and MG preconditioners.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/mg_precond.hpp"
+#include "kernels/blas1.hpp"
+#include "kernels/spmv.hpp"
+#include "problems/problem.hpp"
+#include "solvers/cg.hpp"
+#include "solvers/gmres.hpp"
+#include "solvers/richardson.hpp"
+#include "util/rng.hpp"
+
+namespace smg {
+namespace {
+
+template <class KT>
+LinOp<KT> op_of(const StructMat<KT>& A) {
+  return [&A](std::span<const KT> x, std::span<KT> y) {
+    spmv<KT, KT>(A, x, y);
+  };
+}
+
+/// ||b - A x|| / ||b||.
+double true_relres(const StructMat<double>& A, std::span<const double> b,
+                   std::span<const double> x) {
+  avec<double> r(b.size());
+  residual<double, double>(A, b, x, {r.data(), r.size()});
+  return nrm2<double>(std::span<const double>{r.data(), r.size()}) /
+         nrm2<double>(b);
+}
+
+TEST(CG, SolvesPoissonUnpreconditioned) {
+  auto p = make_laplace27(Box{10, 10, 10});
+  const std::size_t n = p.b.size();
+  avec<double> x(n, 0.0);
+  IdentityPrecond<double> id;
+  SolveOptions opts;
+  opts.max_iters = 400;
+  opts.rtol = 1e-10;
+  const auto res = pcg<double>(op_of(p.A), {p.b.data(), n}, {x.data(), n}, id,
+                               opts);
+  EXPECT_TRUE(res.converged) << res.status();
+  EXPECT_LT(true_relres(p.A, {p.b.data(), n}, {x.data(), n}), 1e-9);
+}
+
+TEST(CG, HistoryIsMonotoneEnoughAndEndsBelowTol) {
+  auto p = make_laplace27(Box{10, 10, 10});
+  const std::size_t n = p.b.size();
+  avec<double> x(n, 0.0);
+  IdentityPrecond<double> id;
+  SolveOptions opts;
+  opts.max_iters = 400;
+  const auto res = pcg<double>(op_of(p.A), {p.b.data(), n}, {x.data(), n}, id,
+                               opts);
+  ASSERT_GE(res.history.size(), 2u);
+  EXPECT_NEAR(res.history.front(), 1.0, 1e-12);
+  EXPECT_LT(res.history.back(), opts.rtol);
+}
+
+TEST(CG, MGPreconditionedPoissonConvergesInFewIterations) {
+  auto p = make_laplace27(Box{17, 17, 17});
+  const StructMat<double> A = p.A;
+  MGConfig cfg = config_d16_setup_scale();
+  cfg.min_coarse_cells = 64;
+  MGHierarchy h(std::move(p.A), cfg);
+  auto M = make_mg_precond<double>(h);
+  const std::size_t n = p.b.size();
+  avec<double> x(n, 0.0);
+  SolveOptions opts;
+  opts.max_iters = 60;
+  const auto res =
+      pcg<double>(op_of(A), {p.b.data(), n}, {x.data(), n}, *M, opts);
+  EXPECT_TRUE(res.converged);
+  // Paper Fig. 8: laplace27 converges in ~11 iterations.
+  EXPECT_LE(res.iters, 25);
+  EXPECT_LT(true_relres(A, {p.b.data(), n}, {x.data(), n}), 1e-9);
+}
+
+TEST(GMRES, SolvesNonsymmetricOilProblem) {
+  auto p = make_oil(Box{12, 12, 8});
+  const StructMat<double> A = p.A;
+  MGConfig cfg = config_d16_setup_scale();
+  cfg.min_coarse_cells = 64;
+  MGHierarchy h(std::move(p.A), cfg);
+  auto M = make_mg_precond<double>(h);
+  const std::size_t n = p.b.size();
+  avec<double> x(n, 0.0);
+  SolveOptions opts;
+  opts.max_iters = 200;
+  opts.rtol = 1e-8;
+  const auto res =
+      pgmres<double>(op_of(A), {p.b.data(), n}, {x.data(), n}, *M, opts);
+  EXPECT_TRUE(res.converged) << res.status();
+  EXPECT_LT(true_relres(A, {p.b.data(), n}, {x.data(), n}), 1e-7);
+}
+
+TEST(GMRES, RestartStillConverges) {
+  auto p = make_laplace27(Box{8, 8, 8});
+  const std::size_t n = p.b.size();
+  avec<double> x(n, 0.0);
+  IdentityPrecond<double> id;
+  SolveOptions opts;
+  opts.restart = 10;  // force several restarts
+  opts.max_iters = 500;
+  opts.rtol = 1e-8;
+  const auto res = pgmres<double>(op_of(p.A), {p.b.data(), n}, {x.data(), n},
+                                  id, opts);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(true_relres(p.A, {p.b.data(), n}, {x.data(), n}), 1e-7);
+}
+
+TEST(GMRES, ZeroRhsReturnsImmediately) {
+  auto p = make_laplace27(Box{6, 6, 6});
+  const std::size_t n = p.b.size();
+  avec<double> b(n, 0.0), x(n, 0.0);
+  IdentityPrecond<double> id;
+  const auto res =
+      pgmres<double>(op_of(p.A), {b.data(), n}, {x.data(), n}, id);
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.iters, 0);
+}
+
+TEST(Richardson, MGStationarySolverConverges) {
+  // Alg. 2 as written in the paper: stationary iteration + MG(FP16).
+  auto p = make_laplace27(Box{13, 13, 13});
+  const StructMat<double> A = p.A;
+  MGConfig cfg = config_d16_setup_scale();
+  cfg.min_coarse_cells = 64;
+  MGHierarchy h(std::move(p.A), cfg);
+  auto M = make_mg_precond<double>(h);
+  const std::size_t n = p.b.size();
+  avec<double> x(n, 0.0);
+  SolveOptions opts;
+  opts.max_iters = 80;
+  opts.rtol = 1e-9;
+  const auto res =
+      richardson<double>(op_of(A), {p.b.data(), n}, {x.data(), n}, *M, opts);
+  EXPECT_TRUE(res.converged);
+}
+
+TEST(Richardson, BreaksDownWithNaNPreconditioner) {
+  // The "none" strategy on an out-of-range matrix: NaN must be detected and
+  // reported as breakdown, not an infinite loop.
+  auto p = make_laplace27e8(Box{10, 10, 10});
+  const StructMat<double> A = p.A;
+  MGConfig cfg = config_d16_none();
+  cfg.min_coarse_cells = 64;
+  MGHierarchy h(std::move(p.A), cfg);
+  auto M = make_mg_precond<double>(h);
+  const std::size_t n = p.b.size();
+  avec<double> x(n, 0.0);
+  SolveOptions opts;
+  opts.max_iters = 20;
+  const auto res =
+      richardson<double>(op_of(A), {p.b.data(), n}, {x.data(), n}, *M, opts);
+  EXPECT_TRUE(res.breakdown);
+  EXPECT_FALSE(res.converged);
+}
+
+TEST(Solvers, Fp32IterativePrecisionWorks) {
+  // K32: the weather case uses FP32 iterative precision in Table 3.
+  auto p = make_laplace27(Box{10, 10, 10});
+  StructMat<float> Af = convert<float>(p.A, Layout::SOA);
+  const std::size_t n = p.b.size();
+  avec<float> bf(n), x(n, 0.0f);
+  for (std::size_t i = 0; i < n; ++i) {
+    bf[i] = static_cast<float>(p.b[i]);
+  }
+  IdentityPrecond<float> id;
+  SolveOptions opts;
+  opts.max_iters = 400;
+  opts.rtol = 1e-5;
+  const auto res = pcg<float>(op_of(Af), {bf.data(), n}, {x.data(), n}, id,
+                              opts);
+  EXPECT_TRUE(res.converged);
+}
+
+TEST(Solvers, PrecondTimeIsSubsetOfSolveTime) {
+  auto p = make_laplace27(Box{13, 13, 13});
+  const StructMat<double> A = p.A;
+  MGConfig cfg = config_full64();
+  cfg.min_coarse_cells = 64;
+  MGHierarchy h(std::move(p.A), cfg);
+  auto M = make_mg_precond<double>(h);
+  const std::size_t n = p.b.size();
+  avec<double> x(n, 0.0);
+  const auto res =
+      pcg<double>(op_of(A), {p.b.data(), n}, {x.data(), n}, *M);
+  EXPECT_GT(res.precond_seconds, 0.0);
+  EXPECT_LE(res.precond_seconds, res.solve_seconds);
+}
+
+}  // namespace
+}  // namespace smg
