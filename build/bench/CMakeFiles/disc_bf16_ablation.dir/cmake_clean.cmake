@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disc_bf16_ablation.dir/disc_bf16_ablation.cpp.o"
+  "CMakeFiles/disc_bf16_ablation.dir/disc_bf16_ablation.cpp.o.d"
+  "disc_bf16_ablation"
+  "disc_bf16_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disc_bf16_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

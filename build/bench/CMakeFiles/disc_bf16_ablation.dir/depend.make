@@ -1,0 +1,2 @@
+# Empty dependencies file for disc_bf16_ablation.
+# This may be replaced when dependencies are built.

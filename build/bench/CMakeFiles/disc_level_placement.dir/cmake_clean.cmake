@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disc_level_placement.dir/disc_level_placement.cpp.o"
+  "CMakeFiles/disc_level_placement.dir/disc_level_placement.cpp.o.d"
+  "disc_level_placement"
+  "disc_level_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disc_level_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disc_smoothing_ablation.dir/disc_smoothing_ablation.cpp.o"
+  "CMakeFiles/disc_smoothing_ablation.dir/disc_smoothing_ablation.cpp.o.d"
+  "disc_smoothing_ablation"
+  "disc_smoothing_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disc_smoothing_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

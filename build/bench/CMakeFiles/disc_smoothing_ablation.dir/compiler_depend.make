@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for disc_smoothing_ablation.
+# This may be replaced when dependencies are built.

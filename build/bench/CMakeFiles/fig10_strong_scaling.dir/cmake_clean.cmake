@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_strong_scaling.dir/fig10_strong_scaling.cpp.o"
+  "CMakeFiles/fig10_strong_scaling.dir/fig10_strong_scaling.cpp.o.d"
+  "fig10_strong_scaling"
+  "fig10_strong_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_strong_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

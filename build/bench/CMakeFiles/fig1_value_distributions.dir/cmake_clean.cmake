@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_value_distributions.dir/fig1_value_distributions.cpp.o"
+  "CMakeFiles/fig1_value_distributions.dir/fig1_value_distributions.cpp.o.d"
+  "fig1_value_distributions"
+  "fig1_value_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_value_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

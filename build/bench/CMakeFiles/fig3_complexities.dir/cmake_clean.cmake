@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_complexities.dir/fig3_complexities.cpp.o"
+  "CMakeFiles/fig3_complexities.dir/fig3_complexities.cpp.o.d"
+  "fig3_complexities"
+  "fig3_complexities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_complexities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

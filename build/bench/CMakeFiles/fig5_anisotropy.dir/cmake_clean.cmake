@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_anisotropy.dir/fig5_anisotropy.cpp.o"
+  "CMakeFiles/fig5_anisotropy.dir/fig5_anisotropy.cpp.o.d"
+  "fig5_anisotropy"
+  "fig5_anisotropy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_anisotropy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

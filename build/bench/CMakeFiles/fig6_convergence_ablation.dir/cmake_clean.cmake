@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_convergence_ablation.dir/fig6_convergence_ablation.cpp.o"
+  "CMakeFiles/fig6_convergence_ablation.dir/fig6_convergence_ablation.cpp.o.d"
+  "fig6_convergence_ablation"
+  "fig6_convergence_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_convergence_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

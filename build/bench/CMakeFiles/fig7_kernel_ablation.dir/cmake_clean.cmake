@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_kernel_ablation.dir/fig7_kernel_ablation.cpp.o"
+  "CMakeFiles/fig7_kernel_ablation.dir/fig7_kernel_ablation.cpp.o.d"
+  "fig7_kernel_ablation"
+  "fig7_kernel_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_kernel_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

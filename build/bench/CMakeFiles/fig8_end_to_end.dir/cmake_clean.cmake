@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_end_to_end.dir/fig8_end_to_end.cpp.o"
+  "CMakeFiles/fig8_end_to_end.dir/fig8_end_to_end.cpp.o.d"
+  "fig8_end_to_end"
+  "fig8_end_to_end.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_end_to_end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

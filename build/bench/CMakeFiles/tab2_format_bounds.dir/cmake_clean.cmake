@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_format_bounds.dir/tab2_format_bounds.cpp.o"
+  "CMakeFiles/tab2_format_bounds.dir/tab2_format_bounds.cpp.o.d"
+  "tab2_format_bounds"
+  "tab2_format_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_format_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab3_problem_table.dir/tab3_problem_table.cpp.o"
+  "CMakeFiles/tab3_problem_table.dir/tab3_problem_table.cpp.o.d"
+  "tab3_problem_table"
+  "tab3_problem_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_problem_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elasticity.dir/elasticity.cpp.o"
+  "CMakeFiles/elasticity.dir/elasticity.cpp.o.d"
+  "elasticity"
+  "elasticity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elasticity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precision_explorer.dir/precision_explorer.cpp.o"
+  "CMakeFiles/precision_explorer.dir/precision_explorer.cpp.o.d"
+  "precision_explorer"
+  "precision_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precision_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

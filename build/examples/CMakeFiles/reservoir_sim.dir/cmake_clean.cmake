@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reservoir_sim.dir/reservoir_sim.cpp.o"
+  "CMakeFiles/reservoir_sim.dir/reservoir_sim.cpp.o.d"
+  "reservoir_sim"
+  "reservoir_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reservoir_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

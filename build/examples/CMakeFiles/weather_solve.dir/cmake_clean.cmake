@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weather_solve.dir/weather_solve.cpp.o"
+  "CMakeFiles/weather_solve.dir/weather_solve.cpp.o.d"
+  "weather_solve"
+  "weather_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weather_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

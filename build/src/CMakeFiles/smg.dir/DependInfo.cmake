@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/coarsen.cpp" "src/CMakeFiles/smg.dir/core/coarsen.cpp.o" "gcc" "src/CMakeFiles/smg.dir/core/coarsen.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/CMakeFiles/smg.dir/core/config.cpp.o" "gcc" "src/CMakeFiles/smg.dir/core/config.cpp.o.d"
+  "/root/repo/src/core/dense_lu.cpp" "src/CMakeFiles/smg.dir/core/dense_lu.cpp.o" "gcc" "src/CMakeFiles/smg.dir/core/dense_lu.cpp.o.d"
+  "/root/repo/src/core/mg_hierarchy.cpp" "src/CMakeFiles/smg.dir/core/mg_hierarchy.cpp.o" "gcc" "src/CMakeFiles/smg.dir/core/mg_hierarchy.cpp.o.d"
+  "/root/repo/src/core/mg_precond.cpp" "src/CMakeFiles/smg.dir/core/mg_precond.cpp.o" "gcc" "src/CMakeFiles/smg.dir/core/mg_precond.cpp.o.d"
+  "/root/repo/src/core/scaling.cpp" "src/CMakeFiles/smg.dir/core/scaling.cpp.o" "gcc" "src/CMakeFiles/smg.dir/core/scaling.cpp.o.d"
+  "/root/repo/src/core/smoother.cpp" "src/CMakeFiles/smg.dir/core/smoother.cpp.o" "gcc" "src/CMakeFiles/smg.dir/core/smoother.cpp.o.d"
+  "/root/repo/src/csr/csr_matrix.cpp" "src/CMakeFiles/smg.dir/csr/csr_matrix.cpp.o" "gcc" "src/CMakeFiles/smg.dir/csr/csr_matrix.cpp.o.d"
+  "/root/repo/src/grid/stencil.cpp" "src/CMakeFiles/smg.dir/grid/stencil.cpp.o" "gcc" "src/CMakeFiles/smg.dir/grid/stencil.cpp.o.d"
+  "/root/repo/src/perfmodel/bytes.cpp" "src/CMakeFiles/smg.dir/perfmodel/bytes.cpp.o" "gcc" "src/CMakeFiles/smg.dir/perfmodel/bytes.cpp.o.d"
+  "/root/repo/src/perfmodel/scaling_sim.cpp" "src/CMakeFiles/smg.dir/perfmodel/scaling_sim.cpp.o" "gcc" "src/CMakeFiles/smg.dir/perfmodel/scaling_sim.cpp.o.d"
+  "/root/repo/src/perfmodel/stream.cpp" "src/CMakeFiles/smg.dir/perfmodel/stream.cpp.o" "gcc" "src/CMakeFiles/smg.dir/perfmodel/stream.cpp.o.d"
+  "/root/repo/src/problems/laplace.cpp" "src/CMakeFiles/smg.dir/problems/laplace.cpp.o" "gcc" "src/CMakeFiles/smg.dir/problems/laplace.cpp.o.d"
+  "/root/repo/src/problems/oil.cpp" "src/CMakeFiles/smg.dir/problems/oil.cpp.o" "gcc" "src/CMakeFiles/smg.dir/problems/oil.cpp.o.d"
+  "/root/repo/src/problems/registry.cpp" "src/CMakeFiles/smg.dir/problems/registry.cpp.o" "gcc" "src/CMakeFiles/smg.dir/problems/registry.cpp.o.d"
+  "/root/repo/src/problems/rhd.cpp" "src/CMakeFiles/smg.dir/problems/rhd.cpp.o" "gcc" "src/CMakeFiles/smg.dir/problems/rhd.cpp.o.d"
+  "/root/repo/src/problems/solid.cpp" "src/CMakeFiles/smg.dir/problems/solid.cpp.o" "gcc" "src/CMakeFiles/smg.dir/problems/solid.cpp.o.d"
+  "/root/repo/src/problems/weather.cpp" "src/CMakeFiles/smg.dir/problems/weather.cpp.o" "gcc" "src/CMakeFiles/smg.dir/problems/weather.cpp.o.d"
+  "/root/repo/src/sgdia/any_matrix.cpp" "src/CMakeFiles/smg.dir/sgdia/any_matrix.cpp.o" "gcc" "src/CMakeFiles/smg.dir/sgdia/any_matrix.cpp.o.d"
+  "/root/repo/src/solvers/cg.cpp" "src/CMakeFiles/smg.dir/solvers/cg.cpp.o" "gcc" "src/CMakeFiles/smg.dir/solvers/cg.cpp.o.d"
+  "/root/repo/src/solvers/gmres.cpp" "src/CMakeFiles/smg.dir/solvers/gmres.cpp.o" "gcc" "src/CMakeFiles/smg.dir/solvers/gmres.cpp.o.d"
+  "/root/repo/src/solvers/richardson.cpp" "src/CMakeFiles/smg.dir/solvers/richardson.cpp.o" "gcc" "src/CMakeFiles/smg.dir/solvers/richardson.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bfloat16.dir/fp/test_bfloat16.cpp.o"
+  "CMakeFiles/test_bfloat16.dir/fp/test_bfloat16.cpp.o.d"
+  "test_bfloat16"
+  "test_bfloat16.pdb"
+  "test_bfloat16[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bfloat16.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

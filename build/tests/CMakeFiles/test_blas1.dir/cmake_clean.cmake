@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blas1.dir/kernels/test_blas1.cpp.o"
+  "CMakeFiles/test_blas1.dir/kernels/test_blas1.cpp.o.d"
+  "test_blas1"
+  "test_blas1.pdb"
+  "test_blas1[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blas1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

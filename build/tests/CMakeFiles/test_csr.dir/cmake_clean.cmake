@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_csr.dir/csr/test_csr.cpp.o"
+  "CMakeFiles/test_csr.dir/csr/test_csr.cpp.o.d"
+  "test_csr"
+  "test_csr.pdb"
+  "test_csr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_csr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

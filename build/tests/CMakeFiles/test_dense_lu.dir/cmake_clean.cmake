@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dense_lu.dir/core/test_dense_lu.cpp.o"
+  "CMakeFiles/test_dense_lu.dir/core/test_dense_lu.cpp.o.d"
+  "test_dense_lu"
+  "test_dense_lu.pdb"
+  "test_dense_lu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dense_lu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_half.dir/fp/test_half.cpp.o"
+  "CMakeFiles/test_half.dir/fp/test_half.cpp.o.d"
+  "test_half"
+  "test_half.pdb"
+  "test_half[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_half.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

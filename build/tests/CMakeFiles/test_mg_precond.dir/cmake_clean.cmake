@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mg_precond.dir/core/test_mg_precond.cpp.o"
+  "CMakeFiles/test_mg_precond.dir/core/test_mg_precond.cpp.o.d"
+  "test_mg_precond"
+  "test_mg_precond.pdb"
+  "test_mg_precond[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mg_precond.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_mg_precond.
+# This may be replaced when dependencies are built.

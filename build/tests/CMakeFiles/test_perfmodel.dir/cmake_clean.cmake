@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perfmodel.dir/perfmodel/test_perfmodel.cpp.o"
+  "CMakeFiles/test_perfmodel.dir/perfmodel/test_perfmodel.cpp.o.d"
+  "test_perfmodel"
+  "test_perfmodel.pdb"
+  "test_perfmodel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scaling.dir/core/test_scaling.cpp.o"
+  "CMakeFiles/test_scaling.dir/core/test_scaling.cpp.o.d"
+  "test_scaling"
+  "test_scaling.pdb"
+  "test_scaling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smoother.dir/core/test_smoother.cpp.o"
+  "CMakeFiles/test_smoother.dir/core/test_smoother.cpp.o.d"
+  "test_smoother"
+  "test_smoother.pdb"
+  "test_smoother[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smoother.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

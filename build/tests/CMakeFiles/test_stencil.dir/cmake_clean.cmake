@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stencil.dir/grid/test_stencil.cpp.o"
+  "CMakeFiles/test_stencil.dir/grid/test_stencil.cpp.o.d"
+  "test_stencil"
+  "test_stencil.pdb"
+  "test_stencil[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

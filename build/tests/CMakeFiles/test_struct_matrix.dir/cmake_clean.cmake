@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_struct_matrix.dir/sgdia/test_struct_matrix.cpp.o"
+  "CMakeFiles/test_struct_matrix.dir/sgdia/test_struct_matrix.cpp.o.d"
+  "test_struct_matrix"
+  "test_struct_matrix.pdb"
+  "test_struct_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_struct_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_symgs.dir/kernels/test_symgs.cpp.o"
+  "CMakeFiles/test_symgs.dir/kernels/test_symgs.cpp.o.d"
+  "test_symgs"
+  "test_symgs.pdb"
+  "test_symgs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_symgs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

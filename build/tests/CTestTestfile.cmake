@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_half[1]_include.cmake")
+include("/root/repo/build/tests/test_bfloat16[1]_include.cmake")
+include("/root/repo/build/tests/test_convert[1]_include.cmake")
+include("/root/repo/build/tests/test_stencil[1]_include.cmake")
+include("/root/repo/build/tests/test_struct_matrix[1]_include.cmake")
+include("/root/repo/build/tests/test_csr[1]_include.cmake")
+include("/root/repo/build/tests/test_blas1[1]_include.cmake")
+include("/root/repo/build/tests/test_spmv[1]_include.cmake")
+include("/root/repo/build/tests/test_symgs[1]_include.cmake")
+include("/root/repo/build/tests/test_scaling[1]_include.cmake")
+include("/root/repo/build/tests/test_transfer[1]_include.cmake")
+include("/root/repo/build/tests/test_coarsen[1]_include.cmake")
+include("/root/repo/build/tests/test_dense_lu[1]_include.cmake")
+include("/root/repo/build/tests/test_smoother[1]_include.cmake")
+include("/root/repo/build/tests/test_hierarchy[1]_include.cmake")
+include("/root/repo/build/tests/test_mg_precond[1]_include.cmake")
+include("/root/repo/build/tests/test_solvers[1]_include.cmake")
+include("/root/repo/build/tests/test_problems[1]_include.cmake")
+include("/root/repo/build/tests/test_perfmodel[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
