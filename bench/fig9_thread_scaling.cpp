@@ -1,0 +1,168 @@
+// Thread scaling of the SymGS smoother and the full V-cycle (the Fig. 9
+// companion this repo adds: the paper's Fig. 8/9 machines run 32-64 threads,
+// where a *serial* smoother would Amdahl-cap the whole preconditioner).
+//
+// For each problem at fig8 scale: a single-thread sequential-smoother
+// baseline, then OMP_NUM_THREADS in {1,2,4,8} with the Auto wavefront
+// smoother.  Reported per config: ms per SymGS (fwd+bwd) sweep pair on the
+// finest level, ms per full V-cycle, and the speedups vs the baseline —
+// emitted both as a table and as one JSON line per config for BENCH_*.json
+// harvesting.  (On a single-core host extra threads oversubscribe; the
+// interesting series needs >= 2 cores.)
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "kernels/blas1.hpp"
+#include "kernels/symgs.hpp"
+
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
+
+using namespace smg;
+
+namespace {
+
+struct Timing {
+  double symgs_ms = 0.0;   ///< one forward+backward sweep pair, finest level
+  double vcycle_ms = 0.0;  ///< one MGPrecond<float>::apply
+  std::string mode;        ///< smoother schedule actually in effect
+};
+
+Timing measure(const Problem& p, MGConfig cfg) {
+  StructMat<double> A = p.A;
+  MGHierarchy h(std::move(A), cfg);
+  MGPrecond<float> M(&h);
+
+  const Level& l0 = h.level(0);
+  const std::size_t n = static_cast<std::size_t>(l0.A_full.nrows());
+  avec<float> f(n, 1.0f);
+  avec<float> u(n, 0.0f);
+  avec<float> invdf(l0.invdiag.size());
+  copy_convert<float, double>({l0.invdiag.data(), l0.invdiag.size()},
+                              {invdf.data(), invdf.size()});
+  avec<float> q2f;
+  const float* q2 = nullptr;
+  if (l0.scaled) {
+    q2f.resize(l0.q2.size());
+    copy_convert<float, double>({l0.q2.data(), l0.q2.size()},
+                                {q2f.data(), q2f.size()});
+    q2 = q2f.data();
+  }
+  const WavefrontSchedule* wf =
+      l0.smoother_wf.valid() ? &l0.smoother_wf : nullptr;
+
+  Timing out;
+  out.mode = wf != nullptr ? "wavefront" : "sequential";
+
+  const int sweeps = 20;
+  const int cycles = 10;
+  double best_symgs = 1e30;
+  double best_cycle = 1e30;
+  for (int rep = 0; rep < 3; ++rep) {  // rep 0 doubles as warm-up
+    Timer ts;
+    for (int s = 0; s < sweeps; ++s) {
+      l0.A_stored.visit([&](const auto& m) {
+        gs_forward(m, std::span<const float>{f.data(), n},
+                   std::span<float>{u.data(), n},
+                   std::span<const float>{invdf.data(), invdf.size()}, q2,
+                   wf);
+        gs_backward(m, std::span<const float>{f.data(), n},
+                    std::span<float>{u.data(), n},
+                    std::span<const float>{invdf.data(), invdf.size()}, q2,
+                    wf);
+      });
+    }
+    best_symgs = std::min(best_symgs, ts.seconds());
+
+    avec<float> r(n, 1.0f);
+    avec<float> e(n, 0.0f);
+    Timer tc;
+    for (int c = 0; c < cycles; ++c) {
+      M.apply({r.data(), n}, {e.data(), n});
+    }
+    best_cycle = std::min(best_cycle, tc.seconds());
+  }
+  out.symgs_ms = best_symgs * 1000.0 / sweeps;
+  out.vcycle_ms = best_cycle * 1000.0 / cycles;
+  return out;
+}
+
+void set_threads(int nt) {
+#if defined(_OPENMP)
+  omp_set_num_threads(nt);
+#else
+  (void)nt;
+#endif
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Thread scaling: SymGS sweeps and full V-cycles (wavefront smoother)",
+      "Fig. 8/9 threading companion (kernel ablation: SymGS dominates)");
+
+  std::vector<int> threads = {1, 2, 4, 8};
+#if defined(_OPENMP)
+  const int hw = omp_get_num_procs();
+#else
+  const int hw = 1;
+  threads = {1};
+#endif
+  std::printf("host procs: %d (speedups need >= 2; 1-core hosts "
+              "oversubscribe)\n\n",
+              hw);
+
+  Table t({"problem", "threads", "mode", "symgs ms", "vcycle ms", "symgs x",
+           "vcycle x"});
+
+  for (const auto& name : {"rhd", "weather", "laplace27", "solid3d"}) {
+    const Problem p = make_problem(name, bench::default_box(name));
+
+    // Baseline: the pre-wavefront configuration (sequential smoother, one
+    // thread) — the "seed" single-thread SymGS time regressions are
+    // measured against.
+    MGConfig seq = config_d16_setup_scale();
+    seq.min_coarse_cells = 64;
+    seq.smoother_parallel = SmootherParallel::Sequential;
+    set_threads(1);
+    const Timing base = measure(p, seq);
+    std::printf("{\"bench\":\"fig9_thread_scaling\",\"problem\":\"%s\","
+                "\"threads\":1,\"mode\":\"sequential\",\"symgs_ms\":%.4f,"
+                "\"vcycle_ms\":%.4f,\"symgs_speedup\":1.0,"
+                "\"vcycle_speedup\":1.0}\n",
+                name, base.symgs_ms, base.vcycle_ms);
+    t.row({name, "1", "sequential", Table::fmt(base.symgs_ms, 3),
+           Table::fmt(base.vcycle_ms, 3), "1.00", "1.00"});
+
+    for (int nt : threads) {
+      set_threads(nt);
+      MGConfig cfg = config_d16_setup_scale();
+      cfg.min_coarse_cells = 64;
+      cfg.smoother_parallel = SmootherParallel::Auto;
+      const Timing cur = measure(p, cfg);
+      const double sx = base.symgs_ms / cur.symgs_ms;
+      const double vx = base.vcycle_ms / cur.vcycle_ms;
+      std::printf("{\"bench\":\"fig9_thread_scaling\",\"problem\":\"%s\","
+                  "\"threads\":%d,\"mode\":\"%s\",\"symgs_ms\":%.4f,"
+                  "\"vcycle_ms\":%.4f,\"symgs_speedup\":%.3f,"
+                  "\"vcycle_speedup\":%.3f}\n",
+                  name, nt, cur.mode.c_str(), cur.symgs_ms, cur.vcycle_ms, sx,
+                  vx);
+      t.row({name, std::to_string(nt), cur.mode, Table::fmt(cur.symgs_ms, 3),
+             Table::fmt(cur.vcycle_ms, 3), Table::fmt(sx, 2) + "x",
+             Table::fmt(vx, 2) + "x"});
+    }
+  }
+
+  std::printf("\n");
+  t.print();
+  std::printf("\n(threads=1 Auto keeps the sequential sweep — the <5%% "
+              "regression check; wavefront rows parallelize every V-cycle "
+              "kernel including the smoother.)\n");
+  set_threads(hw);
+  return 0;
+}

@@ -43,6 +43,26 @@ enum class SmootherType {
   SymGS,   ///< forward GS pre-smoothing, backward GS post-smoothing
 };
 
+/// How the SymGS sweeps are scheduled across OpenMP threads.
+enum class SmootherParallel {
+  Auto,        ///< wavefront when threads > 1 and enough lines per level
+  Wavefront,   ///< always level-scheduled (sequential only if the stencil
+               ///< violates the |dy|,|dz| <= 1 wavefront bound)
+  Sequential,  ///< always the plain lexicographic sweep
+};
+
+constexpr std::string_view to_string(SmootherParallel p) noexcept {
+  switch (p) {
+    case SmootherParallel::Auto:
+      return "auto";
+    case SmootherParallel::Wavefront:
+      return "wavefront";
+    case SmootherParallel::Sequential:
+      return "sequential";
+  }
+  return "?";
+}
+
 enum class CycleType {
   V,
   W,
@@ -66,6 +86,9 @@ struct MGConfig {
   int nu1 = 1;
   int nu2 = 1;
   double jacobi_weight = 0.67;
+  /// SymGS sweep scheduling (bitwise identical either way; see
+  /// grid/wavefront.hpp and DESIGN.md "Wavefront-parallel SymGS").
+  SmootherParallel smoother_parallel = SmootherParallel::Auto;
 
   // --- precision (P and D of the paper's K/P/D triple) ---
   Prec compute = Prec::FP32;

@@ -69,6 +69,14 @@ MGHierarchy::MGHierarchy(StructMat<double> A0, MGConfig cfg)
       lev.to_coarse = steps[static_cast<std::size_t>(l)];
     }
 
+    // SymGS sweep scheduling is a per-level decision (coarse levels may be
+    // too small to amortize the wavefront barriers).
+    if (cfg_.smoother == SmootherType::SymGS) {
+      lev.smoother_wf =
+          plan_smoother_wavefront(lev.A_full.box(), lev.A_full.stencil(),
+                                  cfg_.layout, cfg_.smoother_parallel);
+    }
+
     // Smoothers are set up from the high-precision matrix, then their data
     // is truncated to storage precision (Alg. 1 line 13).  On scaled levels
     // the truncation happens in the *scaled* space (the paper sets S_i up

@@ -14,6 +14,7 @@
 #include "core/dense_lu.hpp"
 #include "core/scaling.hpp"
 #include "core/transfer.hpp"
+#include "grid/wavefront.hpp"
 #include "sgdia/any_matrix.hpp"
 
 namespace smg {
@@ -28,6 +29,10 @@ struct Level {
   TruncateReport trunc;      ///< truncation stats of this level
   double gmax = 0.0;         ///< Theorem 4.1 bound (0 if not scaled)
   Prec storage = Prec::FP64;
+  /// Level-scheduled SymGS sweep plan; invalid means "sequential sweep"
+  /// (Sequential mode, wavefront-incompatible stencil, or a level the Auto
+  /// heuristic judged too small).  Computed once at setup.
+  WavefrontSchedule smoother_wf;
 };
 
 class MGHierarchy {

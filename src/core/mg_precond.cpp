@@ -46,11 +46,13 @@ void MGPrecond<CT>::smooth(int lev, bool forward) {
   std::span<const CT> invdiag{L.invdiag.data(), L.invdiag.size()};
 
   if (cfg.smoother == SmootherType::SymGS) {
+    const WavefrontSchedule* wf =
+        hl.smoother_wf.valid() ? &hl.smoother_wf : nullptr;
     hl.A_stored.visit([&](const auto& m) {
       if (forward) {
-        gs_forward(m, f, u, invdiag, q2);
+        gs_forward(m, f, u, invdiag, q2, wf);
       } else {
-        gs_backward(m, f, u, invdiag, q2);
+        gs_backward(m, f, u, invdiag, q2, wf);
       }
     });
     return;

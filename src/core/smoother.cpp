@@ -1,8 +1,13 @@
 #include "core/smoother.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/common.hpp"
+
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
 
 namespace smg {
 
@@ -109,6 +114,40 @@ avec<double> compute_invdiag(const StructMat<double>& A) {
     }
   }
   return inv;
+}
+
+WavefrontSchedule plan_smoother_wavefront(const Box& box, const Stencil& st,
+                                          Layout layout,
+                                          SmootherParallel mode) {
+  if (mode == SmootherParallel::Sequential) {
+    return {};
+  }
+  int threads = 1;
+#if defined(_OPENMP)
+  threads = omp_get_max_threads();
+#endif
+  if (mode == SmootherParallel::Auto && threads <= 1) {
+    return {};
+  }
+  WavefrontSchedule wf = layout == Layout::AOS
+                             ? WavefrontSchedule::cells(box, st)
+                             : WavefrontSchedule::lines(box, st);
+  if (!wf.valid()) {
+    return {};  // stencil outside the wavefront bound: sequential fallback
+  }
+  if (mode == SmootherParallel::Auto) {
+    // A wavefront level must feed every thread to beat the sequential
+    // sweep's perfect locality; a line is a big work item (nx cells x
+    // ndiag), a cell a tiny one, so the cell path needs far more slack
+    // before the per-level barrier amortizes.
+    const double floor_par = layout == Layout::AOS
+                                 ? 16.0 * std::max(4, threads)
+                                 : 1.0 * std::max(4, threads);
+    if (wf.mean_parallelism() < floor_par) {
+      return {};
+    }
+  }
+  return wf;
 }
 
 }  // namespace smg

@@ -6,6 +6,8 @@
 // (a scalar reciprocal when block_size == 1).
 #pragma once
 
+#include "core/config.hpp"
+#include "grid/wavefront.hpp"
 #include "sgdia/struct_matrix.hpp"
 #include "util/aligned.hpp"
 
@@ -23,5 +25,15 @@ avec<double> compute_invdiag(const StructMat<double>& A);
 /// (the guard an un-scalable quantity like 1/a_ii needs on far-out-of-range
 /// problems).  Returns how many entries were guarded.
 std::size_t truncate_smoother_data(avec<double>& data, Prec storage);
+
+/// Decide and build the wavefront schedule driving one level's SymGS sweeps
+/// (line granularity for the SOA-family layouts, cell granularity for AOS).
+/// Returns an *invalid* schedule — meaning "use the sequential sweep" — when
+/// `mode` is Sequential, when the stencil violates the wavefront bound, or
+/// when the Auto heuristic judges the level too small to amortize the
+/// per-level barriers (see DESIGN.md "Wavefront-parallel SymGS").
+WavefrontSchedule plan_smoother_wavefront(const Box& box, const Stencil& st,
+                                          Layout layout,
+                                          SmootherParallel mode);
 
 }  // namespace smg

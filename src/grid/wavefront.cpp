@@ -1,0 +1,102 @@
+#include "grid/wavefront.hpp"
+
+#include <climits>
+
+namespace smg {
+
+namespace {
+
+/// All offsets inside the bound the level function assumes: |dy|,|dz| <= 1,
+/// and for cell granularity |dx| <= 1 as well.
+bool offsets_bounded(const Stencil& st, bool check_dx) noexcept {
+  for (const Offset& o : st.offsets()) {
+    if (o.dy < -1 || o.dy > 1 || o.dz < -1 || o.dz > 1) {
+      return false;
+    }
+    if (check_dx && (o.dx < -1 || o.dx > 1)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Drop empty levels from a (counts -> prefix) level_ptr.
+void compact_levels(std::vector<std::int32_t>& level_ptr) {
+  std::size_t out = 1;
+  for (std::size_t l = 1; l < level_ptr.size(); ++l) {
+    if (level_ptr[l] != level_ptr[out - 1]) {
+      level_ptr[out++] = level_ptr[l];
+    }
+  }
+  level_ptr.resize(out);
+}
+
+}  // namespace
+
+WavefrontSchedule WavefrontSchedule::lines(const Box& box, const Stencil& st) {
+  WavefrontSchedule wf;
+  wf.gran_ = WfGranularity::Line;
+  const std::int64_t nlines = static_cast<std::int64_t>(box.ny) * box.nz;
+  if (nlines <= 0 || nlines > INT_MAX || !offsets_bounded(st, false)) {
+    return wf;  // invalid: caller falls back to the sequential sweep
+  }
+  const int nlev = box.ny + 2 * box.nz - 2;  // L = j + 2k in [0, nlev)
+  wf.level_ptr_.assign(static_cast<std::size_t>(nlev) + 1, 0);
+  for (int k = 0; k < box.nz; ++k) {
+    for (int j = 0; j < box.ny; ++j) {
+      ++wf.level_ptr_[static_cast<std::size_t>(j + 2 * k) + 1];
+    }
+  }
+  for (std::size_t l = 1; l < wf.level_ptr_.size(); ++l) {
+    wf.level_ptr_[l] += wf.level_ptr_[l - 1];
+  }
+  wf.items_.resize(static_cast<std::size_t>(nlines));
+  std::vector<std::int32_t> cursor(wf.level_ptr_.begin(),
+                                   wf.level_ptr_.end() - 1);
+  for (int k = 0; k < box.nz; ++k) {
+    for (int j = 0; j < box.ny; ++j) {
+      wf.items_[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(j + 2 * k)]++)] =
+          static_cast<std::int32_t>(j + box.ny * k);
+    }
+  }
+  compact_levels(wf.level_ptr_);
+  return wf;
+}
+
+WavefrontSchedule WavefrontSchedule::cells(const Box& box, const Stencil& st) {
+  WavefrontSchedule wf;
+  wf.gran_ = WfGranularity::Cell;
+  const std::int64_t ncells = box.size();
+  if (ncells <= 0 || ncells > INT_MAX || !offsets_bounded(st, true)) {
+    return wf;
+  }
+  const int nlev = box.nx + 2 * box.ny + 4 * box.nz - 6;  // L = i + 2j + 4k
+  wf.level_ptr_.assign(static_cast<std::size_t>(nlev) + 1, 0);
+  for (int k = 0; k < box.nz; ++k) {
+    for (int j = 0; j < box.ny; ++j) {
+      for (int i = 0; i < box.nx; ++i) {
+        ++wf.level_ptr_[static_cast<std::size_t>(i + 2 * j + 4 * k) + 1];
+      }
+    }
+  }
+  for (std::size_t l = 1; l < wf.level_ptr_.size(); ++l) {
+    wf.level_ptr_[l] += wf.level_ptr_[l - 1];
+  }
+  wf.items_.resize(static_cast<std::size_t>(ncells));
+  std::vector<std::int32_t> cursor(wf.level_ptr_.begin(),
+                                   wf.level_ptr_.end() - 1);
+  for (int k = 0; k < box.nz; ++k) {
+    for (int j = 0; j < box.ny; ++j) {
+      for (int i = 0; i < box.nx; ++i) {
+        wf.items_[static_cast<std::size_t>(
+            cursor[static_cast<std::size_t>(i + 2 * j + 4 * k)]++)] =
+            static_cast<std::int32_t>(box.idx(i, j, k));
+      }
+    }
+  }
+  compact_levels(wf.level_ptr_);
+  return wf;
+}
+
+}  // namespace smg

@@ -79,9 +79,11 @@ double nrm2(std::span<const T> x) noexcept {
 
 template <class T>
 double nrm_inf(std::span<const T> x) noexcept {
+  const std::size_t n = x.size();
   double m = 0.0;
-  for (const T& v : x) {
-    m = std::max(m, std::abs(static_cast<double>(v)));
+#pragma omp parallel for simd reduction(max : m)
+  for (std::size_t i = 0; i < n; ++i) {
+    m = std::max(m, std::abs(static_cast<double>(x[i])));
   }
   return m;
 }

@@ -344,9 +344,12 @@ void apply_soa_block_lines(const StructMat<ST>& A, const CT* SMG_RESTRICT x,
   if (q2 != nullptr) {
     const std::size_t n = static_cast<std::size_t>(A.nrows());
     xqbuf.resize(n);
+    // Hoist the pointer: xqbuf is thread_local, so naming it inside the
+    // parallel region would resolve to each worker's own (empty) buffer.
+    CT* SMG_RESTRICT xq = xqbuf.data();
 #pragma omp parallel for simd
     for (std::size_t q = 0; q < n; ++q) {
-      xqbuf[q] = q2[q] * x[q];
+      xq[q] = q2[q] * x[q];
     }
     x = xqbuf.data();
   }

@@ -14,11 +14,21 @@
 // (8 FP16 entries per vcvtph2ps), leaving a one-term scalar recurrence.
 // The AOS path is the straightforward scalar sweep paying one convert per
 // entry (the "(naive)" variant).
+//
+// Threading: every sweep accepts an optional WavefrontSchedule.  A valid
+// schedule runs the same per-line (per-cell for AOS) bodies level by level
+// with the items of one level in an `omp for` — each item only ever reads
+// items of strictly earlier (fully updated) or strictly later (untouched)
+// levels, so the parallel sweep is *bitwise identical* to the sequential
+// one at any thread count (see grid/wavefront.hpp for the level function).
+// A null or invalid schedule, or one of the wrong granularity, falls back
+// to the plain sequential sweep.
 #pragma once
 
 #include <span>
 #include <vector>
 
+#include "grid/wavefront.hpp"
 #include "kernels/loops.hpp"
 #include "kernels/spmv.hpp"
 #include "sgdia/struct_matrix.hpp"
@@ -41,23 +51,114 @@ inline void block_apply(const CT* blk, const CT* v, CT* out, int bs) noexcept {
   }
 }
 
+/// True if `wf` can drive a level-scheduled sweep at this granularity.
+inline bool wf_usable(const WavefrontSchedule* wf,
+                      WfGranularity gran) noexcept {
+  return wf != nullptr && wf->valid() && wf->granularity() == gran;
+}
+
+/// Run `body(item)` over every scheduled item, level by level (reversed for
+/// the backward sweep); items of one level run in parallel.  One parallel
+/// region covers the whole sweep — the per-level `omp for` barrier is the
+/// only synchronization.
+template <bool kForward, class Body>
+inline void run_wavefront(const WavefrontSchedule& wf, const Body& body) {
+  const int nlev = wf.nlevels();
+#pragma omp parallel
+  for (int s = 0; s < nlev; ++s) {
+    const auto lv = wf.level(kForward ? s : nlev - 1 - s);
+    const std::int64_t nl = static_cast<std::int64_t>(lv.size());
+#pragma omp for schedule(static)
+    for (std::int64_t t = 0; t < nl; ++t) {
+      body(lv[static_cast<std::size_t>(t)]);
+    }
+  }
+}
+
+/// Run `body(j, k)` over all grid lines: wavefront-parallel when a usable
+/// line-granularity schedule is supplied, sequential sweep order otherwise.
+template <bool kForward, class Body>
+inline void run_lines(const Box& box, const WavefrontSchedule* wf,
+                      const Body& body) {
+  if (wf_usable(wf, WfGranularity::Line)) {
+    run_wavefront<kForward>(*wf, [&](std::int32_t line) {
+      body(static_cast<int>(line % box.ny), static_cast<int>(line / box.ny));
+    });
+    return;
+  }
+  const int k0 = kForward ? 0 : box.nz - 1;
+  const int kstep = kForward ? 1 : -1;
+  for (int k = k0; k >= 0 && k < box.nz; k += kstep) {
+    const int j0 = kForward ? 0 : box.ny - 1;
+    for (int j = j0; j >= 0 && j < box.ny; j += kstep) {
+      body(j, k);
+    }
+  }
+}
+
 /// Scalar Gauss-Seidel sweep over all cells in the given direction.
 /// Works for any layout; the AOS ("naive") path for 2-byte storage.
+/// Parallelized at cell granularity by a Cell wavefront schedule.
 template <bool kForward, class ST, class CT>
 void gs_sweep_scalar(const StructMat<ST>& A, std::span<const CT> f,
                      std::span<CT> u, std::span<const CT> invdiag,
-                     const CT* SMG_RESTRICT q2) {
+                     const CT* SMG_RESTRICT q2, const WavefrontSchedule* wf) {
   const Box& box = A.box();
   const Stencil& st = A.stencil();
   const int bs = A.block_size();
   const int nd = st.ndiag();
   const int center = st.center();
   SMG_CHECK(center >= 0, "GS sweep needs a diagonal entry");
+  SMG_CHECK(bs <= 8, "block size > 8 unsupported");
   const std::int64_t block2 = static_cast<std::int64_t>(bs) * bs;
 
-  CT acc[8];
-  CT upd[8];
-  SMG_CHECK(bs <= 8, "block size > 8 unsupported");
+  const auto cell_body = [&](int i, int j, int k) {
+    CT acc[8];
+    CT upd[8];
+    const std::int64_t cell = box.idx(i, j, k);
+    for (int br = 0; br < bs; ++br) {
+      acc[br] = f[cell * bs + br];
+    }
+    for (int d = 0; d < nd; ++d) {
+      if (d == center) {
+        continue;
+      }
+      const Offset& o = st.offset(d);
+      if (!box.contains(i + o.dx, j + o.dy, k + o.dz)) {
+        continue;
+      }
+      const std::int64_t nbr = box.idx(i + o.dx, j + o.dy, k + o.dz);
+      const ST* blk = A.data() + A.block_index(cell, d);
+      for (int br = 0; br < bs; ++br) {
+        CT s{0};
+        for (int bc = 0; bc < bs; ++bc) {
+          CT xv = u[nbr * bs + bc];
+          if (q2 != nullptr) {
+            xv *= q2[nbr * bs + bc];
+          }
+          s += widen1<CT>(blk[br * bs + bc]) * xv;
+        }
+        if (q2 != nullptr) {
+          s *= q2[cell * bs + br];
+        }
+        acc[br] -= s;
+      }
+    }
+    block_apply(invdiag.data() + cell * block2, acc, upd, bs);
+    for (int br = 0; br < bs; ++br) {
+      u[cell * bs + br] = upd[br];
+    }
+  };
+
+  if (wf_usable(wf, WfGranularity::Cell)) {
+    const std::int64_t nxy = static_cast<std::int64_t>(box.nx) * box.ny;
+    run_wavefront<kForward>(*wf, [&](std::int32_t cell) {
+      const int k = static_cast<int>(cell / nxy);
+      const int rem = static_cast<int>(cell % nxy);
+      cell_body(rem % box.nx, rem / box.nx, k);
+    });
+    return;
+  }
 
   const int k0 = kForward ? 0 : box.nz - 1;
   const int kstep = kForward ? 1 : -1;
@@ -66,39 +167,7 @@ void gs_sweep_scalar(const StructMat<ST>& A, std::span<const CT> f,
     for (int j = j0; j >= 0 && j < box.ny; j += kstep) {
       const int i0 = kForward ? 0 : box.nx - 1;
       for (int i = i0; i >= 0 && i < box.nx; i += kstep) {
-        const std::int64_t cell = box.idx(i, j, k);
-        for (int br = 0; br < bs; ++br) {
-          acc[br] = f[cell * bs + br];
-        }
-        for (int d = 0; d < nd; ++d) {
-          if (d == center) {
-            continue;
-          }
-          const Offset& o = st.offset(d);
-          if (!box.contains(i + o.dx, j + o.dy, k + o.dz)) {
-            continue;
-          }
-          const std::int64_t nbr = box.idx(i + o.dx, j + o.dy, k + o.dz);
-          const ST* blk = A.data() + A.block_index(cell, d);
-          for (int br = 0; br < bs; ++br) {
-            CT s{0};
-            for (int bc = 0; bc < bs; ++bc) {
-              CT xv = u[nbr * bs + bc];
-              if (q2 != nullptr) {
-                xv *= q2[nbr * bs + bc];
-              }
-              s += widen1<CT>(blk[br * bs + bc]) * xv;
-            }
-            if (q2 != nullptr) {
-              s *= q2[cell * bs + br];
-            }
-            acc[br] -= s;
-          }
-        }
-        block_apply(invdiag.data() + cell * block2, acc, upd, bs);
-        for (int br = 0; br < bs; ++br) {
-          u[cell * bs + br] = upd[br];
-        }
+        cell_body(i, j, k);
       }
     }
   }
@@ -108,7 +177,8 @@ void gs_sweep_scalar(const StructMat<ST>& A, std::span<const CT> f,
 template <bool kForward, class ST, class CT>
 void gs_sweep_soa_lines(const StructMat<ST>& A, std::span<const CT> f,
                         std::span<CT> u, std::span<const CT> invdiag,
-                        const CT* SMG_RESTRICT q2) {
+                        const CT* SMG_RESTRICT q2,
+                        const WavefrontSchedule* wf) {
   const Box& box = A.box();
   const Stencil& st = A.stencil();
   const int nd = st.ndiag();
@@ -121,80 +191,82 @@ void gs_sweep_soa_lines(const StructMat<ST>& A, std::span<const CT> f,
   const int recur_d = kForward ? st.find(-1, 0, 0) : st.find(+1, 0, 0);
   const int recur_dx = kForward ? -1 : +1;
 
-  thread_local avec<CT> accbuf;
-  accbuf.resize(static_cast<std::size_t>(box.nx));
-  CT* SMG_RESTRICT acc = accbuf.data();
-
   // Scaled recovery: maintain uq = q2 .* u incrementally so the vectorized
   // pre-pass reads a single vector (one load + fma per entry, same as the
-  // unscaled sweep).
+  // unscaled sweep).  The buffer is owned by the calling thread; worker
+  // threads of a wavefront sweep share it through the captured pointer
+  // (each line only writes its own entries).
   thread_local avec<CT> uqbuf;
   const CT* SMG_RESTRICT uread = u.data();
   CT* SMG_RESTRICT uq = nullptr;
   if (q2 != nullptr) {
     const std::size_t n = u.size();
     uqbuf.resize(n);
+    CT* SMG_RESTRICT uqp = uqbuf.data();
+    const CT* SMG_RESTRICT up = u.data();
+#pragma omp parallel for simd
     for (std::size_t q = 0; q < n; ++q) {
-      uqbuf[q] = q2[q] * u[q];
+      uqp[q] = q2[q] * up[q];
     }
     uq = uqbuf.data();
     uread = uq;
   }
 
-  const int k0 = kForward ? 0 : box.nz - 1;
-  const int kstep = kForward ? 1 : -1;
-  for (int k = k0; k >= 0 && k < box.nz; k += kstep) {
-    const int j0 = kForward ? 0 : box.ny - 1;
-    for (int j = j0; j >= 0 && j < box.ny; j += kstep) {
-      const std::int64_t base = box.idx(0, j, k);
-      const std::int64_t line = j + static_cast<std::int64_t>(box.ny) * k;
-      for (int i = 0; i < box.nx; ++i) {
-        acc[i] = CT{0};
+  const auto line_body = [&](int j, int k) {
+    thread_local avec<CT> accbuf;
+    accbuf.resize(static_cast<std::size_t>(box.nx));
+    CT* SMG_RESTRICT acc = accbuf.data();
+
+    const std::int64_t base = box.idx(0, j, k);
+    const std::int64_t line = j + static_cast<std::int64_t>(box.ny) * k;
+    for (int i = 0; i < box.nx; ++i) {
+      acc[i] = CT{0};
+    }
+    // Vectorized pre-pass: every off-line (and the old-value same-line
+    // opposite) contribution, accumulating a[i] * (q2*) u[nbr].
+    for (int d = 0; d < nd; ++d) {
+      if (d == center || d == recur_d) {
+        continue;
       }
-      // Vectorized pre-pass: every off-line (and the old-value same-line
-      // opposite) contribution, accumulating a[i] * (q2*) u[nbr].
-      for (int d = 0; d < nd; ++d) {
-        if (d == center || d == recur_d) {
-          continue;
-        }
-        const DiagRange r = diag_range(box, st.offset(d), j, k);
-        if (!r.line_valid || r.ihi <= r.ilo) {
-          continue;
-        }
-        const ST* a =
-            line_diag_ptr(vals, layout, base, line, d, nd, ncells, box.nx);
-        const std::int64_t xoff = base + r.shift;
-        soa_diag_fma<false, false>(a + r.ilo, uread + xoff + r.ilo,
-                                   static_cast<const CT*>(nullptr),
-                                   acc + r.ilo, r.ihi - r.ilo);
+      const DiagRange r = diag_range(box, st.offset(d), j, k);
+      if (!r.line_valid || r.ihi <= r.ilo) {
+        continue;
       }
-      // Scalar recurrence along the line.
-      const ST* arec = recur_d >= 0
-                           ? line_diag_ptr(vals, layout, base, line, recur_d,
-                                           nd, ncells, box.nx)
-                           : nullptr;
-      const int i0 = kForward ? 0 : box.nx - 1;
-      const int istep = kForward ? 1 : -1;
-      for (int i = i0; i >= 0 && i < box.nx; i += istep) {
-        CT s = acc[i];
-        const int inbr = i + recur_dx;
-        if (arec != nullptr && inbr >= 0 && inbr < box.nx) {
-          s += widen1<CT>(arec[i]) * uread[base + inbr];
-        }
-        CT rhs = f[base + i];
-        if (q2 != nullptr) {
-          rhs -= q2[base + i] * s;
-        } else {
-          rhs -= s;
-        }
-        const CT unew = invdiag[base + i] * rhs;
-        u[base + i] = unew;
-        if (uq != nullptr) {
-          uq[base + i] = q2[base + i] * unew;
-        }
+      const ST* a =
+          line_diag_ptr(vals, layout, base, line, d, nd, ncells, box.nx);
+      const std::int64_t xoff = base + r.shift;
+      soa_diag_fma<false, false>(a + r.ilo, uread + xoff + r.ilo,
+                                 static_cast<const CT*>(nullptr),
+                                 acc + r.ilo, r.ihi - r.ilo);
+    }
+    // Scalar recurrence along the line.
+    const ST* arec = recur_d >= 0
+                         ? line_diag_ptr(vals, layout, base, line, recur_d,
+                                         nd, ncells, box.nx)
+                         : nullptr;
+    const int i0 = kForward ? 0 : box.nx - 1;
+    const int istep = kForward ? 1 : -1;
+    for (int i = i0; i >= 0 && i < box.nx; i += istep) {
+      CT s = acc[i];
+      const int inbr = i + recur_dx;
+      if (arec != nullptr && inbr >= 0 && inbr < box.nx) {
+        s += widen1<CT>(arec[i]) * uread[base + inbr];
+      }
+      CT rhs = f[base + i];
+      if (q2 != nullptr) {
+        rhs -= q2[base + i] * s;
+      } else {
+        rhs -= s;
+      }
+      const CT unew = invdiag[base + i] * rhs;
+      u[base + i] = unew;
+      if (uq != nullptr) {
+        uq[base + i] = q2[base + i] * unew;
       }
     }
-  }
+  };
+
+  run_lines<kForward>(box, wf, line_body);
 }
 
 /// Line-buffered sweep for SOA-family block (bs > 1) matrices: per (line,
@@ -205,7 +277,8 @@ void gs_sweep_soa_lines(const StructMat<ST>& A, std::span<const CT> f,
 template <bool kForward, class ST, class CT>
 void gs_sweep_block_lines(const StructMat<ST>& A, std::span<const CT> f,
                           std::span<CT> u, std::span<const CT> invdiag,
-                          const CT* SMG_RESTRICT q2) {
+                          const CT* SMG_RESTRICT q2,
+                          const WavefrontSchedule* wf) {
   const Box& box = A.box();
   const Stencil& st = A.stencil();
   const int bs = A.block_size();
@@ -218,30 +291,26 @@ void gs_sweep_block_lines(const StructMat<ST>& A, std::span<const CT> f,
   const Layout layout = A.layout();
   const std::size_t runlen =
       static_cast<std::size_t>(nx) * static_cast<std::size_t>(block2);
+  SMG_CHECK(bs <= 8, "block size > 8 unsupported");
 
   const int recur_d = kForward ? st.find(-1, 0, 0) : st.find(+1, 0, 0);
   const int recur_dx = kForward ? -1 : +1;
 
-  thread_local avec<CT> accbuf;
-  thread_local avec<CT> coefbuf;
-  thread_local avec<CT> recurbuf;
-  accbuf.resize(static_cast<std::size_t>(nx) * bs);
-  CT* SMG_RESTRICT acc = accbuf.data();
-  CT s[8];
-  CT upd[8];
-  SMG_CHECK(bs <= 8, "block size > 8 unsupported");
-
   // Scaled recovery: maintain uq = q2 .* u incrementally (updated together
   // with u in the recurrence) so the hot off-line pass reads one vector
-  // instead of paying a load + multiply per matrix entry.
+  // instead of paying a load + multiply per matrix entry.  Shared across
+  // wavefront workers exactly like the scalar path's buffer.
   thread_local avec<CT> uqbuf;
   const CT* SMG_RESTRICT uread = u.data();
   CT* SMG_RESTRICT uq = nullptr;
   if (q2 != nullptr) {
     const std::size_t n = u.size();
     uqbuf.resize(n);
+    CT* SMG_RESTRICT uqp = uqbuf.data();
+    const CT* SMG_RESTRICT up = u.data();
+#pragma omp parallel for simd
     for (std::size_t q = 0; q < n; ++q) {
-      uqbuf[q] = q2[q] * u[q];
+      uqp[q] = q2[q] * up[q];
     }
     uq = uqbuf.data();
     uread = uq;
@@ -255,101 +324,110 @@ void gs_sweep_block_lines(const StructMat<ST>& A, std::span<const CT> f,
                              block2);
   };
 
-  const int k0 = kForward ? 0 : box.nz - 1;
-  const int kstep = kForward ? 1 : -1;
-  for (int k = k0; k >= 0 && k < box.nz; k += kstep) {
-    const int j0 = kForward ? 0 : box.ny - 1;
-    for (int j = j0; j >= 0 && j < box.ny; j += kstep) {
-      const std::int64_t base = box.idx(0, j, k);
-      const std::int64_t line = j + static_cast<std::int64_t>(box.ny) * k;
-      for (std::size_t q = 0; q < static_cast<std::size_t>(nx) * bs; ++q) {
-        acc[q] = CT{0};
+  const auto line_body = [&](int j, int k) {
+    thread_local avec<CT> accbuf;
+    thread_local avec<CT> coefbuf;
+    thread_local avec<CT> recurbuf;
+    accbuf.resize(static_cast<std::size_t>(nx) * bs);
+    CT* SMG_RESTRICT acc = accbuf.data();
+    CT s[8];
+    CT upd[8];
+
+    const std::int64_t base = box.idx(0, j, k);
+    const std::int64_t line = j + static_cast<std::int64_t>(box.ny) * k;
+    for (std::size_t q = 0; q < static_cast<std::size_t>(nx) * bs; ++q) {
+      acc[q] = CT{0};
+    }
+    // Off-line (and same-line old-value) contributions.
+    for (int d = 0; d < nd; ++d) {
+      if (d == center || d == recur_d) {
+        continue;
       }
-      // Off-line (and same-line old-value) contributions.
-      for (int d = 0; d < nd; ++d) {
-        if (d == center || d == recur_d) {
-          continue;
-        }
-        const DiagRange r = diag_range(box, st.offset(d), j, k);
-        if (!r.line_valid || r.ihi <= r.ilo) {
-          continue;
-        }
-        const CT* coef = widen_run<CT>(run_ptr(base, line, d), runlen,
-                                       coefbuf);
-        const std::int64_t xoff = (base + r.shift) * bs;
-        for (int i = r.ilo; i < r.ihi; ++i) {
-          const CT* blk = coef + static_cast<std::int64_t>(i) * block2;
-          const CT* xv = uread + xoff + static_cast<std::int64_t>(i) * bs;
-          CT* av = acc + static_cast<std::int64_t>(i) * bs;
-          for (int br = 0; br < bs; ++br) {
-            CT a2{0};
-            for (int bc = 0; bc < bs; ++bc) {
-              a2 += blk[br * bs + bc] * xv[bc];
-            }
-            av[br] += a2;
-          }
-        }
+      const DiagRange r = diag_range(box, st.offset(d), j, k);
+      if (!r.line_valid || r.ihi <= r.ilo) {
+        continue;
       }
-      // Per-cell recurrence with the same-line coupling block.
-      const CT* rec = recur_d >= 0
-                          ? widen_run<CT>(run_ptr(base, line, recur_d),
-                                          runlen, recurbuf)
-                          : nullptr;
-      const int i0 = kForward ? 0 : nx - 1;
-      const int istep = kForward ? 1 : -1;
-      for (int i = i0; i >= 0 && i < nx; i += istep) {
-        const std::int64_t cell = base + i;
+      const CT* coef = widen_run<CT>(run_ptr(base, line, d), runlen,
+                                     coefbuf);
+      const std::int64_t xoff = (base + r.shift) * bs;
+      for (int i = r.ilo; i < r.ihi; ++i) {
+        const CT* blk = coef + static_cast<std::int64_t>(i) * block2;
+        const CT* xv = uread + xoff + static_cast<std::int64_t>(i) * bs;
+        CT* av = acc + static_cast<std::int64_t>(i) * bs;
         for (int br = 0; br < bs; ++br) {
-          s[br] = acc[static_cast<std::int64_t>(i) * bs + br];
-        }
-        const int inbr = i + recur_dx;
-        if (rec != nullptr && inbr >= 0 && inbr < nx) {
-          const CT* blk = rec + static_cast<std::int64_t>(i) * block2;
-          const CT* xv = uread + (base + inbr) * bs;
-          for (int br = 0; br < bs; ++br) {
-            CT a2{0};
-            for (int bc = 0; bc < bs; ++bc) {
-              a2 += blk[br * bs + bc] * xv[bc];
-            }
-            s[br] += a2;
+          CT a2{0};
+          for (int bc = 0; bc < bs; ++bc) {
+            a2 += blk[br * bs + bc] * xv[bc];
           }
-        }
-        for (int br = 0; br < bs; ++br) {
-          CT rhs = f[cell * bs + br];
-          if (q2 != nullptr) {
-            rhs -= q2[cell * bs + br] * s[br];
-          } else {
-            rhs -= s[br];
-          }
-          s[br] = rhs;
-        }
-        block_apply(invdiag.data() + cell * block2, s, upd, bs);
-        for (int br = 0; br < bs; ++br) {
-          u[cell * bs + br] = upd[br];
-          if (uq != nullptr) {
-            uq[cell * bs + br] = q2[cell * bs + br] * upd[br];
-          }
+          av[br] += a2;
         }
       }
     }
-  }
+    // Per-cell recurrence with the same-line coupling block.
+    const CT* rec = recur_d >= 0
+                        ? widen_run<CT>(run_ptr(base, line, recur_d),
+                                        runlen, recurbuf)
+                        : nullptr;
+    const int i0 = kForward ? 0 : nx - 1;
+    const int istep = kForward ? 1 : -1;
+    for (int i = i0; i >= 0 && i < nx; i += istep) {
+      const std::int64_t cell = base + i;
+      for (int br = 0; br < bs; ++br) {
+        s[br] = acc[static_cast<std::int64_t>(i) * bs + br];
+      }
+      const int inbr = i + recur_dx;
+      if (rec != nullptr && inbr >= 0 && inbr < nx) {
+        const CT* blk = rec + static_cast<std::int64_t>(i) * block2;
+        const CT* xv = uread + (base + inbr) * bs;
+        for (int br = 0; br < bs; ++br) {
+          CT a2{0};
+          for (int bc = 0; bc < bs; ++bc) {
+            a2 += blk[br * bs + bc] * xv[bc];
+          }
+          s[br] += a2;
+        }
+      }
+      for (int br = 0; br < bs; ++br) {
+        CT rhs = f[cell * bs + br];
+        if (q2 != nullptr) {
+          rhs -= q2[cell * bs + br] * s[br];
+        } else {
+          rhs -= s[br];
+        }
+        s[br] = rhs;
+      }
+      block_apply(invdiag.data() + cell * block2, s, upd, bs);
+      for (int br = 0; br < bs; ++br) {
+        u[cell * bs + br] = upd[br];
+        if (uq != nullptr) {
+          uq[cell * bs + br] = q2[cell * bs + br] * upd[br];
+        }
+      }
+    }
+  };
+
+  run_lines<kForward>(box, wf, line_body);
 }
 
 }  // namespace detail
 
 /// One forward Gauss-Seidel sweep: u <- (D + L)^{-1} (f - U u).
 /// For lower-triangular-pattern matrices this *is* SpTRSV.
+/// A usable wavefront schedule (line granularity for SOA/SOAL, cell for AOS)
+/// runs the sweep level-parallel with bitwise-identical results; otherwise
+/// the sweep is sequential.
 template <class ST, class CT>
 void gs_forward(const StructMat<ST>& A, std::span<const CT> f, std::span<CT> u,
-                std::span<const CT> invdiag, const CT* q2 = nullptr) {
+                std::span<const CT> invdiag, const CT* q2 = nullptr,
+                const WavefrontSchedule* wf = nullptr) {
   if (A.layout() != Layout::AOS) {
     if (A.block_size() == 1) {
-      detail::gs_sweep_soa_lines<true>(A, f, u, invdiag, q2);
+      detail::gs_sweep_soa_lines<true>(A, f, u, invdiag, q2, wf);
     } else {
-      detail::gs_sweep_block_lines<true>(A, f, u, invdiag, q2);
+      detail::gs_sweep_block_lines<true>(A, f, u, invdiag, q2, wf);
     }
   } else {
-    detail::gs_sweep_scalar<true>(A, f, u, invdiag, q2);
+    detail::gs_sweep_scalar<true>(A, f, u, invdiag, q2, wf);
   }
 }
 
@@ -357,15 +435,16 @@ void gs_forward(const StructMat<ST>& A, std::span<const CT> f, std::span<CT> u,
 template <class ST, class CT>
 void gs_backward(const StructMat<ST>& A, std::span<const CT> f,
                  std::span<CT> u, std::span<const CT> invdiag,
-                 const CT* q2 = nullptr) {
+                 const CT* q2 = nullptr,
+                 const WavefrontSchedule* wf = nullptr) {
   if (A.layout() != Layout::AOS) {
     if (A.block_size() == 1) {
-      detail::gs_sweep_soa_lines<false>(A, f, u, invdiag, q2);
+      detail::gs_sweep_soa_lines<false>(A, f, u, invdiag, q2, wf);
     } else {
-      detail::gs_sweep_block_lines<false>(A, f, u, invdiag, q2);
+      detail::gs_sweep_block_lines<false>(A, f, u, invdiag, q2, wf);
     }
   } else {
-    detail::gs_sweep_scalar<false>(A, f, u, invdiag, q2);
+    detail::gs_sweep_scalar<false>(A, f, u, invdiag, q2, wf);
   }
 }
 

@@ -1,0 +1,128 @@
+// WavefrontSchedule invariants: complete coverage, strict dependency
+// ordering (the property that makes the parallel SymGS sweep bitwise
+// identical to the sequential one), and the sequential fallback for
+// stencils outside the |dy|,|dz| <= 1 bound.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "grid/wavefront.hpp"
+
+namespace smg {
+namespace {
+
+/// level_of[item] for every scheduled item; -1 if the item never appears.
+std::vector<int> level_map(const WavefrontSchedule& wf, std::int64_t n) {
+  std::vector<int> lvl(static_cast<std::size_t>(n), -1);
+  for (int l = 0; l < wf.nlevels(); ++l) {
+    for (std::int32_t it : wf.level(l)) {
+      EXPECT_EQ(-1, lvl[static_cast<std::size_t>(it)])
+          << "item " << it << " scheduled twice";
+      lvl[static_cast<std::size_t>(it)] = l;
+    }
+  }
+  return lvl;
+}
+
+TEST(WavefrontLines, CoversEveryLineOnceAndOrdersDependencies) {
+  const Box box{6, 7, 5};
+  for (Pattern p : {Pattern::P3d7, Pattern::P3d19, Pattern::P3d27}) {
+    const Stencil st = Stencil::make(p);
+    const auto wf = WavefrontSchedule::lines(box, st);
+    ASSERT_TRUE(wf.valid()) << to_string(p);
+    EXPECT_EQ(WfGranularity::Line, wf.granularity());
+    ASSERT_EQ(static_cast<std::int64_t>(box.ny) * box.nz, wf.nitems());
+
+    const auto lvl = level_map(wf, wf.nitems());
+    for (int v : lvl) {
+      EXPECT_GE(v, 0);
+    }
+    // Every stencil offset must cross strictly between levels in the
+    // direction of the sweep order (lex-before => strictly lower level).
+    for (int k = 0; k < box.nz; ++k) {
+      for (int j = 0; j < box.ny; ++j) {
+        const int me = lvl[static_cast<std::size_t>(j + box.ny * k)];
+        for (const Offset& o : st.offsets()) {
+          const int jn = j + o.dy;
+          const int kn = k + o.dz;
+          if (jn < 0 || jn >= box.ny || kn < 0 || kn >= box.nz) {
+            continue;
+          }
+          const int nb = lvl[static_cast<std::size_t>(jn + box.ny * kn)];
+          if (o.dz < 0 || (o.dz == 0 && o.dy < 0)) {
+            EXPECT_LT(nb, me) << to_string(p);
+          } else if (o.dz > 0 || (o.dz == 0 && o.dy > 0)) {
+            EXPECT_GT(nb, me) << to_string(p);
+          } else {
+            EXPECT_EQ(nb, me);  // same line
+          }
+        }
+      }
+    }
+    EXPECT_GT(wf.mean_parallelism(), 1.0) << to_string(p);
+  }
+}
+
+TEST(WavefrontCells, CoversEveryCellOnceAndOrdersDependencies) {
+  const Box box{5, 4, 6};
+  for (Pattern p : {Pattern::P3d7, Pattern::P3d19, Pattern::P3d27}) {
+    const Stencil st = Stencil::make(p);
+    const auto wf = WavefrontSchedule::cells(box, st);
+    ASSERT_TRUE(wf.valid()) << to_string(p);
+    EXPECT_EQ(WfGranularity::Cell, wf.granularity());
+    ASSERT_EQ(box.size(), wf.nitems());
+
+    const auto lvl = level_map(wf, wf.nitems());
+    for (int k = 0; k < box.nz; ++k) {
+      for (int j = 0; j < box.ny; ++j) {
+        for (int i = 0; i < box.nx; ++i) {
+          const int me = lvl[static_cast<std::size_t>(box.idx(i, j, k))];
+          for (const Offset& o : st.offsets()) {
+            if (!box.contains(i + o.dx, j + o.dy, k + o.dz)) {
+              continue;
+            }
+            const int nb = lvl[static_cast<std::size_t>(
+                box.idx(i + o.dx, j + o.dy, k + o.dz))];
+            if (o.is_center()) {
+              EXPECT_EQ(nb, me);
+            } else if (o.before_center()) {
+              EXPECT_LT(nb, me) << to_string(p);
+            } else {
+              EXPECT_GT(nb, me) << to_string(p);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Wavefront, EmptyLevelsAreCompacted) {
+  // ny == 1 makes every odd line level (j + 2k) empty; the schedule must
+  // still enumerate exactly nz lines with no zero-width levels.
+  const auto wf =
+      WavefrontSchedule::lines(Box{8, 1, 5}, Stencil::make(Pattern::P3d7));
+  ASSERT_TRUE(wf.valid());
+  EXPECT_EQ(5, wf.nitems());
+  EXPECT_EQ(5, wf.nlevels());
+  for (int l = 0; l < wf.nlevels(); ++l) {
+    EXPECT_FALSE(wf.level(l).empty());
+  }
+}
+
+TEST(Wavefront, WideOffsetsFallBackToSequential) {
+  // A |dy| = 2 offset breaks the j + 2k level ordering: the schedule must
+  // refuse (callers then run the sequential sweep) rather than mis-order.
+  const Stencil wide({Offset{0, 0, 0}, Offset{0, 2, 0}, Offset{0, -2, 0}});
+  EXPECT_FALSE(WavefrontSchedule::lines(Box{6, 6, 6}, wide).valid());
+  EXPECT_FALSE(WavefrontSchedule::cells(Box{6, 6, 6}, wide).valid());
+
+  // Cell granularity additionally requires |dx| <= 1 (a -2 in-line offset
+  // would need a NEW value the cell schedule cannot order).
+  const Stencil longx({Offset{0, 0, 0}, Offset{-2, 0, 0}, Offset{2, 0, 0}});
+  EXPECT_TRUE(WavefrontSchedule::lines(Box{6, 6, 6}, longx).valid());
+  EXPECT_FALSE(WavefrontSchedule::cells(Box{6, 6, 6}, longx).valid());
+}
+
+}  // namespace
+}  // namespace smg

@@ -3,7 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <vector>
+
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
 
 #include "kernels/spmv.hpp"
 #include "sgdia/struct_matrix.hpp"
@@ -276,6 +281,48 @@ TEST(SpmvScaled, ScaledResidualMatchesUnscaledOperator) {
   for (std::size_t i = 0; i < r1.size(); ++i) {
     EXPECT_NEAR(r1[i], r2[i], 1e-5f);
   }
+}
+
+TEST(SpmvScaled, BlockScaledPathIsThreadCountInvariant) {
+  // Regression: the scaled block kernel's q2.*x pre-pass once indexed a
+  // thread_local buffer from inside its omp-parallel region, so worker
+  // threads wrote through their own (empty) copy — a crash only visible at
+  // >= 2 threads with bs > 1 and q2 != nullptr (the fig9 solid3d config).
+  const Box box{10, 7, 6};
+  auto A = random_matrix(box, Pattern::P3d15, 3, Layout::SOAL, 31);
+  auto Ah = convert<half>(A, Layout::SOAL);
+  const std::size_t n = static_cast<std::size_t>(A.nrows());
+  avec<float> q2(n);
+  Rng rng(17);
+  for (auto& q : q2) {
+    q = static_cast<float>(rng.uniform(0.5, 2.0));
+  }
+  auto x = random_vector<float>(A.nrows(), 23);
+
+  const auto run = [&]() {
+    avec<float> y(n);
+    spmv<half, float>(Ah, {x.data(), x.size()}, {y.data(), y.size()},
+                      q2.data());
+    return y;
+  };
+
+#if defined(_OPENMP)
+  const int saved = omp_get_max_threads();
+#endif
+  const avec<float> ref = run();
+  for (int nt : {2, 4, 8}) {
+#if defined(_OPENMP)
+    omp_set_num_threads(nt);
+#else
+    (void)nt;
+#endif
+    const avec<float> y = run();
+    ASSERT_EQ(0, std::memcmp(y.data(), ref.data(), n * sizeof(float)))
+        << "threads=" << nt;
+  }
+#if defined(_OPENMP)
+  omp_set_num_threads(saved);
+#endif
 }
 
 TEST(Spmv, EmptyAndTinyBoxes) {

@@ -3,13 +3,20 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <type_traits>
 #include <vector>
 
 #include "core/smoother.hpp"
+#include "grid/wavefront.hpp"
 #include "kernels/spmv.hpp"
 #include "kernels/symgs.hpp"
 #include "sgdia/struct_matrix.hpp"
 #include "util/rng.hpp"
+
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
 
 namespace smg {
 namespace {
@@ -231,6 +238,113 @@ TEST(SymGS, ScaledSweepMatchesUnscaledOperator) {
   for (std::size_t i = 0; i < u1.size(); ++i) {
     EXPECT_NEAR(u1[i], u2[i], 1e-4f) << "i=" << i;
   }
+}
+
+/// One forward + one backward sweep with the wavefront schedule must be
+/// BITWISE identical to the sequential sweep — for every thread count, since
+/// the level function strictly orders every lexicographic dependency.
+template <class ST>
+void wavefront_bitwise_case(Pattern pat, int bs, Layout layout, bool scaled) {
+  using CT = std::conditional_t<std::is_same_v<ST, double>, double, float>;
+  const Box box{12, 7, 6};
+  auto Ad = dd_matrix(box, pat, bs, Layout::SOA, 17);
+  auto As = convert<ST>(Ad, layout);
+  const auto invd = compute_invdiag(Ad);
+  avec<CT> invdc(invd.size());
+  for (std::size_t i = 0; i < invd.size(); ++i) {
+    invdc[i] = static_cast<CT>(invd[i]);
+  }
+  const auto f = rand_vec<CT>(Ad.nrows(), 23);
+  avec<CT> q2v;
+  const CT* q2 = nullptr;
+  if (scaled) {
+    Rng rng(29);
+    q2v.resize(f.size());
+    for (auto& v : q2v) {
+      v = static_cast<CT>(rng.uniform(0.5, 1.5));
+    }
+    q2 = q2v.data();
+  }
+
+  avec<CT> useq(f.size(), CT{0.25});
+  gs_forward<ST, CT>(As, {f.data(), f.size()}, {useq.data(), useq.size()},
+                     {invdc.data(), invdc.size()}, q2);
+  gs_backward<ST, CT>(As, {f.data(), f.size()}, {useq.data(), useq.size()},
+                      {invdc.data(), invdc.size()}, q2);
+
+  const WavefrontSchedule wf =
+      layout == Layout::AOS ? WavefrontSchedule::cells(box, As.stencil())
+                            : WavefrontSchedule::lines(box, As.stencil());
+  ASSERT_TRUE(wf.valid());
+
+#if defined(_OPENMP)
+  const int saved_threads = omp_get_max_threads();
+#endif
+  for (int nt = 1; nt <= 8; ++nt) {
+#if defined(_OPENMP)
+    omp_set_num_threads(nt);
+#endif
+    avec<CT> uwf(f.size(), CT{0.25});
+    gs_forward<ST, CT>(As, {f.data(), f.size()}, {uwf.data(), uwf.size()},
+                       {invdc.data(), invdc.size()}, q2, &wf);
+    gs_backward<ST, CT>(As, {f.data(), f.size()}, {uwf.data(), uwf.size()},
+                        {invdc.data(), invdc.size()}, q2, &wf);
+    EXPECT_EQ(0, std::memcmp(useq.data(), uwf.data(),
+                             useq.size() * sizeof(CT)))
+        << to_string(pat) << " bs=" << bs << " layout=" << static_cast<int>(layout)
+        << " scaled=" << scaled << " threads=" << nt;
+#if !defined(_OPENMP)
+    break;  // thread count is meaningless without OpenMP
+#endif
+  }
+#if defined(_OPENMP)
+  omp_set_num_threads(saved_threads);
+#endif
+}
+
+template <class ST>
+void wavefront_bitwise_matrix() {
+  for (Pattern pat : {Pattern::P3d7, Pattern::P3d19, Pattern::P3d27}) {
+    for (int bs : {1, 3}) {
+      for (Layout layout : {Layout::SOA, Layout::SOAL, Layout::AOS}) {
+        for (bool scaled : {false, true}) {
+          wavefront_bitwise_case<ST>(pat, bs, layout, scaled);
+        }
+      }
+    }
+  }
+}
+
+TEST(SymGSWavefront, BitwiseIdenticalDouble) {
+  wavefront_bitwise_matrix<double>();
+}
+
+TEST(SymGSWavefront, BitwiseIdenticalFloat) {
+  wavefront_bitwise_matrix<float>();
+}
+
+TEST(SymGSWavefront, BitwiseIdenticalHalf) { wavefront_bitwise_matrix<half>(); }
+
+TEST(SymGSWavefront, BitwiseIdenticalBfloat16) {
+  wavefront_bitwise_matrix<bfloat16>();
+}
+
+TEST(SymGSWavefront, MismatchedGranularityFallsBackToSequential) {
+  // A Cell schedule handed to the SOA line path (and vice versa) must be
+  // ignored, not misapplied: results still match the sequential sweep.
+  const Box box{9, 6, 5};
+  auto A = dd_matrix(box, Pattern::P3d19, 1, Layout::SOA, 47);
+  const auto invd = compute_invdiag(A);
+  const auto f = rand_vec<double>(A.nrows(), 49);
+  const auto wrong = WavefrontSchedule::cells(box, A.stencil());
+  ASSERT_TRUE(wrong.valid());
+
+  avec<double> u1(f.size(), 0.0), u2(f.size(), 0.0);
+  gs_forward<double, double>(A, {f.data(), f.size()}, {u1.data(), u1.size()},
+                             {invd.data(), invd.size()});
+  gs_forward<double, double>(A, {f.data(), f.size()}, {u2.data(), u2.size()},
+                             {invd.data(), invd.size()}, nullptr, &wrong);
+  EXPECT_EQ(0, std::memcmp(u1.data(), u2.data(), u1.size() * sizeof(double)));
 }
 
 TEST(SymGS, ConvergesToExactSolutionOnSmallSystem) {
