@@ -63,6 +63,30 @@ constexpr std::string_view to_string(SmootherParallel p) noexcept {
   return "?";
 }
 
+/// Whether the V-cycle downstroke uses the fused residual→restrict kernel
+/// (kernels/fused.hpp) instead of materializing the residual vector and
+/// restricting it in a second pass.  Both paths are bitwise identical; this
+/// is purely a memory-traffic switch (saves one full-vector write + read per
+/// level per cycle).
+enum class FusedTransfers {
+  Auto,  ///< fused (currently always on; kept distinct from On so a future
+         ///< heuristic can demote without an interface change)
+  On,    ///< always fused
+  Off,   ///< reference two-step path (residual into L.r, then restrict)
+};
+
+constexpr std::string_view to_string(FusedTransfers f) noexcept {
+  switch (f) {
+    case FusedTransfers::Auto:
+      return "auto";
+    case FusedTransfers::On:
+      return "on";
+    case FusedTransfers::Off:
+      return "off";
+  }
+  return "?";
+}
+
 enum class CycleType {
   V,
   W,
@@ -89,6 +113,10 @@ struct MGConfig {
   /// SymGS sweep scheduling (bitwise identical either way; see
   /// grid/wavefront.hpp and DESIGN.md "Wavefront-parallel SymGS").
   SmootherParallel smoother_parallel = SmootherParallel::Auto;
+
+  // --- transfers (DESIGN.md §7) ---
+  /// Fused residual→restrict downstroke; bitwise identical to Off.
+  FusedTransfers fused_transfers = FusedTransfers::Auto;
 
   // --- precision (P and D of the paper's K/P/D triple) ---
   Prec compute = Prec::FP32;

@@ -1,6 +1,7 @@
 #include "core/mg_precond.hpp"
 
 #include "kernels/blas1.hpp"
+#include "kernels/fused.hpp"
 #include "kernels/spmv.hpp"
 #include "kernels/symgs.hpp"
 
@@ -16,7 +17,13 @@ MGPrecond<CT>::MGPrecond(const MGHierarchy* h) : h_(h) {
     const std::size_t n = static_cast<std::size_t>(hl.A_full.nrows());
     L.u.assign(n, CT{0});
     L.f.assign(n, CT{0});
-    L.r.assign(n, CT{0});
+    // The residual vector only exists on the unfused reference path and as
+    // the Jacobi ping-pong buffer; the fused downstroke never touches it.
+    const MGConfig& cfg = h_->config();
+    if (cfg.fused_transfers == FusedTransfers::Off ||
+        cfg.smoother == SmootherType::Jacobi) {
+      L.r.assign(n, CT{0});
+    }
     if (hl.scaled) {
       L.q2.resize(hl.q2.size());
       copy_convert<CT, double>({hl.q2.data(), hl.q2.size()},
@@ -58,25 +65,20 @@ void MGPrecond<CT>::smooth(int lev, bool forward) {
     return;
   }
 
-  // Weighted (block-)Jacobi: u += w * invdiag * (f - A u).
-  std::span<CT> r{L.r.data(), L.r.size()};
-  std::span<const CT> ucv{L.u.data(), L.u.size()};
-  hl.A_stored.visit([&](const auto& m) { residual(m, f, ucv, r, q2); });
-  const int bs = hl.A_full.block_size();
-  const CT w = static_cast<CT>(cfg.jacobi_weight);
-  const std::int64_t ncells = hl.A_full.ncells();
-  const std::int64_t block2 = static_cast<std::int64_t>(bs) * bs;
-#pragma omp parallel for schedule(static)
-  for (std::int64_t cell = 0; cell < ncells; ++cell) {
-    const CT* blk = L.invdiag.data() + cell * block2;
-    for (int br = 0; br < bs; ++br) {
-      CT acc{0};
-      for (int bc = 0; bc < bs; ++bc) {
-        acc += blk[br * bs + bc] * r[static_cast<std::size_t>(cell * bs + bc)];
-      }
-      u[static_cast<std::size_t>(cell * bs + br)] += w * acc;
-    }
+  // Weighted (block-)Jacobi, residual-fused: unew = u + w * invdiag *
+  // (f - A u) in one pass over the matrix, double-buffered through L.r
+  // (Jacobi must read the *old* iterate everywhere, so in-place fusion is
+  // not an option), then the buffers swap roles.  Bitwise identical to the
+  // former residual-then-update two-pass form.
+  if (L.r.size() != L.u.size()) {
+    L.r.assign(L.u.size(), CT{0});
   }
+  const CT w = static_cast<CT>(cfg.jacobi_weight);
+  hl.A_stored.visit([&](const auto& m) {
+    jacobi_sweep_fused(m, f, std::span<const CT>{L.u.data(), L.u.size()},
+                       invdiag, q2, w, std::span<CT>{L.r.data(), L.r.size()});
+  });
+  std::swap(L.u, L.r);
 }
 
 template <class CT>
@@ -100,16 +102,27 @@ void MGPrecond<CT>::cycle(int lev, bool zero_guess) {
     smooth(lev, /*forward=*/true);
   }
 
-  // r = f - A u, then restrict to the next level's rhs.
+  // Downstroke: C.f = R (f - A u).  Fused by default — the residual is
+  // produced plane-by-plane inside residual_restrict and never written to
+  // memory; the Off path is the two-step reference (bitwise identical).
   const CT* q2 = L.q2.empty() ? nullptr : L.q2.data();
-  hl.A_stored.visit([&](const auto& m) {
-    residual(m, std::span<const CT>{L.f.data(), L.f.size()},
-             std::span<const CT>{L.u.data(), L.u.size()},
-             std::span<CT>{L.r.data(), L.r.size()}, q2);
-  });
   LevelData& C = lv_[static_cast<std::size_t>(lev) + 1];
-  restrict_to_coarse<CT>(hl.to_coarse, hl.A_full.block_size(),
-                         {L.r.data(), L.r.size()}, {C.f.data(), C.f.size()});
+  if (cfg.fused_transfers != FusedTransfers::Off) {
+    hl.A_stored.visit([&](const auto& m) {
+      residual_restrict(m, std::span<const CT>{L.f.data(), L.f.size()},
+                        std::span<const CT>{L.u.data(), L.u.size()}, q2,
+                        hl.to_coarse, std::span<CT>{C.f.data(), C.f.size()});
+    });
+  } else {
+    hl.A_stored.visit([&](const auto& m) {
+      residual(m, std::span<const CT>{L.f.data(), L.f.size()},
+               std::span<const CT>{L.u.data(), L.u.size()},
+               std::span<CT>{L.r.data(), L.r.size()}, q2);
+    });
+    restrict_to_coarse<CT>(hl.to_coarse, hl.A_full.block_size(),
+                           {L.r.data(), L.r.size()},
+                           {C.f.data(), C.f.size()});
+  }
 
   cycle(lev + 1, /*zero_guess=*/true);
   if (cfg.cycle == CycleType::W && lev + 1 < last) {
@@ -128,26 +141,19 @@ void MGPrecond<CT>::apply(std::span<const CT> r, std::span<CT> e) {
   LevelData& L0 = lv_.front();
   SMG_CHECK(r.size() == L0.f.size() && e.size() == L0.u.size(),
             "MG apply size mismatch");
+  const std::span<const CT> q2w{wrap_q2_.data(), wrap_q2_.size()};
   if (h_->finest_wrapped()) {
     // ScaleThenSetup preconditions the *scaled* system:
     // A^{-1} = Q^{-1/2} Â^{-1} Q^{-1/2}, so divide by q2 on entry and exit.
-    for (std::size_t i = 0; i < r.size(); ++i) {
-      L0.f[i] = r[i] / wrap_q2_[i];
-    }
+    ewise_div<CT>(r, q2w, {L0.f.data(), L0.f.size()});
   } else {
-    for (std::size_t i = 0; i < r.size(); ++i) {
-      L0.f[i] = r[i];
-    }
+    copy_convert<CT, CT>(r, {L0.f.data(), L0.f.size()});
   }
   cycle(0, /*zero_guess=*/true);
   if (h_->finest_wrapped()) {
-    for (std::size_t i = 0; i < e.size(); ++i) {
-      e[i] = L0.u[i] / wrap_q2_[i];
-    }
+    ewise_div<CT>({L0.u.data(), L0.u.size()}, q2w, e);
   } else {
-    for (std::size_t i = 0; i < e.size(); ++i) {
-      e[i] = L0.u[i];
-    }
+    copy_convert<CT, CT>({L0.u.data(), L0.u.size()}, e);
   }
 }
 

@@ -126,13 +126,88 @@ inline Parents parents_of(int x, int nc, bool coarsened) noexcept {
   return p;
 }
 
+/// Fine children of coarse coordinate X in one dimension: the transpose
+/// enumeration of parents_of — up to three (index, weight) pairs, ascending.
+/// Gather-form restriction iterates these, which makes every coarse dof the
+/// property of exactly one loop iteration (race-free under OpenMP), unlike
+/// the scatter form where concurrent fine points add into shared parents.
+struct Children {
+  int idx[3];
+  double w[3];
+  int count;
+};
+
+inline Children children_of(int X, int nf, bool coarsened) noexcept {
+  Children c{};
+  if (!coarsened) {
+    c.idx[0] = X;
+    c.w[0] = 1.0;
+    c.count = 1;
+    return c;
+  }
+  c.count = 0;
+  for (int t = -1; t <= 1; ++t) {
+    const int xf = 2 * X + t;
+    if (xf >= 0 && xf < nf) {
+      c.idx[c.count] = xf;
+      c.w[c.count] = t == 0 ? 1.0 : 0.5;
+      ++c.count;
+    }
+  }
+  return c;
+}
+
 }  // namespace detail
 
-/// f_c = R r_f with R = P^T: coarse dof I accumulates w * r(2I + t) over the
-/// local fine neighborhood.  Vectors are dof-indexed (block size bs).
+/// f_c = R r_f with R = P^T, in gather form: coarse dof (I,J,K) sums
+/// w * r(2I + t, ...) over its fine children.  Each coarse dof is written by
+/// exactly one iteration, so the loop parallelizes race-free — the scatter
+/// form (fine points adding into shared parents) cannot, because up to eight
+/// fine points contend on one coarse accumulator.  Vectors are dof-indexed
+/// (block size bs).  The child-gather order here is the contract the fused
+/// residual_restrict (kernels/fused.hpp) reproduces bitwise.
 template <class CT>
 void restrict_to_coarse(const Coarsening& c, int bs, std::span<const CT> rf,
                         std::span<CT> fc) {
+  const Box& fine = c.fine;
+  const Box& coarse = c.coarse;
+  SMG_CHECK(static_cast<std::int64_t>(rf.size()) == fine.size() * bs &&
+                static_cast<std::int64_t>(fc.size()) == coarse.size() * bs,
+            "restrict size mismatch");
+  const double rscale = c.restrict_scale();
+#pragma omp parallel for collapse(2) schedule(static)
+  for (int K = 0; K < coarse.nz; ++K) {
+    for (int J = 0; J < coarse.ny; ++J) {
+      const auto ck = detail::children_of(K, fine.nz, c.mask[2]);
+      const auto cj = detail::children_of(J, fine.ny, c.mask[1]);
+      for (int I = 0; I < coarse.nx; ++I) {
+        const auto ci = detail::children_of(I, fine.nx, c.mask[0]);
+        CT* SMG_RESTRICT dst = fc.data() + coarse.idx(I, J, K) * bs;
+        for (int br = 0; br < bs; ++br) {
+          CT acc{0};
+          for (int a = 0; a < ck.count; ++a) {
+            for (int b = 0; b < cj.count; ++b) {
+              for (int cidx = 0; cidx < ci.count; ++cidx) {
+                const double w = rscale * ck.w[a] * cj.w[b] * ci.w[cidx];
+                const std::int64_t fcell =
+                    fine.idx(ci.idx[cidx], cj.idx[b], ck.idx[a]);
+                acc += static_cast<CT>(w) * rf[fcell * bs + br];
+              }
+            }
+          }
+          dst[br] = acc;
+        }
+      }
+    }
+  }
+}
+
+/// Reference scatter formulation of the same operator (iterate fine points,
+/// add into their parents).  Serial by necessity — kept as the ground truth
+/// the gather form is tested against; not used on the solve path.
+template <class CT>
+void restrict_to_coarse_scatter(const Coarsening& c, int bs,
+                                std::span<const CT> rf, std::span<CT> fc) {
   const Box& fine = c.fine;
   const Box& coarse = c.coarse;
   SMG_CHECK(static_cast<std::int64_t>(rf.size()) == fine.size() * bs &&
@@ -142,8 +217,6 @@ void restrict_to_coarse(const Coarsening& c, int bs, std::span<const CT> rf,
     v = CT{0};
   }
   const double rscale = c.restrict_scale();
-  // Scatter formulation: iterate fine points, add into their parents; this
-  // is R = rscale * P^T for the parent weights of parents_of().
   for (int k = 0; k < fine.nz; ++k) {
     const auto pk = detail::parents_of(k, coarse.nz, c.mask[2]);
     for (int j = 0; j < fine.ny; ++j) {
@@ -169,7 +242,10 @@ void restrict_to_coarse(const Coarsening& c, int bs, std::span<const CT> rf,
   }
 }
 
-/// u_f += P e_c: each fine point gathers from its coarse parents.
+/// u_f += P e_c: each fine point gathers from its coarse parents.  Already
+/// gather-form (fine-point-centric), so line-parallelism is free; the
+/// per-point accumulation order is unchanged, making the result bitwise
+/// identical at any thread count.
 template <class CT>
 void prolong_add(const Coarsening& c, int bs, std::span<const CT> ec,
                  std::span<CT> uf) {
@@ -178,9 +254,10 @@ void prolong_add(const Coarsening& c, int bs, std::span<const CT> ec,
   SMG_CHECK(static_cast<std::int64_t>(uf.size()) == fine.size() * bs &&
                 static_cast<std::int64_t>(ec.size()) == coarse.size() * bs,
             "prolong size mismatch");
+#pragma omp parallel for collapse(2) schedule(static)
   for (int k = 0; k < fine.nz; ++k) {
-    const auto pk = detail::parents_of(k, coarse.nz, c.mask[2]);
     for (int j = 0; j < fine.ny; ++j) {
+      const auto pk = detail::parents_of(k, coarse.nz, c.mask[2]);
       const auto pj = detail::parents_of(j, coarse.ny, c.mask[1]);
       for (int i = 0; i < fine.nx; ++i) {
         const auto pi = detail::parents_of(i, coarse.nx, c.mask[0]);

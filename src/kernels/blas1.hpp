@@ -59,6 +59,18 @@ void copy_convert(std::span<const Src> x, std::span<Dst> y) noexcept {
   }
 }
 
+/// y = x ./ d — the Q^{-1/2} entry/exit wrap of ScaleThenSetup
+/// (A^{-1} = Q^{-1/2} Â^{-1} Q^{-1/2}).
+template <class T>
+void ewise_div(std::span<const T> x, std::span<const T> d,
+               std::span<T> y) noexcept {
+  const std::size_t n = y.size();
+#pragma omp parallel for simd
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = x[i] / d[i];
+  }
+}
+
 /// Dot product accumulated in double regardless of T (iterative-precision
 /// safety: FP32 Krylov still needs robust inner products).
 template <class T>

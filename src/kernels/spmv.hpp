@@ -142,6 +142,180 @@ inline void soa_diag_fma(const ST* SMG_RESTRICT a, const CT* SMG_RESTRICT x,
 
 #if defined(SMG_SIMD_AVX2)
 
+/// Interior-line prototype for the register-blocked fp16 kernel (scalar
+/// unknowns), hoisted out of the line loop (per-line descriptor construction
+/// would otherwise rival the math itself): aoff[v] is the offset of diagonal
+/// v's run relative to the line's matrix base, shift[v] the x/q2 offset,
+/// [ilo, ihi) the valid columns, [lo, hi) where all diagonals are valid, and
+/// [jlo,jhi)x[klo,khi) the interior lines on which the prototype applies
+/// unmodified.  Shared by apply_soa_f16_blocked and the fused
+/// residual_restrict (kernels/fused.hpp), which must agree bitwise.
+struct F16LineProto {
+  std::int64_t aoff[32];
+  std::int64_t shift[32];
+  int ilo[32];
+  int ihi[32];
+  int lo = 0, hi = 0;
+  int jlo = 0, jhi = 0, klo = 0, khi = 0;
+  int nd = 0;
+  int nx = 0;
+  Layout layout = Layout::SOA;
+
+  template <class ST>
+  explicit F16LineProto(const StructMat<ST>& A) {
+    const Box& box = A.box();
+    const Stencil& st = A.stencil();
+    nd = st.ndiag();
+    nx = box.nx;
+    layout = A.layout();
+    SMG_CHECK(nd <= 32, "stencil wider than 3x3x3 is unsupported");
+    const std::int64_t ncells = A.ncells();
+    jlo = 0;
+    jhi = box.ny;
+    klo = 0;
+    khi = box.nz;
+    lo = 0;
+    hi = nx;
+    for (int d = 0; d < nd; ++d) {
+      const Offset& o = st.offset(d);
+      aoff[d] = layout == Layout::SOA
+                    ? static_cast<std::int64_t>(d) * ncells
+                    : static_cast<std::int64_t>(d) * nx;
+      shift[d] = o.dx + static_cast<std::int64_t>(nx) *
+                            (o.dy + static_cast<std::int64_t>(box.ny) * o.dz);
+      ilo[d] = std::max(0, -static_cast<int>(o.dx));
+      ihi[d] = std::min(nx, nx - static_cast<int>(o.dx));
+      lo = std::max(lo, ilo[d]);
+      hi = std::min(hi, ihi[d]);
+      jlo = std::max(jlo, -static_cast<int>(o.dy));
+      jhi = std::min(jhi, box.ny - static_cast<int>(o.dy));
+      klo = std::max(klo, -static_cast<int>(o.dz));
+      khi = std::min(khi, box.nz - static_cast<int>(o.dz));
+    }
+    hi = std::max(hi, lo);
+  }
+
+  bool interior(int j, int k) const noexcept {
+    return j >= jlo && j < jhi && k >= klo && k < khi;
+  }
+
+  /// Matrix base offset of line number `line` starting at cell `base`.
+  std::int64_t abase(std::int64_t base, std::int64_t line) const noexcept {
+    return layout == Layout::SOA ? base
+                                 : line * static_cast<std::int64_t>(nd) * nx;
+  }
+};
+
+/// Per-line view of the valid diagonals: either the prototype itself
+/// (interior lines) or a compacted subset (boundary lines).
+struct F16LineDesc {
+  const std::int64_t* aoff;
+  const std::int64_t* shift;
+  const int* ilo;
+  const int* ihi;
+  int nv;
+  int lo, hi;
+};
+
+/// Resolve line (j, k) against the prototype; boundary lines compact their
+/// valid diagonals into the caller-provided scratch arrays.
+inline F16LineDesc f16_line_desc(const F16LineProto& p, const Stencil& st,
+                                 const Box& box, int j, int k,
+                                 std::int64_t c_aoff[32],
+                                 std::int64_t c_shift[32], int c_ilo[32],
+                                 int c_ihi[32]) noexcept {
+  if (p.interior(j, k)) {
+    return {p.aoff, p.shift, p.ilo, p.ihi, p.nd, p.lo, p.hi};
+  }
+  int nv = 0;
+  int lo = 0, hi = p.nx;
+  for (int d = 0; d < p.nd; ++d) {
+    const Offset& o = st.offset(d);
+    if (j + o.dy < 0 || j + o.dy >= box.ny || k + o.dz < 0 ||
+        k + o.dz >= box.nz || p.ihi[d] <= p.ilo[d]) {
+      continue;
+    }
+    c_aoff[nv] = p.aoff[d];
+    c_shift[nv] = p.shift[d];
+    c_ilo[nv] = p.ilo[d];
+    c_ihi[nv] = p.ihi[d];
+    lo = std::max(lo, p.ilo[d]);
+    hi = std::min(hi, p.ihi[d]);
+    ++nv;
+  }
+  hi = std::max(hi, lo);
+  return {c_aoff, c_shift, c_ilo, c_ihi, nv, lo, hi};
+}
+
+/// Core fp16 line runner: every 8-lane block is SIMD.  Interior blocks take
+/// the unmasked fast path; the at-most-two edge blocks use per-diagonal
+/// masked x loads.  Boundary-truncated matrix entries are zero by StructMat's
+/// invariant, so a dead lane contributes 0 * x = 0 and the masks are only
+/// needed for memory safety; 16-byte matrix loads past a run are covered by
+/// kSimdSlack.  am/xb/bb/q2b are the line-base pointers (vals + abase,
+/// x + base, ...); yl is the nx-long output run — y + base for the in-place
+/// kernels, or a private line buffer for the fused downstroke.
+template <bool kResidual, bool kScaled>
+inline void f16_run_line(const half* SMG_RESTRICT am,
+                         const float* SMG_RESTRICT xb,
+                         const float* SMG_RESTRICT bb,
+                         const float* SMG_RESTRICT q2b,
+                         float* SMG_RESTRICT yl, int nx,
+                         const F16LineDesc& d) noexcept {
+  const int nv = d.nv;
+  const std::int64_t* SMG_RESTRICT aoff = d.aoff;
+  const std::int64_t* SMG_RESTRICT shift = d.shift;
+  const int* SMG_RESTRICT vilo = d.ilo;
+  const int* SMG_RESTRICT vihi = d.ihi;
+  for (int i = 0; i < nx; i += 8) {
+    if (i >= d.lo && i + 8 <= d.hi) {
+      __m256 acc = _mm256_setzero_ps();
+      for (int v = 0; v < nv; ++v) {
+        const __m256 av = _mm256_cvtph_ps(_mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(am + aoff[v] + i)));
+        __m256 xv = _mm256_loadu_ps(xb + shift[v] + i);
+        if constexpr (kScaled) {
+          xv = _mm256_mul_ps(xv, _mm256_loadu_ps(q2b + shift[v] + i));
+        }
+        acc = _mm256_fmadd_ps(av, xv, acc);
+      }
+      if constexpr (kScaled) {
+        acc = _mm256_mul_ps(acc, _mm256_loadu_ps(q2b + i));
+      }
+      if constexpr (kResidual) {
+        acc = _mm256_sub_ps(_mm256_loadu_ps(bb + i), acc);
+      }
+      _mm256_storeu_ps(yl + i, acc);
+      continue;
+    }
+    const int blen = std::min(8, nx - i);
+    const __m256i ms = tail_mask(blen);
+    __m256 acc = _mm256_setzero_ps();
+    for (int v = 0; v < nv; ++v) {
+      const int s = std::clamp(vilo[v] - i, 0, 8);
+      const int e = std::clamp(vihi[v] - i, 0, 8);
+      if (e <= s) {
+        continue;
+      }
+      const __m256i mv = _mm256_and_si256(head_mask(s), tail_mask(e));
+      const __m256 av = _mm256_cvtph_ps(_mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(am + aoff[v] + i)));
+      __m256 xv = _mm256_maskload_ps(xb + shift[v] + i, mv);
+      if constexpr (kScaled) {
+        xv = _mm256_mul_ps(xv, _mm256_maskload_ps(q2b + shift[v] + i, mv));
+      }
+      acc = _mm256_fmadd_ps(av, xv, acc);
+    }
+    if constexpr (kScaled) {
+      acc = _mm256_mul_ps(acc, _mm256_maskload_ps(q2b + i, ms));
+    }
+    if constexpr (kResidual) {
+      acc = _mm256_sub_ps(_mm256_maskload_ps(bb + i, ms), acc);
+    }
+    _mm256_maskstore_ps(yl + i, ms, acc);
+  }
+}
+
 /// Register-blocked fp16 SOA kernel (scalar unknowns): the line accumulator
 /// lives in a ymm register across ALL diagonals, so each 8-entry block costs
 /// one load + one vcvtph2ps + one x-load + one fma per diagonal and a single
@@ -154,140 +328,24 @@ void apply_soa_f16_blocked(const StructMat<half>& A,
                            const float* SMG_RESTRICT q2) {
   const Box& box = A.box();
   const Stencil& st = A.stencil();
-  const int nd = st.ndiag();
-  const int nx = box.nx;
-  const std::int64_t ncells = A.ncells();
   const half* SMG_RESTRICT vals = A.data();
-  SMG_CHECK(nd <= 32, "stencil wider than 3x3x3 is unsupported");
-  const Layout layout = A.layout();
-
-  // Interior-line prototype, hoisted out of the line loop (per-line
-  // descriptor construction would otherwise rival the math itself):
-  // aoff[v] is the offset of diagonal v's run relative to the line's
-  // matrix base, shift[v] the x/q2 offset, [ilo, ihi) the valid columns.
-  std::int64_t p_aoff[32];
-  std::int64_t p_shift[32];
-  int p_ilo[32];
-  int p_ihi[32];
-  int jlo = 0, jhi = box.ny, klo = 0, khi = box.nz;
-  int p_lo = 0, p_hi = nx;
-  for (int d = 0; d < nd; ++d) {
-    const Offset& o = st.offset(d);
-    p_aoff[d] = layout == Layout::SOA
-                    ? static_cast<std::int64_t>(d) * ncells
-                    : static_cast<std::int64_t>(d) * nx;
-    p_shift[d] = o.dx + static_cast<std::int64_t>(nx) *
-                            (o.dy + static_cast<std::int64_t>(box.ny) * o.dz);
-    p_ilo[d] = std::max(0, -static_cast<int>(o.dx));
-    p_ihi[d] = std::min(nx, nx - static_cast<int>(o.dx));
-    p_lo = std::max(p_lo, p_ilo[d]);
-    p_hi = std::min(p_hi, p_ihi[d]);
-    jlo = std::max(jlo, -static_cast<int>(o.dy));
-    jhi = std::min(jhi, box.ny - static_cast<int>(o.dy));
-    klo = std::max(klo, -static_cast<int>(o.dz));
-    khi = std::min(khi, box.nz - static_cast<int>(o.dz));
-  }
-  p_hi = std::max(p_hi, p_lo);
-
-  // Core line runner: every 8-lane block is SIMD.  Interior blocks take the
-  // unmasked fast path; the at-most-two edge blocks use per-diagonal masked
-  // x loads.  Boundary-truncated matrix entries are zero by StructMat's
-  // invariant, so a dead lane contributes 0 * x = 0 and the masks are only
-  // needed for memory safety; 16-byte matrix loads past a run are covered
-  // by kSimdSlack.
-  const auto run_line = [&](std::int64_t abase, std::int64_t base, int nv,
-                            const std::int64_t* SMG_RESTRICT aoff,
-                            const std::int64_t* SMG_RESTRICT shift,
-                            const int* SMG_RESTRICT vilo,
-                            const int* SMG_RESTRICT vihi, int lo, int hi) {
-    const half* SMG_RESTRICT am = vals + abase;
-    const float* SMG_RESTRICT xb = x + base;
-    for (int i = 0; i < nx; i += 8) {
-      if (i >= lo && i + 8 <= hi) {
-        __m256 acc = _mm256_setzero_ps();
-        for (int v = 0; v < nv; ++v) {
-          const __m256 av = _mm256_cvtph_ps(_mm_loadu_si128(
-              reinterpret_cast<const __m128i*>(am + aoff[v] + i)));
-          __m256 xv = _mm256_loadu_ps(xb + shift[v] + i);
-          if constexpr (kScaled) {
-            xv = _mm256_mul_ps(xv, _mm256_loadu_ps(q2 + base + shift[v] + i));
-          }
-          acc = _mm256_fmadd_ps(av, xv, acc);
-        }
-        if constexpr (kScaled) {
-          acc = _mm256_mul_ps(acc, _mm256_loadu_ps(q2 + base + i));
-        }
-        if constexpr (kResidual) {
-          acc = _mm256_sub_ps(_mm256_loadu_ps(b + base + i), acc);
-        }
-        _mm256_storeu_ps(y + base + i, acc);
-        continue;
-      }
-      const int blen = std::min(8, nx - i);
-      const __m256i ms = tail_mask(blen);
-      __m256 acc = _mm256_setzero_ps();
-      for (int v = 0; v < nv; ++v) {
-        const int s = std::clamp(vilo[v] - i, 0, 8);
-        const int e = std::clamp(vihi[v] - i, 0, 8);
-        if (e <= s) {
-          continue;
-        }
-        const __m256i mv = _mm256_and_si256(head_mask(s), tail_mask(e));
-        const __m256 av = _mm256_cvtph_ps(_mm_loadu_si128(
-            reinterpret_cast<const __m128i*>(am + aoff[v] + i)));
-        __m256 xv = _mm256_maskload_ps(xb + shift[v] + i, mv);
-        if constexpr (kScaled) {
-          xv = _mm256_mul_ps(xv,
-                             _mm256_maskload_ps(q2 + base + shift[v] + i, mv));
-        }
-        acc = _mm256_fmadd_ps(av, xv, acc);
-      }
-      if constexpr (kScaled) {
-        acc = _mm256_mul_ps(acc, _mm256_maskload_ps(q2 + base + i, ms));
-      }
-      if constexpr (kResidual) {
-        acc = _mm256_sub_ps(_mm256_maskload_ps(b + base + i, ms), acc);
-      }
-      _mm256_maskstore_ps(y + base + i, ms, acc);
-    }
-  };
+  const F16LineProto proto(A);
 
 #pragma omp parallel for collapse(2) schedule(static)
   for (int k = 0; k < box.nz; ++k) {
     for (int j = 0; j < box.ny; ++j) {
       const std::int64_t base = box.idx(0, j, k);
       const std::int64_t line = j + static_cast<std::int64_t>(box.ny) * k;
-      const std::int64_t abase =
-          layout == Layout::SOA
-              ? base
-              : line * static_cast<std::int64_t>(nd) * nx;
-      if (j >= jlo && j < jhi && k >= klo && k < khi) {
-        run_line(abase, base, nd, p_aoff, p_shift, p_ilo, p_ihi, p_lo, p_hi);
-        continue;
-      }
-      // Boundary line: compact the valid diagonals, then reuse the runner.
       std::int64_t c_aoff[32];
       std::int64_t c_shift[32];
       int c_ilo[32];
       int c_ihi[32];
-      int nv = 0;
-      int lo = 0, hi = nx;
-      for (int d = 0; d < nd; ++d) {
-        const Offset& o = st.offset(d);
-        if (j + o.dy < 0 || j + o.dy >= box.ny || k + o.dz < 0 ||
-            k + o.dz >= box.nz || p_ihi[d] <= p_ilo[d]) {
-          continue;
-        }
-        c_aoff[nv] = p_aoff[d];
-        c_shift[nv] = p_shift[d];
-        c_ilo[nv] = p_ilo[d];
-        c_ihi[nv] = p_ihi[d];
-        lo = std::max(lo, p_ilo[d]);
-        hi = std::min(hi, p_ihi[d]);
-        ++nv;
-      }
-      hi = std::max(hi, lo);
-      run_line(abase, base, nv, c_aoff, c_shift, c_ilo, c_ihi, lo, hi);
+      const F16LineDesc d =
+          f16_line_desc(proto, st, box, j, k, c_aoff, c_shift, c_ilo, c_ihi);
+      f16_run_line<kResidual, kScaled>(
+          vals + proto.abase(base, line), x + base,
+          b != nullptr ? b + base : nullptr,
+          q2 != nullptr ? q2 + base : nullptr, y + base, box.nx, d);
     }
   }
 }

@@ -26,4 +26,38 @@ double stencil_nnz_per_row(Pattern p, int block_size) noexcept {
   return static_cast<double>(Stencil::make(p).ndiag()) * block_size;
 }
 
+double residual_bytes(double nnz, double m, Prec mat, Prec vec,
+                      bool scaled) noexcept {
+  const double bm = static_cast<double>(bytes_of(mat));
+  const double bv = static_cast<double>(bytes_of(vec));
+  // read u, read f, write r (+ read q2 when scaled)
+  return nnz * bm + (3.0 + (scaled ? 1.0 : 0.0)) * m * bv;
+}
+
+double restrict_bytes(double m_fine, double m_coarse, Prec vec) noexcept {
+  const double bv = static_cast<double>(bytes_of(vec));
+  return (m_fine + m_coarse) * bv;
+}
+
+double prolong_bytes(double m_fine, double m_coarse, Prec vec) noexcept {
+  const double bv = static_cast<double>(bytes_of(vec));
+  return (2.0 * m_fine + m_coarse) * bv;
+}
+
+double residual_restrict_bytes(double nnz, double m_fine, double m_coarse,
+                               Prec mat, Prec vec, bool scaled) noexcept {
+  const double bv = static_cast<double>(bytes_of(vec));
+  return residual_bytes(nnz, m_fine, mat, vec, scaled) +
+         restrict_bytes(m_fine, m_coarse, vec) - 2.0 * m_fine * bv;
+}
+
+double downstroke_bytes(double nnz, double m_fine, double m_coarse, Prec mat,
+                        Prec vec, bool scaled, bool fused) noexcept {
+  if (fused) {
+    return residual_restrict_bytes(nnz, m_fine, m_coarse, mat, vec, scaled);
+  }
+  return residual_bytes(nnz, m_fine, mat, vec, scaled) +
+         restrict_bytes(m_fine, m_coarse, vec);
+}
+
 }  // namespace smg

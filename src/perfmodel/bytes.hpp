@@ -30,4 +30,31 @@ double percent_matrix(double nnz, double m) noexcept;
 /// stencil size for scalar problems, times block size for vector PDEs.
 double stencil_nnz_per_row(Pattern p, int block_size) noexcept;
 
+// --- V-cycle downstroke traffic (DESIGN.md §7) -----------------------------
+//
+// All counts are dofs (m = rows) and stored nonzeros; `scaled` adds the q2
+// row-scale vector read of the recover-and-rescale kernels.  The model
+// counts compulsory main-memory traffic only (each operand streamed once;
+// caches hold no full vector).
+
+/// r = f - A u on one level: matrix once, u and f read, r written, plus q2.
+double residual_bytes(double nnz, double m, Prec mat, Prec vec,
+                      bool scaled) noexcept;
+
+/// f_c = R r_f (gather form): fine residual read, coarse rhs written.
+double restrict_bytes(double m_fine, double m_coarse, Prec vec) noexcept;
+
+/// u_f += P e_c: coarse error read, fine iterate read-modify-written.
+double prolong_bytes(double m_fine, double m_coarse, Prec vec) noexcept;
+
+/// Fused downstroke f_c = R (f - A u): residual + restriction minus the
+/// eliminated residual-vector store and load — exactly
+/// 2 * m_fine * bytes_of(vec) less than the unfused pair.
+double residual_restrict_bytes(double nnz, double m_fine, double m_coarse,
+                               Prec mat, Prec vec, bool scaled) noexcept;
+
+/// One level's downstroke traffic on either path.
+double downstroke_bytes(double nnz, double m_fine, double m_coarse, Prec mat,
+                        Prec vec, bool scaled, bool fused) noexcept;
+
 }  // namespace smg

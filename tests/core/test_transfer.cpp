@@ -1,7 +1,13 @@
-// Transfer operator tests: geometry, R = P^T duality, constant preservation.
+// Transfer operator tests: geometry, R = P^T duality, constant preservation,
+// gather/scatter equivalence, and thread-count invariance.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <vector>
+
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
 
 #include "core/transfer.hpp"
 #include "util/aligned.hpp"
@@ -134,6 +140,109 @@ TEST(Transfer, BoundaryOddPointLosesClippedParent) {
   EXPECT_EQ(p.idx[0], 3);
   EXPECT_DOUBLE_EQ(p.w[0], 0.5);
 }
+
+TEST(Transfer, ChildrenOfIsTransposeOfParentsOf) {
+  // For every (fine, coarse) pair, x appears in children_of(X) with weight w
+  // iff X appears in parents_of(x) with the same w — R and P^T agree entry
+  // by entry, including every boundary clipping.
+  for (int nf : {5, 6, 9, 10}) {
+    const int nc = (nf + 1) / 2;
+    for (int X = 0; X < nc; ++X) {
+      const auto c = detail::children_of(X, nf, true);
+      for (int a = 0; a < c.count; ++a) {
+        const auto p = detail::parents_of(c.idx[a], nc, true);
+        double w = 0.0;
+        for (int b = 0; b < p.count; ++b) {
+          if (p.idx[b] == X) {
+            w = p.w[b];
+          }
+        }
+        EXPECT_DOUBLE_EQ(w, c.w[a]) << "nf=" << nf << " X=" << X
+                                    << " child=" << c.idx[a];
+      }
+    }
+    // And the reverse inclusion: every parent relation appears as a child.
+    for (int x = 0; x < nf; ++x) {
+      const auto p = detail::parents_of(x, nc, true);
+      for (int b = 0; b < p.count; ++b) {
+        const auto c = detail::children_of(p.idx[b], nf, true);
+        bool found = false;
+        for (int a = 0; a < c.count; ++a) {
+          found = found || (c.idx[a] == x && c.w[a] == p.w[b]);
+        }
+        EXPECT_TRUE(found) << "nf=" << nf << " x=" << x;
+      }
+    }
+  }
+}
+
+TEST(Transfer, ChildrenOfUncoarsenedDimIsIdentity) {
+  const auto c = detail::children_of(4, 5, false);
+  ASSERT_EQ(c.count, 1);
+  EXPECT_EQ(c.idx[0], 4);
+  EXPECT_DOUBLE_EQ(c.w[0], 1.0);
+}
+
+TEST(Transfer, GatherRestrictionMatchesScatterReference) {
+  // The parallel gather form and the serial scatter reference compute the
+  // same operator; only the per-coarse-dof summation order differs, so the
+  // results agree to rounding.
+  for (const Box fine : {Box{8, 7, 6}, Box{9, 9, 3}, Box{5, 10, 7}}) {
+    const Coarsening c = Coarsening::make(fine, 5);
+    for (int bs : {1, 3}) {
+      Rng rng(99);
+      const std::size_t nf = static_cast<std::size_t>(fine.size() * bs);
+      const std::size_t nc = static_cast<std::size_t>(c.coarse.size() * bs);
+      avec<double> r(nf), g(nc), s(nc);
+      for (auto& v : r) {
+        v = rng.uniform(-1.0, 1.0);
+      }
+      restrict_to_coarse<double>(c, bs, {r.data(), nf}, {g.data(), nc});
+      restrict_to_coarse_scatter<double>(c, bs, {r.data(), nf},
+                                         {s.data(), nc});
+      for (std::size_t i = 0; i < nc; ++i) {
+        EXPECT_NEAR(g[i], s[i], 1e-13) << "i=" << i << " bs=" << bs;
+      }
+    }
+  }
+}
+
+#if defined(_OPENMP)
+TEST(Transfer, GatherTransfersAreThreadCountInvariant) {
+  // Each coarse (restriction) / fine (prolongation) dof is written by
+  // exactly one iteration with a fixed inner summation order, so the result
+  // must be bitwise independent of the thread count.
+  const Box fine{19, 14, 11};
+  const Coarsening c = Coarsening::make(fine, 5);
+  const int bs = 2;
+  Rng rng(7);
+  const std::size_t nf = static_cast<std::size_t>(fine.size() * bs);
+  const std::size_t nc = static_cast<std::size_t>(c.coarse.size() * bs);
+  avec<double> r(nf), e(nc);
+  for (auto& v : r) {
+    v = rng.uniform(-1.0, 1.0);
+  }
+  for (auto& v : e) {
+    v = rng.uniform(-1.0, 1.0);
+  }
+  const int saved = omp_get_max_threads();
+  omp_set_num_threads(1);
+  avec<double> fc1(nc), uf1(nf, 0.5);
+  restrict_to_coarse<double>(c, bs, {r.data(), nf}, {fc1.data(), nc});
+  prolong_add<double>(c, bs, {e.data(), nc}, {uf1.data(), nf});
+  for (int nt : {2, 3, 5, 8}) {
+    omp_set_num_threads(nt);
+    avec<double> fc(nc), uf(nf, 0.5);
+    restrict_to_coarse<double>(c, bs, {r.data(), nf}, {fc.data(), nc});
+    prolong_add<double>(c, bs, {e.data(), nc}, {uf.data(), nf});
+    EXPECT_EQ(0, std::memcmp(fc.data(), fc1.data(), nc * sizeof(double)))
+        << "restrict threads=" << nt;
+    EXPECT_EQ(0, std::memcmp(uf.data(), uf1.data(), nf * sizeof(double)))
+        << "prolong threads=" << nt;
+  }
+  omp_set_num_threads(saved);
+}
+#endif
 
 }  // namespace
 }  // namespace smg

@@ -48,6 +48,39 @@ TEST(Bytes, PercentMatrixGrowsWithStencilSize) {
   EXPECT_GT(p27, 0.9);
 }
 
+TEST(Bytes, FusedDownstrokeSavesExactlyTheResidualWriteAndRead) {
+  // DESIGN.md §7: fusing residual→restrict eliminates exactly the residual
+  // vector's store (in the residual) and load (in the restriction) — no
+  // more, no less.  33^3 fine grid, 17^3 coarse, 27-point stencil.
+  const double mf = 33.0 * 33.0 * 33.0;
+  const double mc = 17.0 * 17.0 * 17.0;
+  const double nnz = mf * stencil_nnz_per_row(Pattern::P3d27, 1);
+  for (Prec mat : {Prec::FP64, Prec::FP32, Prec::FP16}) {
+    for (Prec vec : {Prec::FP64, Prec::FP32}) {
+      for (bool scaled : {false, true}) {
+        const double unfused =
+            downstroke_bytes(nnz, mf, mc, mat, vec, scaled, false);
+        const double fused =
+            downstroke_bytes(nnz, mf, mc, mat, vec, scaled, true);
+        EXPECT_DOUBLE_EQ(unfused - fused,
+                         2.0 * mf * static_cast<double>(bytes_of(vec)))
+            << to_string(mat) << "/" << to_string(vec) << " scaled=" << scaled;
+        // The convenience wrapper and the parts must agree.
+        EXPECT_DOUBLE_EQ(unfused, residual_bytes(nnz, mf, mat, vec, scaled) +
+                                      restrict_bytes(mf, mc, vec));
+        EXPECT_DOUBLE_EQ(fused, residual_restrict_bytes(nnz, mf, mc, mat,
+                                                        vec, scaled));
+      }
+    }
+  }
+  // Sanity: the q2 read costs one more vector pass, prolongation is a
+  // read-modify-write of the fine iterate.
+  EXPECT_DOUBLE_EQ(residual_bytes(nnz, mf, Prec::FP16, Prec::FP32, true) -
+                       residual_bytes(nnz, mf, Prec::FP16, Prec::FP32, false),
+                   4.0 * mf);
+  EXPECT_DOUBLE_EQ(prolong_bytes(mf, mc, Prec::FP32), 4.0 * (2.0 * mf + mc));
+}
+
 TEST(Stream, MeasuresPlausibleBandwidth) {
   const StreamResult r = measure_stream(std::size_t{1} << 20, 3);
   EXPECT_GT(r.triad_gbs, 0.5);    // anything slower than 0.5 GB/s is broken
