@@ -7,9 +7,48 @@
 // geometric means the paper headlines (P.C. ~2.75x, E2E ~1.95x on their
 // clusters; single-host numbers land lower but with the same ordering).
 #include "bench_common.hpp"
+#include "obs/report.hpp"
+#include "perfmodel/stream.hpp"
 #include "util/stats.hpp"
 
 using namespace smg;
+
+namespace {
+
+/// Instrumented rerun of the mixed-precision config: per-level kernel
+/// bandwidth (perfmodel bytes / measured span seconds) against the host's
+/// STREAM triad — the "% of achievable bandwidth" framing of Figs. 7-8.
+void telemetry_section(const char* name, double triad_gbs) {
+  const Problem p = make_problem(name, bench::default_box(name));
+  MGConfig cfg = config_d16_setup_scale();
+  cfg.min_coarse_cells = 64;
+  cfg.telemetry = obs::TelemetryLevel::Counters;
+  StructMat<double> A = p.A;
+  MGHierarchy h(std::move(A), cfg);
+  auto M = make_mg_precond<double>(h);
+  const LinOp<double> op = [&p](std::span<const double> x,
+                                std::span<double> y) {
+    spmv<double, double>(p.A, x, y);
+  };
+  const std::size_t n = p.b.size();
+  avec<double> x(n, 0.0);
+  SolveOptions opts;
+  opts.max_iters = 400;
+  opts.rtol = 1e-9;
+  if (p.solver == "cg") {
+    pcg<double>(op, {p.b.data(), n}, {x.data(), n}, *M, opts);
+  } else {
+    pgmres<double>(op, {p.b.data(), n}, {x.data(), n}, *M, opts);
+  }
+  std::printf("\n--- %s, K64P32D16-setup-scale, achieved vs modeled ---\n",
+              name);
+  const obs::SolverReport rep =
+      obs::build_report(*M->telemetry(), h, triad_gbs, Prec::FP64);
+  obs::print_report(rep);
+  obs::emit_from_env(rep, *M->telemetry());
+}
+
+}  // namespace
 
 int main() {
   bench::print_header("End-to-end workflow, Full64 vs K64P32D16-setup-scale",
@@ -68,5 +107,13 @@ int main() {
   std::printf("\n(times normalized to each problem's Full64 total, as in\n"
               "Fig. 8; single-core absolute speedups are bounded by this\n"
               "host's cache/bandwidth behavior rather than a NUMA node's.)\n");
+
+  // --- telemetry: per-level achieved GB/s vs the byte model ---------------
+  const StreamResult stream = measure_stream();
+  std::printf("\nSTREAM triad on this host: %.2f GB/s (bandwidth reference)\n",
+              stream.triad_gbs);
+  for (const char* name : {"laplace27", "oil"}) {
+    telemetry_section(name, stream.triad_gbs);
+  }
   return 0;
 }

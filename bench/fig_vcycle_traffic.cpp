@@ -189,17 +189,16 @@ int main() {
   }
 
   // --- (c) convergence histories must be identical ------------------------
-  // Run at one thread: the preconditioner itself is bitwise identical
-  // fused-vs-unfused at any thread count (tests/core/test_mg_precond.cpp),
-  // but the Krylov dot products use an OpenMP reduction whose summation
-  // order is run-to-run nondeterministic at >1 thread — two runs of the
-  // *same* config already differ there, so bitwise history comparison is
-  // only meaningful single-threaded.  Iteration counts match at any count.
-  std::printf("\nfused-vs-unfused solver check (same iters, same residual "
-              "=> identical histories):\n");
+  // The preconditioner is bitwise identical fused-vs-unfused at any thread
+  // count (tests/core/test_mg_precond.cpp), and with deterministic
+  // reductions the Krylov dot products are too (fixed-blocking pairwise
+  // combination, kernels/blas1.hpp dot_deterministic) — so the bitwise
+  // history comparison runs fully multi-threaded, no 1-thread fallback.
+  std::printf("\nfused-vs-unfused solver check (bitwise-identical histories, "
+              "deterministic reductions, %d thread(s)):\n", threads.back());
   Table ct({"problem", "iters off", "iters on", "identical"});
   bool all_same = true;
-  set_threads(1);
+  set_threads(threads.back());
   for (const std::string& name : problem_names()) {
     const Problem p = make_problem(name, bench::default_box(name));
     MGConfig off = config_d16_setup_scale();
@@ -207,8 +206,8 @@ int main() {
     MGConfig on = off;
     off.fused_transfers = FusedTransfers::Off;
     on.fused_transfers = FusedTransfers::On;
-    const auto ro = bench::run_e2e(p, off, 300, 1e-8);
-    const auto rn = bench::run_e2e(p, on, 300, 1e-8);
+    const auto ro = bench::run_e2e(p, off, 300, 1e-8, /*deterministic=*/true);
+    const auto rn = bench::run_e2e(p, on, 300, 1e-8, /*deterministic=*/true);
     const bool same = ro.solve.iters == rn.solve.iters &&
                       ro.solve.final_relres == rn.solve.final_relres &&
                       ro.solve.history == rn.solve.history;

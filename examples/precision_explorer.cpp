@@ -10,6 +10,7 @@
 
 #include "core/mg_precond.hpp"
 #include "kernels/spmv.hpp"
+#include "obs/report.hpp"
 #include "problems/problem.hpp"
 #include "solvers/cg.hpp"
 #include "solvers/gmres.hpp"
@@ -81,5 +82,15 @@ int main(int argc, char** argv) {
            Table::fmt(h.stored_matrix_bytes() / 1e6, 2)});
   }
   t.print();
+
+  // Per-level precision-event counters of the recommended configuration:
+  // the safety ledger behind the table above (overflow headroom, magnitude
+  // range, truncation events, conversion volume per apply).
+  {
+    StructMat<double> A = p.A;
+    MGHierarchy h(std::move(A), config_d16_setup_scale());
+    std::printf("\nK64P32D16-setup-scale safety ledger:\n");
+    obs::print_precision_counters(obs::collect_precision_counters(h));
+  }
   return 0;
 }

@@ -12,6 +12,7 @@
 
 #include "core/mg_precond.hpp"
 #include "kernels/spmv.hpp"
+#include "obs/report.hpp"
 #include "problems/problem.hpp"
 #include "solvers/cg.hpp"
 
@@ -60,5 +61,17 @@ int main(int argc, char** argv) {
   std::printf("solve %.3fs of which preconditioner %.3fs (%.0f%%)\n",
               res.solve_seconds, res.precond_seconds,
               100.0 * res.precond_seconds / res.solve_seconds);
+
+  // 4. Optional telemetry: run with SMG_TELEMETRY=counters (aggregate
+  //    spans) or =full (plus a Chrome trace); SMG_TELEMETRY_JSON=path and
+  //    SMG_TELEMETRY_TRACE=path export the report/timeline as files.
+  if (M->telemetry() != nullptr && M->telemetry()->enabled()) {
+    std::printf("\n");
+    const obs::SolverReport report =
+        obs::build_report(*M->telemetry(), hierarchy, /*reference_gbs=*/0.0,
+                          Prec::FP64);
+    obs::print_report(report);
+    obs::emit_from_env(report, *M->telemetry());
+  }
   return res.converged ? 0 : 1;
 }

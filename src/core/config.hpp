@@ -16,6 +16,7 @@
 #include <string>
 
 #include "fp/precision.hpp"
+#include "obs/telemetry.hpp"
 #include "sgdia/struct_matrix.hpp"
 
 namespace smg {
@@ -127,6 +128,13 @@ struct MGConfig {
   /// Alg. 1 line 13: smoother data is truncated to storage precision too
   /// (with an overflow/underflow guard; see truncate_smoother_data).
   bool truncate_smoother = true;
+
+  // --- observability (src/obs/, DESIGN.md §8) ---
+  /// Telemetry level of preconditioners built on this config.  Off keeps the
+  /// hot loops bitwise- and performance-identical to an uninstrumented
+  /// build; the SMG_TELEMETRY env var overrides this at runtime
+  /// (obs::effective_level).
+  obs::TelemetryLevel telemetry = obs::TelemetryLevel::Off;
 
   // --- kernel implementation ---
   // SOAL (line-blocked SOA) keeps the SOA SIMD structure while giving the

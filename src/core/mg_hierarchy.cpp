@@ -21,6 +21,14 @@ bool needs_scaling(const StructMat<double>& A, Prec storage) {
   return max_abs_value(A) > static_cast<double>(kHalfMax);
 }
 
+/// Record the magnitude range of the values about to be truncated
+/// (telemetry's precision ledger; one extra setup-time pass).
+void record_stored_range(const StructMat<double>& A, Level& lev) {
+  lev.stored_max_abs = max_abs_value(A);
+  const double mn = min_abs_nonzero(A);
+  lev.stored_min_abs = std::isfinite(mn) ? mn : 0.0;
+}
+
 }  // namespace
 
 MGHierarchy::MGHierarchy(StructMat<double> A0, MGConfig cfg)
@@ -95,6 +103,8 @@ MGHierarchy::MGHierarchy(StructMat<double> A0, MGConfig cfg)
       lev.scaled = true;
       lev.q2 = std::move(sr.q2);
       lev.gmax = sr.gmax;
+      lev.g = sr.G;
+      record_stored_range(scaled, lev);
       lev.A_stored =
           AnyMat::from(scaled, lev.storage, cfg_.layout, &lev.trunc);
       if (cfg_.truncate_smoother) {
@@ -130,6 +140,7 @@ MGHierarchy::MGHierarchy(StructMat<double> A0, MGConfig cfg)
       // Direct truncation: ScaleMode::None intentionally lets out-of-range
       // values become inf (the Fig. 6 "none" failure mode is part of the
       // reproduction, not a bug).
+      record_stored_range(lev.A_full, lev);
       lev.A_stored =
           AnyMat::from(lev.A_full, lev.storage, cfg_.layout, &lev.trunc);
       if (cfg_.truncate_smoother) {

@@ -28,6 +28,12 @@ struct Level {
   Coarsening to_coarse;      ///< geometry to the next level (unused on last)
   TruncateReport trunc;      ///< truncation stats of this level
   double gmax = 0.0;         ///< Theorem 4.1 bound (0 if not scaled)
+  double g = 0.0;            ///< scaling target actually used (0 if !scaled)
+  /// Magnitude range of the values handed to truncation (the scaled copy
+  /// when scaled, the raw operator otherwise); telemetry's overflow /
+  /// underflow headroom ledger.
+  double stored_min_abs = 0.0;  ///< smallest nonzero |a_ij|; 0 if all-zero
+  double stored_max_abs = 0.0;
   Prec storage = Prec::FP64;
   /// Level-scheduled SymGS sweep plan; invalid means "sequential sweep"
   /// (Sequential mode, wavefront-incompatible stencil, or a level the Auto

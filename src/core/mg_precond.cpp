@@ -1,5 +1,7 @@
 #include "core/mg_precond.hpp"
 
+#include <type_traits>
+
 #include "kernels/blas1.hpp"
 #include "kernels/fused.hpp"
 #include "kernels/spmv.hpp"
@@ -88,8 +90,13 @@ void MGPrecond<CT>::cycle(int lev, bool zero_guess) {
   const Level& hl = h_->level(lev);
   const MGConfig& cfg = h_->config();
 
+  // Attribute everything below (kernel spans included) to this MG level.
+  const obs::LevelScope level_scope(lev);
+  const obs::ScopedSpan level_span(obs::Kind::Level);
+
   if (lev == last) {
     // Coarsest level: exact FP64 direct solve of the true operator.
+    const obs::KernelSpan span(obs::Kind::CoarseSolve);
     h_->coarse_solver().solve<CT>({L.f.data(), L.f.size()},
                                   {L.u.data(), L.u.size()});
     return;
@@ -158,21 +165,31 @@ void MGPrecond<CT>::apply(std::span<const CT> r, std::span<CT> e) {
 }
 
 template <class KT, class CT>
-MGPrecondAdapter<KT, CT>::MGPrecondAdapter(const MGHierarchy* h) : mg_(h) {
+MGPrecondAdapter<KT, CT>::MGPrecondAdapter(const MGHierarchy* h)
+    : mg_(h),
+      telemetry_(obs::effective_level(h->config().telemetry), h->nlevels()) {
   const std::size_t n =
       static_cast<std::size_t>(h->level(0).A_full.nrows());
   rbuf_.assign(n, CT{0});
   ebuf_.assign(n, CT{0});
+  // KT<->CT vector conversions per apply: residual truncation on entry,
+  // error recovery on exit (Alg. 2 lines 4 and 6); zero when the Krylov
+  // and compute types coincide and the copies are plain.
+  telemetry_.set_vec_conversions_per_apply(
+      std::is_same_v<KT, CT> ? 0 : 2 * static_cast<std::uint64_t>(n));
 }
 
 template <class KT, class CT>
 void MGPrecondAdapter<KT, CT>::apply(std::span<const KT> r,
                                      std::span<KT> e) {
-  Timer t;
+  // Install our ledger for the duration of the cycle; a no-op re-install
+  // when a solver already holds it for the whole solve.
+  const obs::InstallGuard guard(&telemetry_);
+  const double t0 = telemetry_.now();
   copy_convert<CT, KT>(r, {rbuf_.data(), rbuf_.size()});
   mg_.apply({rbuf_.data(), rbuf_.size()}, {ebuf_.data(), ebuf_.size()});
   copy_convert<KT, CT>({ebuf_.data(), ebuf_.size()}, e);
-  seconds_ += t.seconds();
+  telemetry_.record_apply(t0, telemetry_.now());
 }
 
 template <class KT>

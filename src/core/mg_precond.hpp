@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/mg_hierarchy.hpp"
+#include "obs/telemetry.hpp"
 #include "solvers/precond.hpp"
 #include "util/aligned.hpp"
 #include "util/timer.hpp"
@@ -44,20 +45,24 @@ class MGPrecond {
 
 /// Adapts MGPrecond<CT> to the Krylov-facing PrecondBase<KT>: truncates the
 /// incoming residual KT -> CT and recovers the error CT -> KT (Alg. 2
-/// lines 4 and 6).
+/// lines 4 and 6).  Owns the telemetry ledger of this preconditioner: the
+/// always-on apply accumulator provides apply_seconds(), and when the
+/// hierarchy config (or SMG_TELEMETRY) enables telemetry, each apply
+/// installs the ledger so the cycle's level/kernel spans are recorded.
 template <class KT, class CT>
 class MGPrecondAdapter final : public PrecondBase<KT> {
  public:
   explicit MGPrecondAdapter(const MGHierarchy* h);
 
   void apply(std::span<const KT> r, std::span<KT> e) override;
-  double apply_seconds() const override { return seconds_; }
-  void reset_timing() override { seconds_ = 0.0; }
+  double apply_seconds() const override { return telemetry_.apply_seconds(); }
+  void reset_timing() override { telemetry_.reset(); }
+  obs::Telemetry* telemetry() override { return &telemetry_; }
 
  private:
   MGPrecond<CT> mg_;
   avec<CT> rbuf_, ebuf_;
-  double seconds_ = 0.0;
+  obs::Telemetry telemetry_;
 };
 
 /// Build the adapter matching the hierarchy's configured compute precision.

@@ -21,6 +21,7 @@
 #include <span>
 
 #include "grid/box.hpp"
+#include "obs/telemetry.hpp"
 #include "util/common.hpp"
 
 namespace smg {
@@ -174,6 +175,7 @@ void restrict_to_coarse(const Coarsening& c, int bs, std::span<const CT> rf,
   SMG_CHECK(static_cast<std::int64_t>(rf.size()) == fine.size() * bs &&
                 static_cast<std::int64_t>(fc.size()) == coarse.size() * bs,
             "restrict size mismatch");
+  const obs::KernelSpan span(obs::Kind::Restrict);
   const double rscale = c.restrict_scale();
 #pragma omp parallel for collapse(2) schedule(static)
   for (int K = 0; K < coarse.nz; ++K) {
@@ -254,6 +256,7 @@ void prolong_add(const Coarsening& c, int bs, std::span<const CT> ec,
   SMG_CHECK(static_cast<std::int64_t>(uf.size()) == fine.size() * bs &&
                 static_cast<std::int64_t>(ec.size()) == coarse.size() * bs,
             "prolong size mismatch");
+  const obs::KernelSpan span(obs::Kind::Prolong);
 #pragma omp parallel for collapse(2) schedule(static)
   for (int k = 0; k < fine.nz; ++k) {
     for (int j = 0; j < fine.ny; ++j) {

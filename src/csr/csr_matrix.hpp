@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "fp/precision.hpp"
+#include "obs/telemetry.hpp"
 #include "sgdia/struct_matrix.hpp"
 #include "util/aligned.hpp"
 #include "util/common.hpp"
@@ -63,6 +64,7 @@ class CsrMat {
   template <class CT>
   void spmv(std::span<const CT> x, std::span<CT> y) const {
     SMG_CHECK(static_cast<std::int64_t>(y.size()) == nrows_, "spmv size");
+    const obs::KernelSpan span(obs::Kind::SpMV);
     const IT* SMG_RESTRICT rp = row_ptr_.data();
     const IT* SMG_RESTRICT ci = col_idx_.data();
     const VT* SMG_RESTRICT va = vals_.data();
@@ -87,6 +89,7 @@ class CsrMat {
   /// Column indices within each row must be ascending with the diagonal last.
   template <class CT>
   void sptrsv_lower(std::span<const CT> b, std::span<CT> x) const {
+    const obs::KernelSpan span(obs::Kind::SymGS);
     const IT* SMG_RESTRICT rp = row_ptr_.data();
     const IT* SMG_RESTRICT ci = col_idx_.data();
     const VT* SMG_RESTRICT va = vals_.data();

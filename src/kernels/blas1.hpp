@@ -8,13 +8,16 @@
 #include <cmath>
 #include <cstddef>
 #include <span>
+#include <vector>
 
+#include "obs/telemetry.hpp"
 #include "util/common.hpp"
 
 namespace smg {
 
 template <class T>
 void axpy(T alpha, std::span<const T> x, std::span<T> y) noexcept {
+  const obs::KernelSpan span(obs::Kind::Blas1);
   const std::size_t n = y.size();
 #pragma omp parallel for simd
   for (std::size_t i = 0; i < n; ++i) {
@@ -25,6 +28,7 @@ void axpy(T alpha, std::span<const T> x, std::span<T> y) noexcept {
 /// y = x + alpha*y (the "xpay" update of CG's direction vector).
 template <class T>
 void xpay(std::span<const T> x, T alpha, std::span<T> y) noexcept {
+  const obs::KernelSpan span(obs::Kind::Blas1);
   const std::size_t n = y.size();
 #pragma omp parallel for simd
   for (std::size_t i = 0; i < n; ++i) {
@@ -34,6 +38,7 @@ void xpay(std::span<const T> x, T alpha, std::span<T> y) noexcept {
 
 template <class T>
 void scal(T alpha, std::span<T> x) noexcept {
+  const obs::KernelSpan span(obs::Kind::Blas1);
   const std::size_t n = x.size();
 #pragma omp parallel for simd
   for (std::size_t i = 0; i < n; ++i) {
@@ -75,6 +80,7 @@ void ewise_div(std::span<const T> x, std::span<const T> d,
 /// safety: FP32 Krylov still needs robust inner products).
 template <class T>
 double dot(std::span<const T> x, std::span<const T> y) noexcept {
+  const obs::KernelSpan span(obs::Kind::Blas1);
   const std::size_t n = x.size();
   double acc = 0.0;
 #pragma omp parallel for simd reduction(+ : acc)
@@ -84,9 +90,60 @@ double dot(std::span<const T> x, std::span<const T> y) noexcept {
   return acc;
 }
 
+/// Deterministic dot product: fixed 4096-element blocks are each summed
+/// with a simd reduction (a fixed order for a given binary), blocks are
+/// combined by a sequential pairwise tree.  The result is independent of
+/// the OpenMP thread count and identical run to run — unlike the plain
+/// `dot`, whose `reduction(+)` combines per-thread partials in
+/// scheduler-dependent order.  Costs one extra pass of block partials
+/// (n/4096 doubles); enable via SolveOptions::deterministic_reductions.
+template <class T>
+double dot_deterministic(std::span<const T> x, std::span<const T> y) {
+  const obs::KernelSpan span(obs::Kind::Blas1);
+  constexpr std::size_t kBlock = 4096;
+  const std::size_t n = x.size();
+  const std::size_t nblocks = (n + kBlock - 1) / kBlock;
+  if (nblocks <= 1) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += static_cast<double>(x[i]) * static_cast<double>(y[i]);
+    }
+    return acc;
+  }
+  // Shared across the parallel region below (must NOT be thread_local: the
+  // worker threads all write into this one vector, indexed by block).
+  std::vector<double> partial(nblocks, 0.0);
+#pragma omp parallel for
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    const std::size_t lo = b * kBlock;
+    const std::size_t hi = std::min(lo + kBlock, n);
+    double acc = 0.0;
+#pragma omp simd reduction(+ : acc)
+    for (std::size_t i = lo; i < hi; ++i) {
+      acc += static_cast<double>(x[i]) * static_cast<double>(y[i]);
+    }
+    partial[b] = acc;
+  }
+  // Sequential pairwise tree over the per-block sums: fixed combination
+  // order regardless of which thread produced which partial.
+  for (std::size_t width = nblocks; width > 1;) {
+    const std::size_t half = (width + 1) / 2;
+    for (std::size_t i = 0; i + half < width; ++i) {
+      partial[i] += partial[i + half];
+    }
+    width = half;
+  }
+  return partial[0];
+}
+
 template <class T>
 double nrm2(std::span<const T> x) noexcept {
   return std::sqrt(dot(x, x));
+}
+
+template <class T>
+double nrm2_deterministic(std::span<const T> x) {
+  return std::sqrt(dot_deterministic(x, x));
 }
 
 template <class T>

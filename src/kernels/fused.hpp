@@ -321,6 +321,7 @@ void residual_restrict(const StructMat<ST>& A, std::span<const CT> f,
                 static_cast<std::int64_t>(u.size()) == A.nrows() &&
                 static_cast<std::int64_t>(fc.size()) == coarse.size() * bs,
             "residual_restrict size mismatch");
+  const obs::KernelSpan span(obs::Kind::ResidualRestrict);
   const double rscale = c.restrict_scale();
   const detail::ResidualLineCtx<ST, CT> ctx(A);
   const CT* fp = f.data();
@@ -413,6 +414,7 @@ void jacobi_sweep_fused(const StructMat<ST>& A, std::span<const CT> f,
                     A.ncells() * block2,
             "jacobi_sweep_fused size mismatch");
   SMG_CHECK(unew.data() != u.data(), "jacobi_sweep_fused: unew aliases u");
+  const obs::KernelSpan span(obs::Kind::Jacobi);
   const detail::ResidualLineCtx<ST, CT> ctx(A);
   const int nx = box.nx;
   const std::int64_t ndof_line = static_cast<std::int64_t>(nx) * bs;

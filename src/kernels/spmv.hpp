@@ -23,6 +23,7 @@
 #include <span>
 
 #include "kernels/loops.hpp"
+#include "obs/telemetry.hpp"
 #include "sgdia/struct_matrix.hpp"
 #include "util/common.hpp"
 
@@ -637,6 +638,7 @@ void spmv(const StructMat<ST>& A, std::span<const CT> x, std::span<CT> y,
   SMG_CHECK(static_cast<std::int64_t>(x.size()) == A.nrows() &&
                 static_cast<std::int64_t>(y.size()) == A.nrows(),
             "spmv size mismatch");
+  const obs::KernelSpan span(obs::Kind::SpMV);
   if (A.layout() != Layout::AOS) {
     apply_soa<false>(A, x.data(), static_cast<const CT*>(nullptr), y.data(),
                      q2);
@@ -655,6 +657,9 @@ void residual(const StructMat<ST>& A, std::span<const CT> b,
                 static_cast<std::int64_t>(b.size()) == A.nrows() &&
                 static_cast<std::int64_t>(r.size()) == A.nrows(),
             "residual size mismatch");
+  // Outermost kernel span: the scaled fallback below calls spmv, whose own
+  // span is suppressed by the nesting guard.
+  const obs::KernelSpan span(obs::Kind::Residual);
   // The SOA-family block path and the register-blocked fp16 path fuse the
   // scaled residual correctly (the accumulator is separate from b until the
   // final combination).

@@ -420,6 +420,7 @@ template <class ST, class CT>
 void gs_forward(const StructMat<ST>& A, std::span<const CT> f, std::span<CT> u,
                 std::span<const CT> invdiag, const CT* q2 = nullptr,
                 const WavefrontSchedule* wf = nullptr) {
+  const obs::KernelSpan span(obs::Kind::SymGS);
   if (A.layout() != Layout::AOS) {
     if (A.block_size() == 1) {
       detail::gs_sweep_soa_lines<true>(A, f, u, invdiag, q2, wf);
@@ -437,6 +438,7 @@ void gs_backward(const StructMat<ST>& A, std::span<const CT> f,
                  std::span<CT> u, std::span<const CT> invdiag,
                  const CT* q2 = nullptr,
                  const WavefrontSchedule* wf = nullptr) {
+  const obs::KernelSpan span(obs::Kind::SymGS);
   if (A.layout() != Layout::AOS) {
     if (A.block_size() == 1) {
       detail::gs_sweep_soa_lines<false>(A, f, u, invdiag, q2, wf);

@@ -1,0 +1,80 @@
+#include "obs/counters.hpp"
+
+#include <cfloat>
+
+#include "fp/half.hpp"
+
+namespace smg::obs {
+
+double format_max(Prec p) noexcept {
+  switch (p) {
+    case Prec::FP64:
+      return DBL_MAX;
+    case Prec::FP32:
+      return FLT_MAX;
+    case Prec::FP16:
+      return static_cast<double>(kHalfMax);
+    case Prec::BF16:
+      // BF16 shares FP32's exponent range; its max finite value is
+      // 0x7F7F = 2^127 * (1 + 127/128).
+      return 3.3895313892515355e38;
+  }
+  return 0.0;
+}
+
+std::vector<LevelPrecisionCounters> collect_precision_counters(
+    const MGHierarchy& h) {
+  const MGConfig& cfg = h.config();
+  std::vector<LevelPrecisionCounters> out;
+  out.reserve(static_cast<std::size_t>(h.nlevels()));
+  // Visits of each level per apply: 1 for a V-cycle; a W-cycle re-enters
+  // every non-coarsest child level (matching MGPrecond::cycle's recursion).
+  std::vector<std::uint64_t> visits(static_cast<std::size_t>(h.nlevels()), 1);
+  for (int l = 1; l < h.nlevels(); ++l) {
+    const bool w_revisit = cfg.cycle == CycleType::W && l + 1 < h.nlevels();
+    visits[static_cast<std::size_t>(l)] =
+        visits[static_cast<std::size_t>(l) - 1] * (w_revisit ? 2 : 1);
+  }
+  for (int l = 0; l < h.nlevels(); ++l) {
+    const Level& lev = h.level(l);
+    LevelPrecisionCounters c;
+    c.level = l;
+    c.rows = lev.A_full.nrows();
+    const int bs = lev.A_full.block_size();
+    c.stored_values = static_cast<std::uint64_t>(lev.A_full.ncells()) *
+                      static_cast<std::uint64_t>(lev.A_full.ndiag()) *
+                      static_cast<std::uint64_t>(bs) *
+                      static_cast<std::uint64_t>(bs);
+    c.matrix_bytes = lev.A_stored.value_bytes();
+    c.storage = lev.storage;
+    c.shifted = l >= cfg.shift_levid;
+    c.scaled = lev.scaled;
+    c.g = lev.g;
+    c.gmax = lev.gmax;
+    c.min_abs = lev.stored_min_abs;
+    c.max_abs = lev.stored_max_abs;
+    if (lev.scaled && lev.g > 0.0) {
+      c.headroom = lev.gmax / lev.g;
+    } else if (lev.stored_max_abs > 0.0) {
+      c.headroom = format_max(lev.storage) / lev.stored_max_abs;
+    }
+    c.overflowed = lev.trunc.overflowed;
+    c.flushed_to_zero = lev.trunc.underflowed;
+    c.subnormal = lev.trunc.subnormal;
+    if (bytes_of(lev.storage) == 2) {
+      // Matrix passes per V-cycle: nu1 + nu2 smoothing sweeps everywhere
+      // except the coarsest level (dense FP64 solve), plus the downstroke
+      // residual on every level that has a coarser one.
+      const bool coarsest = l + 1 == h.nlevels();
+      const std::uint64_t passes =
+          coarsest ? 0
+                   : static_cast<std::uint64_t>(cfg.nu1 + cfg.nu2) + 1;
+      c.conversions_per_apply =
+          passes * visits[static_cast<std::size_t>(l)] * c.stored_values;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace smg::obs

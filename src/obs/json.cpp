@@ -1,0 +1,263 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace smg::obs {
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  int depth = 0;
+  static constexpr int kMaxDepth = 64;
+
+  bool eof() const noexcept { return pos >= text.size(); }
+  char peek() const noexcept { return eof() ? '\0' : text[pos]; }
+
+  void skip_ws() noexcept {
+    while (!eof() && (text[pos] == ' ' || text[pos] == '\t' ||
+                      text[pos] == '\n' || text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool consume(char c) noexcept {
+    if (peek() == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view lit) noexcept {
+    if (text.substr(pos, lit.size()) == lit) {
+      pos += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) {
+      return false;
+    }
+    out.clear();
+    while (!eof()) {
+      const char c = text[pos++];
+      if (c == '"') {
+        return true;
+      }
+      if (c == '\\') {
+        if (eof()) {
+          return false;
+        }
+        const char e = text[pos++];
+        switch (e) {
+          case '"':
+            out += '"';
+            break;
+          case '\\':
+            out += '\\';
+            break;
+          case '/':
+            out += '/';
+            break;
+          case 'b':
+            out += '\b';
+            break;
+          case 'f':
+            out += '\f';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'u':
+            if (pos + 4 > text.size()) {
+              return false;
+            }
+            pos += 4;
+            out += '?';  // codepoint decoding out of scope for telemetry
+            break;
+          default:
+            return false;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_value(JsonValue& out) {
+    if (++depth > kMaxDepth) {
+      return false;
+    }
+    skip_ws();
+    bool ok = false;
+    if (peek() == '{') {
+      ok = parse_object(out);
+    } else if (peek() == '[') {
+      ok = parse_array(out);
+    } else if (peek() == '"') {
+      std::string s;
+      ok = parse_string(s);
+      if (ok) {
+        out = JsonValue(std::move(s));
+      }
+    } else if (literal("true")) {
+      out = JsonValue(true);
+      ok = true;
+    } else if (literal("false")) {
+      out = JsonValue(false);
+      ok = true;
+    } else if (literal("null")) {
+      out = JsonValue();
+      ok = true;
+    } else {
+      ok = parse_number(out);
+    }
+    --depth;
+    return ok;
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos;
+    if (peek() == '-') {
+      ++pos;
+    }
+    while (!eof() && (std::isdigit(static_cast<unsigned char>(peek())) ||
+                      peek() == '.' || peek() == 'e' || peek() == 'E' ||
+                      peek() == '+' || peek() == '-')) {
+      ++pos;
+    }
+    if (pos == start) {
+      return false;
+    }
+    const std::string tok(text.substr(start, pos - start));
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return false;
+    }
+    out = JsonValue(v);
+    return true;
+  }
+
+  bool parse_array(JsonValue& out) {
+    if (!consume('[')) {
+      return false;
+    }
+    out = JsonValue::array();
+    skip_ws();
+    if (consume(']')) {
+      return true;
+    }
+    while (true) {
+      JsonValue item;
+      if (!parse_value(item)) {
+        return false;
+      }
+      out.push_back(std::move(item));
+      skip_ws();
+      if (consume(']')) {
+        return true;
+      }
+      if (!consume(',')) {
+        return false;
+      }
+    }
+  }
+
+  bool parse_object(JsonValue& out) {
+    if (!consume('{')) {
+      return false;
+    }
+    out = JsonValue::object();
+    skip_ws();
+    if (consume('}')) {
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) {
+        return false;
+      }
+      skip_ws();
+      if (!consume(':')) {
+        return false;
+      }
+      JsonValue val;
+      if (!parse_value(val)) {
+        return false;
+      }
+      out.set(std::move(key), std::move(val));
+      skip_ws();
+      if (consume('}')) {
+        return true;
+      }
+      if (!consume(',')) {
+        return false;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::optional<JsonValue> json_parse(std::string_view text) {
+  Parser p{text};
+  JsonValue root;
+  if (!p.parse_value(root)) {
+    return std::nullopt;
+  }
+  p.skip_ws();
+  if (!p.eof()) {
+    return std::nullopt;  // trailing garbage
+  }
+  return root;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace smg::obs

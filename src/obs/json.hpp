@@ -1,0 +1,85 @@
+// Minimal JSON value tree, parser, and writer.
+//
+// Just enough JSON for the telemetry exports: the report writer emits
+// machine-readable solver telemetry and Chrome trace-event timelines, and
+// tests/obs round-trips those files through this parser to validate the
+// schema without an external dependency.  Not a general-purpose library:
+// no \uXXXX surrogate pairs (escapes decode to '?'), numbers parse via
+// strtod, objects keep at most one value per key (last wins).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smg::obs {
+
+class JsonValue {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() = default;
+  explicit JsonValue(bool b) : type_(Type::Bool), bool_(b) {}
+  explicit JsonValue(double d) : type_(Type::Number), num_(d) {}
+  explicit JsonValue(std::string s) : type_(Type::String), str_(std::move(s)) {}
+
+  static JsonValue array() {
+    JsonValue v;
+    v.type_ = Type::Array;
+    return v;
+  }
+  static JsonValue object() {
+    JsonValue v;
+    v.type_ = Type::Object;
+    return v;
+  }
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::Null; }
+  bool is_bool() const noexcept { return type_ == Type::Bool; }
+  bool is_number() const noexcept { return type_ == Type::Number; }
+  bool is_string() const noexcept { return type_ == Type::String; }
+  bool is_array() const noexcept { return type_ == Type::Array; }
+  bool is_object() const noexcept { return type_ == Type::Object; }
+
+  bool as_bool() const noexcept { return bool_; }
+  double as_number() const noexcept { return num_; }
+  const std::string& as_string() const noexcept { return str_; }
+  const std::vector<JsonValue>& items() const noexcept { return items_; }
+  std::vector<JsonValue>& items() noexcept { return items_; }
+
+  /// Object member by key; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const noexcept {
+    const auto it = members_.find(std::string(key));
+    return it == members_.end() ? nullptr : &it->second;
+  }
+  bool has(std::string_view key) const noexcept { return find(key) != nullptr; }
+
+  void push_back(JsonValue v) { items_.push_back(std::move(v)); }
+  void set(std::string key, JsonValue v) {
+    members_.insert_or_assign(std::move(key), std::move(v));
+  }
+  const std::map<std::string, JsonValue>& members() const noexcept {
+    return members_;
+  }
+
+ private:
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<JsonValue> items_;
+  std::map<std::string, JsonValue> members_;
+};
+
+/// Parse a complete JSON document; std::nullopt on any syntax error or
+/// trailing garbage.
+std::optional<JsonValue> json_parse(std::string_view text);
+
+/// Serialize with JSON string escaping (round-trips through json_parse).
+std::string json_escape(std::string_view s);
+
+}  // namespace smg::obs

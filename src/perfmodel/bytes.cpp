@@ -26,6 +26,27 @@ double stencil_nnz_per_row(Pattern p, int block_size) noexcept {
   return static_cast<double>(Stencil::make(p).ndiag()) * block_size;
 }
 
+double spmv_bytes(double nnz, double m, Prec mat, Prec vec,
+                  bool scaled) noexcept {
+  const double bm = static_cast<double>(bytes_of(mat));
+  const double bv = static_cast<double>(bytes_of(vec));
+  // read x, write y (+ read q2 when scaled)
+  return nnz * bm + (2.0 + (scaled ? 1.0 : 0.0)) * m * bv;
+}
+
+double symgs_sweep_bytes(double nnz, double m, Prec mat, Prec vec,
+                         bool scaled) noexcept {
+  const double bm = static_cast<double>(bytes_of(mat));
+  const double bv = static_cast<double>(bytes_of(vec));
+  // read f + inv_diag, read-modify-write u (+ read q2 when scaled)
+  return nnz * bm + (4.0 + (scaled ? 1.0 : 0.0)) * m * bv;
+}
+
+double jacobi_sweep_bytes(double nnz, double m, Prec mat, Prec vec,
+                          bool scaled) noexcept {
+  return symgs_sweep_bytes(nnz, m, mat, vec, scaled);
+}
+
 double residual_bytes(double nnz, double m, Prec mat, Prec vec,
                       bool scaled) noexcept {
   const double bm = static_cast<double>(bytes_of(mat));

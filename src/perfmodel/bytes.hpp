@@ -37,6 +37,19 @@ double stencil_nnz_per_row(Pattern p, int block_size) noexcept;
 // counts compulsory main-memory traffic only (each operand streamed once;
 // caches hold no full vector).
 
+/// y = A x: matrix once, x read, y written, plus q2.
+double spmv_bytes(double nnz, double m, Prec mat, Prec vec,
+                  bool scaled) noexcept;
+
+/// One Gauss-Seidel sweep (forward or backward): matrix once, f and inv_diag
+/// read, u read-modify-written, plus q2.
+double symgs_sweep_bytes(double nnz, double m, Prec mat, Prec vec,
+                         bool scaled) noexcept;
+
+/// One fused weighted-Jacobi sweep: same streams as a GS sweep.
+double jacobi_sweep_bytes(double nnz, double m, Prec mat, Prec vec,
+                          bool scaled) noexcept;
+
 /// r = f - A u on one level: matrix once, u and f read, r written, plus q2.
 double residual_bytes(double nnz, double m, Prec mat, Prec vec,
                       bool scaled) noexcept;

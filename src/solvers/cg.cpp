@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "kernels/blas1.hpp"
+#include "obs/telemetry.hpp"
 #include "util/aligned.hpp"
 #include "util/timer.hpp"
 
@@ -15,6 +16,19 @@ SolveResult pcg(const LinOp<KT>& A, std::span<const KT> b, std::span<KT> x,
   Timer timer;
   M.reset_timing();
 
+  // Join the preconditioner's telemetry ledger (no-op when it has none)
+  // so solver-side spans and the cycle's spans land in one instance.
+  const obs::InstallGuard obs_guard(M.telemetry());
+  const obs::ScopedSpan solve_span(obs::Kind::Solve);
+  const auto vdot = [&opts](std::span<const KT> u, std::span<const KT> v) {
+    return opts.deterministic_reductions ? dot_deterministic<KT>(u, v)
+                                         : dot<KT>(u, v);
+  };
+  const auto vnrm2 = [&opts](std::span<const KT> u) {
+    return opts.deterministic_reductions ? nrm2_deterministic<KT>(u)
+                                         : nrm2<KT>(u);
+  };
+
   const std::size_t n = b.size();
   avec<KT> r(n), z(n), p(n), ap(n);
   std::span<KT> rs{r.data(), n}, zs{z.data(), n}, ps{p.data(), n},
@@ -26,9 +40,9 @@ SolveResult pcg(const LinOp<KT>& A, std::span<const KT> b, std::span<KT> x,
     r[i] = b[i] - ap[i];
   }
 
-  const double bnorm = nrm2<KT>(b);
+  const double bnorm = vnrm2(b);
   const double target = opts.rtol * (bnorm > 0.0 ? bnorm : 1.0);
-  double rnorm = nrm2<KT>(rs);
+  double rnorm = vnrm2(rs);
   if (opts.record_history) {
     res.history.push_back(rnorm / (bnorm > 0.0 ? bnorm : 1.0));
   }
@@ -37,7 +51,7 @@ SolveResult pcg(const LinOp<KT>& A, std::span<const KT> b, std::span<KT> x,
   for (std::size_t i = 0; i < n; ++i) {
     p[i] = z[i];
   }
-  double rz = dot<KT>(rs, zs);
+  double rz = vdot(rs, zs);
 
   for (int it = 0; it < opts.max_iters; ++it) {
     if (!std::isfinite(rnorm) || !std::isfinite(rz)) {
@@ -48,9 +62,10 @@ SolveResult pcg(const LinOp<KT>& A, std::span<const KT> b, std::span<KT> x,
       res.converged = true;
       break;
     }
+    const obs::ScopedSpan iter_span(obs::Kind::Iteration);
     A(ps, aps);
-    const double pap = dot<KT>(std::span<const KT>{p.data(), n},
-                               std::span<const KT>{ap.data(), n});
+    const double pap = vdot(std::span<const KT>{p.data(), n},
+                            std::span<const KT>{ap.data(), n});
     if (pap == 0.0 || !std::isfinite(pap)) {
       res.breakdown = !std::isfinite(pap);
       break;
@@ -59,7 +74,7 @@ SolveResult pcg(const LinOp<KT>& A, std::span<const KT> b, std::span<KT> x,
     axpy<KT>(static_cast<KT>(alpha), std::span<const KT>{p.data(), n}, x);
     axpy<KT>(static_cast<KT>(-alpha), std::span<const KT>{ap.data(), n}, rs);
 
-    rnorm = nrm2<KT>(rs);
+    rnorm = vnrm2(rs);
     ++res.iters;
     if (opts.record_history) {
       res.history.push_back(rnorm / (bnorm > 0.0 ? bnorm : 1.0));
@@ -70,8 +85,8 @@ SolveResult pcg(const LinOp<KT>& A, std::span<const KT> b, std::span<KT> x,
     }
 
     M.apply(rs, zs);
-    const double rz_new = dot<KT>(std::span<const KT>{r.data(), n},
-                                  std::span<const KT>{z.data(), n});
+    const double rz_new = vdot(std::span<const KT>{r.data(), n},
+                               std::span<const KT>{z.data(), n});
     const double beta = rz_new / rz;
     rz = rz_new;
     xpay<KT>(std::span<const KT>{z.data(), n}, static_cast<KT>(beta), ps);

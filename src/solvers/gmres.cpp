@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "kernels/blas1.hpp"
+#include "obs/telemetry.hpp"
 #include "util/aligned.hpp"
 #include "util/timer.hpp"
 
@@ -15,6 +16,17 @@ SolveResult pgmres(const LinOp<KT>& A, std::span<const KT> b, std::span<KT> x,
   SolveResult res;
   Timer timer;
   M.reset_timing();
+
+  const obs::InstallGuard obs_guard(M.telemetry());
+  const obs::ScopedSpan solve_span(obs::Kind::Solve);
+  const auto vdot = [&opts](std::span<const KT> u, std::span<const KT> v) {
+    return opts.deterministic_reductions ? dot_deterministic<KT>(u, v)
+                                         : dot<KT>(u, v);
+  };
+  const auto vnrm2 = [&opts](std::span<const KT> u) {
+    return opts.deterministic_reductions ? nrm2_deterministic<KT>(u)
+                                         : nrm2<KT>(u);
+  };
 
   const std::size_t n = b.size();
   const int m = opts.restart;
@@ -30,7 +42,7 @@ SolveResult pgmres(const LinOp<KT>& A, std::span<const KT> b, std::span<KT> x,
   std::vector<double> sn(static_cast<std::size_t>(m), 0.0);
   std::vector<double> g(static_cast<std::size_t>(m) + 1, 0.0);
 
-  const double bnorm = nrm2<KT>(b);
+  const double bnorm = vnrm2(b);
   const double scale = bnorm > 0.0 ? bnorm : 1.0;
   const double target = opts.rtol * scale;
 
@@ -39,7 +51,7 @@ SolveResult pgmres(const LinOp<KT>& A, std::span<const KT> b, std::span<KT> x,
   for (std::size_t i = 0; i < n; ++i) {
     V[0][i] = b[i] - w[i];
   }
-  double beta = nrm2<KT>(std::span<const KT>{V[0].data(), n});
+  double beta = vnrm2(std::span<const KT>{V[0].data(), n});
   if (opts.record_history) {
     res.history.push_back(beta / scale);
   }
@@ -57,6 +69,7 @@ SolveResult pgmres(const LinOp<KT>& A, std::span<const KT> b, std::span<KT> x,
     int j = 0;
     bool stop = false;
     for (; j < m && res.iters < opts.max_iters && !stop; ++j) {
+      const obs::ScopedSpan iter_span(obs::Kind::Iteration);
       // w = A M^{-1} v_j
       M.apply({V[static_cast<std::size_t>(j)].data(), n}, {z.data(), n});
       A({z.data(), n}, {w.data(), n});
@@ -64,15 +77,15 @@ SolveResult pgmres(const LinOp<KT>& A, std::span<const KT> b, std::span<KT> x,
       // Modified Gram-Schmidt.
       for (int i = 0; i <= j; ++i) {
         const double h =
-            dot<KT>(std::span<const KT>{w.data(), n},
-                    std::span<const KT>{V[static_cast<std::size_t>(i)].data(),
-                                        n});
+            vdot(std::span<const KT>{w.data(), n},
+                 std::span<const KT>{V[static_cast<std::size_t>(i)].data(),
+                                     n});
         H[static_cast<std::size_t>(j) * (m + 1) + i] = h;
         axpy<KT>(static_cast<KT>(-h),
                  std::span<const KT>{V[static_cast<std::size_t>(i)].data(), n},
                  std::span<KT>{w.data(), n});
       }
-      const double hlast = nrm2<KT>(std::span<const KT>{w.data(), n});
+      const double hlast = vnrm2(std::span<const KT>{w.data(), n});
       H[static_cast<std::size_t>(j) * (m + 1) + j + 1] = hlast;
       if (!std::isfinite(hlast)) {
         res.breakdown = true;
@@ -152,7 +165,7 @@ SolveResult pgmres(const LinOp<KT>& A, std::span<const KT> b, std::span<KT> x,
     for (std::size_t i = 0; i < n; ++i) {
       V[0][i] = b[i] - w[i];
     }
-    beta = nrm2<KT>(std::span<const KT>{V[0].data(), n});
+    beta = vnrm2(std::span<const KT>{V[0].data(), n});
   }
 
   res.converged = std::isfinite(beta) && beta < target;

@@ -9,6 +9,10 @@
 
 #include "util/common.hpp"
 
+namespace smg::obs {
+class Telemetry;
+}  // namespace smg::obs
+
 namespace smg {
 
 template <class KT>
@@ -23,6 +27,11 @@ class PrecondBase {
   /// for the Fig. 8/9 breakdown).
   virtual double apply_seconds() const { return 0.0; }
   virtual void reset_timing() {}
+
+  /// This preconditioner's telemetry ledger, or nullptr when it has none.
+  /// Krylov solvers install it (obs::InstallGuard) for the duration of the
+  /// solve so their solve/iteration/blas1 spans land in the same instance.
+  virtual obs::Telemetry* telemetry() { return nullptr; }
 };
 
 /// No preconditioning: e = r.

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "kernels/blas1.hpp"
+#include "obs/telemetry.hpp"
 #include "util/aligned.hpp"
 #include "util/timer.hpp"
 
@@ -16,20 +17,28 @@ SolveResult richardson(const LinOp<KT>& A, std::span<const KT> b,
   Timer timer;
   M.reset_timing();
 
+  const obs::InstallGuard obs_guard(M.telemetry());
+  const obs::ScopedSpan solve_span(obs::Kind::Solve);
+  const auto vnrm2 = [&opts](std::span<const KT> u) {
+    return opts.deterministic_reductions ? nrm2_deterministic<KT>(u)
+                                         : nrm2<KT>(u);
+  };
+
   const std::size_t n = b.size();
   avec<KT> r(n), e(n);
 
-  const double bnorm = nrm2<KT>(b);
+  const double bnorm = vnrm2(b);
   const double scale = bnorm > 0.0 ? bnorm : 1.0;
   const double target = opts.rtol * scale;
 
   double rnorm = 0.0;
   for (int it = 0; it <= opts.max_iters; ++it) {
+    const obs::ScopedSpan iter_span(obs::Kind::Iteration);
     A(x, {r.data(), n});
     for (std::size_t i = 0; i < n; ++i) {
       r[i] = b[i] - r[i];
     }
-    rnorm = nrm2<KT>(std::span<const KT>{r.data(), n});
+    rnorm = vnrm2(std::span<const KT>{r.data(), n});
     if (opts.record_history) {
       res.history.push_back(rnorm / scale);
     }

@@ -3,6 +3,8 @@
 
 #include <chrono>
 
+#include "util/common.hpp"
+
 namespace smg {
 
 class Timer {
@@ -22,16 +24,32 @@ class Timer {
 };
 
 /// Accumulates time over repeated start/stop windows (phase timing).
+/// Windows must not nest: a second start() before stop() would silently
+/// discard the first window's elapsed time, so both mispairings are hard
+/// errors rather than corrupted totals.
 class PhaseTimer {
  public:
-  void start() { t_.reset(); }
-  void stop() { total_ += t_.seconds(); }
+  void start() {
+    SMG_CHECK(!running_, "PhaseTimer::start() while already running");
+    running_ = true;
+    t_.reset();
+  }
+  void stop() {
+    SMG_CHECK(running_, "PhaseTimer::stop() without a matching start()");
+    running_ = false;
+    total_ += t_.seconds();
+  }
+  bool running() const { return running_; }
   double total() const { return total_; }
-  void clear() { total_ = 0.0; }
+  void clear() {
+    total_ = 0.0;
+    running_ = false;
+  }
 
  private:
   Timer t_;
   double total_ = 0.0;
+  bool running_ = false;
 };
 
 }  // namespace smg
