@@ -16,7 +16,7 @@ namespace {
 /// error (FP16: ~2^-11 per entry; BF16: ~2^-8) that drives the paper's
 /// BF16-costs-more-iterations observation on its harder problems.
 double vcycle_perturbation(const Problem& p, MGConfig cfg,
-                           const MGHierarchy& href) {
+                           MGHierarchy& href) {
   cfg.min_coarse_cells = 64;
   StructMat<double> A = p.A;
   MGHierarchy h(std::move(A), cfg);
@@ -58,7 +58,7 @@ int main() {
     const auto rb = bench::run_e2e(p, b16);
 
     StructMat<double> Aref = p.A;
-    const MGHierarchy href(std::move(Aref), full);
+    MGHierarchy href(std::move(Aref), full);
     const double e16 = vcycle_perturbation(p, f16, href);
     const double eb16 = vcycle_perturbation(p, b16, href);
     err16.push_back(e16);

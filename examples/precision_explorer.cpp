@@ -53,6 +53,16 @@ int main(int argc, char** argv) {
          c.cycle = CycleType::W;
          return c;
        }()},
+      {"K64P32D16 auto", [] {
+         MGConfig c = config_d16_setup_scale();
+         c.precision_policy = PrecisionPolicy::Auto;
+         return c;
+       }()},
+      {"K64P32D16 guarded", [] {
+         MGConfig c = config_d16_setup_scale();
+         c.precision_policy = PrecisionPolicy::Guarded;
+         return c;
+       }()},
   };
 
   Table t({"config", "status", "iters", "setup s", "solve s", "MG s",
@@ -88,9 +98,18 @@ int main(int argc, char** argv) {
   // range, truncation events, conversion volume per apply).
   {
     StructMat<double> A = p.A;
-    MGHierarchy h(std::move(A), config_d16_setup_scale());
-    std::printf("\nK64P32D16-setup-scale safety ledger:\n");
+    MGConfig cfg = config_d16_setup_scale();
+    cfg.precision_policy = PrecisionPolicy::Auto;  // let the planner veto
+    MGHierarchy h(std::move(A), cfg);
+    std::printf("\nK64P32D16-setup-scale safety ledger (policy: %s):\n",
+                std::string(to_string(h.policy())).c_str());
     obs::print_precision_counters(obs::collect_precision_counters(h));
+    for (const AutopilotDecision& d : h.autopilot_log()) {
+      std::printf("  autopilot: level %d %s -> %s (%s)\n", d.level,
+                  std::string(to_string(d.trigger)).c_str(),
+                  std::string(to_string(d.action)).c_str(),
+                  d.reason.c_str());
+    }
   }
   return 0;
 }

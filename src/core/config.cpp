@@ -6,7 +6,12 @@ std::string MGConfig::tag() const {
   std::string s = "P";
   s += (compute == Prec::FP64) ? "64" : "32";
   s += "D";
-  switch (storage) {
+  // The D component must agree with storage_at(): shift_levid <= 0 stores
+  // *every* level in compute precision, so the configured `storage` never
+  // materializes and the tag must not advertise it (nor a scale mode, which
+  // only applies to 2-byte-stored levels).
+  const Prec eff = shift_levid <= 0 ? compute : storage;
+  switch (eff) {
     case Prec::FP64:
       s += "64";
       break;
@@ -20,7 +25,7 @@ std::string MGConfig::tag() const {
       s += "b16";
       break;
   }
-  if (storage == Prec::FP16 || storage == Prec::BF16) {
+  if (eff == Prec::FP16 || eff == Prec::BF16) {
     switch (scale) {
       case ScaleMode::None:
         s += "-none";
@@ -32,6 +37,14 @@ std::string MGConfig::tag() const {
         s += "-scale-setup";
         break;
     }
+    // Partial shift: levels >= shift_levid fall back to compute precision.
+    if (shift_levid > 0 && shift_levid != INT_MAX) {
+      s += "-shift" + std::to_string(shift_levid);
+    }
+  }
+  if (precision_policy != PrecisionPolicy::Fixed) {
+    s += "-";
+    s += to_string(precision_policy);
   }
   return s;
 }

@@ -93,6 +93,27 @@ enum class CycleType {
   W,
 };
 
+/// Who decides the per-level storage precision (DESIGN.md §9).
+enum class PrecisionPolicy {
+  Fixed,    ///< honor `storage`/`shift_levid` exactly (pre-autopilot behavior)
+  Auto,     ///< setup-time autopilot: choose `shift_levid` from Theorem 4.1
+            ///< headroom and predicted flush-to-zero/subnormal fractions
+  Guarded,  ///< Auto, plus a runtime governor that rescales or promotes
+            ///< levels on NaN/Inf, overflow, or Krylov stagnation and retries
+};
+
+constexpr std::string_view to_string(PrecisionPolicy p) noexcept {
+  switch (p) {
+    case PrecisionPolicy::Fixed:
+      return "fixed";
+    case PrecisionPolicy::Auto:
+      return "auto";
+    case PrecisionPolicy::Guarded:
+      return "guarded";
+  }
+  return "?";
+}
+
 struct MGConfig {
   // --- hierarchy shape ---
   int max_levels = 10;
@@ -125,6 +146,11 @@ struct MGConfig {
   int shift_levid = INT_MAX;
   ScaleMode scale = ScaleMode::SetupThenScale;
   double scale_safety = 0.25;  ///< G = safety * G_max (Theorem 4.1 headroom)
+  /// Fixed keeps `shift_levid` as configured; Auto derives it at setup from
+  /// the measured value distributions; Guarded additionally self-heals at
+  /// runtime (core/autopilot.hpp).  Fixed is bitwise identical to pre-
+  /// autopilot builds.
+  PrecisionPolicy precision_policy = PrecisionPolicy::Fixed;
   /// Alg. 1 line 13: smoother data is truncated to storage precision too
   /// (with an overflow/underflow guard; see truncate_smoother_data).
   bool truncate_smoother = true;

@@ -1,6 +1,8 @@
 #include "core/mg_hierarchy.hpp"
 
 #include <cmath>
+#include <cstdio>
+#include <string>
 #include <utility>
 
 #include "core/coarsen.hpp"
@@ -29,18 +31,38 @@ void record_stored_range(const StructMat<double>& A, Level& lev) {
   lev.stored_min_abs = std::isfinite(mn) ? mn : 0.0;
 }
 
+std::string analysis_reason(const StorageAnalysis& an) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "headroom=%.3g overflow=%.3g ftz=%.3g subnormal=%.3g",
+                an.headroom, an.overflow_frac, an.ftz_frac,
+                an.subnormal_frac);
+  return buf;
+}
+
+std::string trunc_reason(const TruncateReport& r) {
+  return "overflowed=" + std::to_string(r.overflowed) +
+         " flushed=" + std::to_string(r.underflowed) +
+         " subnormal=" + std::to_string(r.subnormal);
+}
+
 }  // namespace
 
 MGHierarchy::MGHierarchy(StructMat<double> A0, MGConfig cfg)
     : cfg_(std::move(cfg)) {
   Timer timer;
 
+  cfg_.precision_policy = effective_policy(cfg_.precision_policy);
+  if (cfg_.precision_policy != PrecisionPolicy::Fixed) {
+    th_ = AutopilotThresholds::from_env();
+  }
+
   // ---- optional ablation path: scale the finest matrix *before* setup ----
   if (cfg_.scale == ScaleMode::ScaleThenSetup &&
       needs_scaling(A0, cfg_.storage)) {
     ScaleResult sr =
         scale_matrix(A0, cfg_.scale_safety, static_cast<double>(kHalfMax));
-    finest_wrapped_ = true;
+    finest_wrapped_ = sr.applied;
     finest_q2_ = std::move(sr.q2);
   }
 
@@ -72,7 +94,6 @@ MGHierarchy::MGHierarchy(StructMat<double> A0, MGConfig cfg)
   for (int l = 0; l < nlev; ++l) {
     Level& lev = levels_[static_cast<std::size_t>(l)];
     lev.A_full = std::move(chain[static_cast<std::size_t>(l)]);
-    lev.storage = cfg_.storage_at(l);
     if (l + 1 < nlev) {
       lev.to_coarse = steps[static_cast<std::size_t>(l)];
     }
@@ -85,74 +106,241 @@ MGHierarchy::MGHierarchy(StructMat<double> A0, MGConfig cfg)
                                   cfg_.layout, cfg_.smoother_parallel);
     }
 
-    // Smoothers are set up from the high-precision matrix, then their data
-    // is truncated to storage precision (Alg. 1 line 13).  On scaled levels
-    // the truncation happens in the *scaled* space (the paper sets S_i up
-    // from the scaled Â_i, whose diagonal is uniformly G): the raw inverse
-    // diagonals span the matrix's full decade range and rounding them
-    // directly would perturb the smoother non-uniformly.
-    lev.invdiag = compute_invdiag(lev.A_full);
-
-    if (cfg_.scale == ScaleMode::SetupThenScale &&
-        needs_scaling(lev.A_full, lev.storage)) {
-      // Scale a *copy*: A_full must stay the true level operator for the
-      // smoother data above and for diagnostics.
-      StructMat<double> scaled = lev.A_full;
-      ScaleResult sr = scale_matrix(scaled, cfg_.scale_safety,
-                                    static_cast<double>(kHalfMax));
-      lev.scaled = true;
-      lev.q2 = std::move(sr.q2);
-      lev.gmax = sr.gmax;
-      lev.g = sr.G;
-      record_stored_range(scaled, lev);
-      lev.A_stored =
-          AnyMat::from(scaled, lev.storage, cfg_.layout, &lev.trunc);
-      if (cfg_.truncate_smoother) {
-        // Round the diagonal-block inverses in the scaled space:
-        // hat = Q^{1/2} D^{-1} Q^{1/2} (values ~1/G, safely in range),
-        // truncate, then map back to the effective-space data the kernels
-        // consume.
-        const int bsz = lev.A_full.block_size();
-        const std::int64_t nc = lev.A_full.ncells();
-        for (std::int64_t cell = 0; cell < nc; ++cell) {
-          for (int br = 0; br < bsz; ++br) {
-            for (int bc = 0; bc < bsz; ++bc) {
-              lev.invdiag[static_cast<std::size_t>(
-                  (cell * bsz + br) * bsz + bc)] *=
-                  lev.q2[static_cast<std::size_t>(cell * bsz + br)] *
-                  lev.q2[static_cast<std::size_t>(cell * bsz + bc)];
-            }
-          }
-        }
-        truncate_smoother_data(lev.invdiag, lev.storage);
-        for (std::int64_t cell = 0; cell < nc; ++cell) {
-          for (int br = 0; br < bsz; ++br) {
-            for (int bc = 0; bc < bsz; ++bc) {
-              lev.invdiag[static_cast<std::size_t>(
-                  (cell * bsz + br) * bsz + bc)] /=
-                  lev.q2[static_cast<std::size_t>(cell * bsz + br)] *
-                  lev.q2[static_cast<std::size_t>(cell * bsz + bc)];
-            }
-          }
-        }
-      }
-    } else {
-      // Direct truncation: ScaleMode::None intentionally lets out-of-range
-      // values become inf (the Fig. 6 "none" failure mode is part of the
-      // reproduction, not a bug).
-      record_stored_range(lev.A_full, lev);
-      lev.A_stored =
-          AnyMat::from(lev.A_full, lev.storage, cfg_.layout, &lev.trunc);
-      if (cfg_.truncate_smoother) {
-        truncate_smoother_data(lev.invdiag, lev.storage);
-      }
-    }
+    setup_level_storage(l);
   }
 
   // ---- coarsest-level direct solver ----
   coarse_lu_ = DenseLU(levels_.back().A_full);
 
   setup_seconds_ = timer.seconds();
+}
+
+void MGHierarchy::setup_level_storage(int l) {
+  Level& lev = levels_[static_cast<std::size_t>(l)];
+  lev.storage = cfg_.storage_at(l);
+
+  // Smoothers are set up from the high-precision matrix, then their data
+  // is truncated to storage precision (Alg. 1 line 13).  On scaled levels
+  // the truncation happens in the *scaled* space (the paper sets S_i up
+  // from the scaled Â_i, whose diagonal is uniformly G): the raw inverse
+  // diagonals span the matrix's full decade range and rounding them
+  // directly would perturb the smoother non-uniformly.
+  lev.invdiag = compute_invdiag(lev.A_full);
+
+  const bool planning = cfg_.precision_policy != PrecisionPolicy::Fixed;
+
+  if (cfg_.scale == ScaleMode::SetupThenScale &&
+      needs_scaling(lev.A_full, lev.storage)) {
+    if (!diagonal_positive(lev.A_full)) {
+      // A zero/negative/non-finite diagonal entry voids Theorem 4.1: no Q
+      // exists.  Store this level unscaled in compute precision instead of
+      // poisoning the scaled matrix with NaN.
+      const Prec from = lev.storage;
+      lev.degenerate_diag = true;
+      lev.storage = cfg_.compute;
+      autopilot_log_.push_back({l, AutopilotTrigger::DegenerateDiag,
+                                AutopilotAction::Fallback, from, lev.storage,
+                                0.0,
+                                "diagonal has zero/negative/non-finite "
+                                "entries; Theorem 4.1 inapplicable"});
+      store_direct(lev);
+      return;
+    }
+
+    // Scale a *copy*: A_full must stay the true level operator for the
+    // smoother data above and for diagnostics.
+    StructMat<double> scaled = lev.A_full;
+    double safety = cfg_.scale_safety;
+    ScaleResult sr =
+        scale_matrix(scaled, safety, static_cast<double>(kHalfMax));
+    if (!sr.applied) {
+      // Nonsensical safety (<= 0 or non-finite): nothing sane to truncate.
+      const Prec from = lev.storage;
+      lev.storage = cfg_.compute;
+      autopilot_log_.push_back(
+          {l, AutopilotTrigger::SetupPlan, AutopilotAction::Fallback, from,
+           lev.storage, 0.0, "scaling produced no admissible G"});
+      store_direct(lev);
+      return;
+    }
+
+    if (planning) {
+      StorageAnalysis an = analyze_storage(scaled, lev.storage);
+      if (an.overflow_frac > 0.0 && safety > th_.repair_safety) {
+        // The configured safety pushes entries past the format max
+        // (G > G_max).  Re-derive the scaled copy at the clamped repair
+        // safety — the cheap fix that keeps 2-byte storage.
+        scaled = lev.A_full;
+        safety = th_.repair_safety;
+        sr = scale_matrix(scaled, safety, static_cast<double>(kHalfMax));
+        autopilot_log_.push_back({l, AutopilotTrigger::SetupPlan,
+                                  AutopilotAction::Rescale, lev.storage,
+                                  lev.storage, safety, analysis_reason(an)});
+        an = analyze_storage(scaled, lev.storage);
+      }
+      if (!storage_admissible(an, th_)) {
+        // Underflow storm (or overflow even at the clamped safety): shift
+        // this and every coarser level to compute precision (§4.3).
+        cfg_.shift_levid = std::min(cfg_.shift_levid, l);
+        const Prec from = lev.storage;
+        lev.storage = cfg_.storage_at(l);
+        autopilot_log_.push_back({l, AutopilotTrigger::SetupPlan,
+                                  AutopilotAction::Shift, from, lev.storage,
+                                  0.0, analysis_reason(an)});
+        store_direct(lev);
+        return;
+      }
+    }
+
+    lev.scaled = true;
+    lev.q2 = std::move(sr.q2);
+    lev.gmax = sr.gmax;
+    lev.g = sr.G;
+    record_stored_range(scaled, lev);
+    lev.A_stored = AnyMat::from(scaled, lev.storage, cfg_.layout, &lev.trunc);
+    if (cfg_.truncate_smoother) {
+      truncate_invdiag_scaled(lev);
+    }
+    if (cfg_.precision_policy == PrecisionPolicy::Guarded) {
+      lev.A_setup = std::move(scaled);
+    }
+    return;
+  }
+
+  if (planning && bytes_of(lev.storage) == 2) {
+    // Unscaled 2-byte level (in-range FP16, any BF16, or ScaleMode::None):
+    // the planner still vetoes storage that would overflow or lose too many
+    // entries to underflow.
+    const StorageAnalysis an = analyze_storage(lev.A_full, lev.storage);
+    if (!storage_admissible(an, th_)) {
+      cfg_.shift_levid = std::min(cfg_.shift_levid, l);
+      const Prec from = lev.storage;
+      lev.storage = cfg_.storage_at(l);
+      autopilot_log_.push_back({l, AutopilotTrigger::SetupPlan,
+                                AutopilotAction::Shift, from, lev.storage,
+                                0.0, analysis_reason(an)});
+    }
+  }
+  // Direct truncation: ScaleMode::None intentionally lets out-of-range
+  // values become inf under PrecisionPolicy::Fixed (the Fig. 6 "none"
+  // failure mode is part of the reproduction, not a bug).
+  store_direct(lev);
+}
+
+void MGHierarchy::store_direct(Level& lev) {
+  record_stored_range(lev.A_full, lev);
+  lev.A_stored = AnyMat::from(lev.A_full, lev.storage, cfg_.layout, &lev.trunc);
+  if (cfg_.truncate_smoother) {
+    truncate_smoother_data(lev.invdiag, lev.storage);
+  }
+}
+
+void MGHierarchy::truncate_invdiag_scaled(Level& lev) {
+  // Round the diagonal-block inverses in the scaled space:
+  // hat = Q^{1/2} D^{-1} Q^{1/2} (values ~1/G, safely in range),
+  // truncate, then map back to the effective-space data the kernels
+  // consume.
+  const int bsz = lev.A_full.block_size();
+  const std::int64_t nc = lev.A_full.ncells();
+  for (std::int64_t cell = 0; cell < nc; ++cell) {
+    for (int br = 0; br < bsz; ++br) {
+      for (int bc = 0; bc < bsz; ++bc) {
+        lev.invdiag[static_cast<std::size_t>(
+            (cell * bsz + br) * bsz + bc)] *=
+            lev.q2[static_cast<std::size_t>(cell * bsz + br)] *
+            lev.q2[static_cast<std::size_t>(cell * bsz + bc)];
+      }
+    }
+  }
+  truncate_smoother_data(lev.invdiag, lev.storage);
+  for (std::int64_t cell = 0; cell < nc; ++cell) {
+    for (int br = 0; br < bsz; ++br) {
+      for (int bc = 0; bc < bsz; ++bc) {
+        lev.invdiag[static_cast<std::size_t>(
+            (cell * bsz + br) * bsz + bc)] /=
+            lev.q2[static_cast<std::size_t>(cell * bsz + br)] *
+            lev.q2[static_cast<std::size_t>(cell * bsz + bc)];
+      }
+    }
+  }
+}
+
+void MGHierarchy::refresh_invdiag(Level& lev) {
+  lev.invdiag = compute_invdiag(lev.A_full);
+  if (cfg_.truncate_smoother) {
+    if (lev.scaled) {
+      truncate_invdiag_scaled(lev);
+    } else {
+      truncate_smoother_data(lev.invdiag, lev.storage);
+    }
+  }
+}
+
+bool MGHierarchy::rescale_level(int l, double new_safety,
+                                AutopilotTrigger trig) {
+  if (l < 0 || l >= nlevels()) {
+    return false;
+  }
+  Level& lev = levels_[static_cast<std::size_t>(l)];
+  if (!lev.scaled || lev.A_setup.ncells() == 0) {
+    return false;
+  }
+  if (!(new_safety > 0.0) || !std::isfinite(new_safety) ||
+      !(lev.gmax > 0.0) || !std::isfinite(lev.gmax) || !(lev.g > 0.0)) {
+    return false;
+  }
+  const double g_new = new_safety * lev.gmax;
+  if (g_new == lev.g) {
+    return false;  // no-op: re-truncating would change nothing
+  }
+  const std::string before = trunc_reason(lev.trunc);
+
+  // Â(G) is linear in G (Theorem 4.1: Â = G * a_ij / sqrt(a_ii a_jj)), so
+  // changing the target is a scalar rescale of the retained setup copy —
+  // no Galerkin redo.  The back-map follows as q2' = q2 * sqrt(G/G').
+  const double ratio = g_new / lev.g;
+  for (double& v : lev.A_setup.values()) {
+    v *= ratio;
+  }
+  const double q2_ratio = std::sqrt(1.0 / ratio);
+  for (double& q : lev.q2) {
+    q *= q2_ratio;
+  }
+  lev.g = g_new;
+
+  record_stored_range(lev.A_setup, lev);
+  lev.A_stored.retruncate_from(lev.A_setup, lev.storage, cfg_.layout,
+                               &lev.trunc);
+  refresh_invdiag(lev);
+  autopilot_log_.push_back({l, trig, AutopilotAction::Rescale, lev.storage,
+                            lev.storage, new_safety,
+                            before + " -> " + trunc_reason(lev.trunc)});
+  return true;
+}
+
+bool MGHierarchy::promote_level(int l, Prec to, AutopilotTrigger trig) {
+  if (l < 0 || l >= nlevels()) {
+    return false;
+  }
+  Level& lev = levels_[static_cast<std::size_t>(l)];
+  if (bytes_of(to) <= bytes_of(lev.storage)) {
+    return false;  // promotion only widens
+  }
+  if (lev.scaled && lev.A_setup.ncells() == 0) {
+    // The scaled copy was not retained (non-Guarded setup): re-truncating
+    // A_full would silently drop the scaling the kernels compensate for.
+    return false;
+  }
+  const StructMat<double>& src = lev.scaled ? lev.A_setup : lev.A_full;
+  const Prec from = lev.storage;
+  const std::string before = trunc_reason(lev.trunc);
+  lev.storage = to;
+  record_stored_range(src, lev);
+  lev.A_stored.retruncate_from(src, to, cfg_.layout, &lev.trunc);
+  refresh_invdiag(lev);
+  autopilot_log_.push_back({l, trig, AutopilotAction::Promote, from, to, 0.0,
+                            before + " -> " + trunc_reason(lev.trunc)});
+  return true;
 }
 
 double MGHierarchy::grid_complexity() const noexcept {

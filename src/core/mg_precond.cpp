@@ -1,5 +1,6 @@
 #include "core/mg_precond.hpp"
 
+#include <cmath>
 #include <type_traits>
 
 #include "kernels/blas1.hpp"
@@ -26,14 +27,7 @@ MGPrecond<CT>::MGPrecond(const MGHierarchy* h) : h_(h) {
         cfg.smoother == SmootherType::Jacobi) {
       L.r.assign(n, CT{0});
     }
-    if (hl.scaled) {
-      L.q2.resize(hl.q2.size());
-      copy_convert<CT, double>({hl.q2.data(), hl.q2.size()},
-                               {L.q2.data(), L.q2.size()});
-    }
-    L.invdiag.resize(hl.invdiag.size());
-    copy_convert<CT, double>({hl.invdiag.data(), hl.invdiag.size()},
-                             {L.invdiag.data(), L.invdiag.size()});
+    refresh_level(l);
   }
   if (h_->finest_wrapped()) {
     const auto& q2 = h_->finest_q2();
@@ -41,6 +35,20 @@ MGPrecond<CT>::MGPrecond(const MGHierarchy* h) : h_(h) {
     copy_convert<CT, double>({q2.data(), q2.size()},
                              {wrap_q2_.data(), wrap_q2_.size()});
   }
+}
+
+template <class CT>
+void MGPrecond<CT>::refresh_level(int l) {
+  const Level& hl = h_->level(l);
+  LevelData& L = lv_[static_cast<std::size_t>(l)];
+  if (hl.scaled) {
+    L.q2.resize(hl.q2.size());
+    copy_convert<CT, double>({hl.q2.data(), hl.q2.size()},
+                             {L.q2.data(), L.q2.size()});
+  }
+  L.invdiag.resize(hl.invdiag.size());
+  copy_convert<CT, double>({hl.invdiag.data(), hl.invdiag.size()},
+                           {L.invdiag.data(), L.invdiag.size()});
 }
 
 template <class CT>
@@ -165,9 +173,12 @@ void MGPrecond<CT>::apply(std::span<const CT> r, std::span<CT> e) {
 }
 
 template <class KT, class CT>
-MGPrecondAdapter<KT, CT>::MGPrecondAdapter(const MGHierarchy* h)
-    : mg_(h),
-      telemetry_(obs::effective_level(h->config().telemetry), h->nlevels()) {
+MGPrecondAdapter<KT, CT>::MGPrecondAdapter(MGHierarchy* h)
+    : h_(h),
+      mg_(h),
+      telemetry_(obs::effective_level(h->config().telemetry), h->nlevels()),
+      governor_(h),
+      guarded_(h->policy() == PrecisionPolicy::Guarded) {
   const std::size_t n =
       static_cast<std::size_t>(h->level(0).A_full.nrows());
   rbuf_.assign(n, CT{0});
@@ -179,6 +190,20 @@ MGPrecondAdapter<KT, CT>::MGPrecondAdapter(const MGHierarchy* h)
       std::is_same_v<KT, CT> ? 0 : 2 * static_cast<std::uint64_t>(n));
 }
 
+namespace {
+
+template <class CT>
+bool all_finite(std::span<const CT> v) noexcept {
+  for (const CT x : v) {
+    if (!std::isfinite(static_cast<double>(x))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
 template <class KT, class CT>
 void MGPrecondAdapter<KT, CT>::apply(std::span<const KT> r,
                                      std::span<KT> e) {
@@ -188,12 +213,42 @@ void MGPrecondAdapter<KT, CT>::apply(std::span<const KT> r,
   const double t0 = telemetry_.now();
   copy_convert<CT, KT>(r, {rbuf_.data(), rbuf_.size()});
   mg_.apply({rbuf_.data(), rbuf_.size()}, {ebuf_.data(), ebuf_.size()});
+  if (guarded_ &&
+      all_finite(std::span<const CT>{rbuf_.data(), rbuf_.size()})) {
+    // Health probe: a NaN/Inf in the error correction with a finite input
+    // residual pins the poison inside the cycle (a stored matrix or
+    // smoother datum).  Repair and re-apply until healthy or the governor
+    // runs out of ladder.
+    while (!all_finite(std::span<const CT>{ebuf_.data(), ebuf_.size()})) {
+      if (!heal(HealthEvent::NonFinite)) {
+        break;  // let the solver see the breakdown
+      }
+      mg_.apply({rbuf_.data(), rbuf_.size()}, {ebuf_.data(), ebuf_.size()});
+    }
+  }
   copy_convert<KT, CT>({ebuf_.data(), ebuf_.size()}, e);
   telemetry_.record_apply(t0, telemetry_.now());
 }
 
+template <class KT, class CT>
+bool MGPrecondAdapter<KT, CT>::report_health(HealthEvent e) {
+  if (!guarded_) {
+    return false;
+  }
+  return heal(e);
+}
+
+template <class KT, class CT>
+bool MGPrecondAdapter<KT, CT>::heal(HealthEvent e) {
+  const std::vector<int> repaired = governor_.on_event(e);
+  for (const int l : repaired) {
+    mg_.refresh_level(l);
+  }
+  return !repaired.empty();
+}
+
 template <class KT>
-std::unique_ptr<PrecondBase<KT>> make_mg_precond(const MGHierarchy& h) {
+std::unique_ptr<PrecondBase<KT>> make_mg_precond(MGHierarchy& h) {
   if (h.config().compute == Prec::FP64) {
     return std::make_unique<MGPrecondAdapter<KT, double>>(&h);
   }
@@ -209,8 +264,8 @@ template class MGPrecondAdapter<double, double>;
 template class MGPrecondAdapter<float, float>;
 template class MGPrecondAdapter<float, double>;
 template std::unique_ptr<PrecondBase<double>> make_mg_precond<double>(
-    const MGHierarchy&);
+    MGHierarchy&);
 template std::unique_ptr<PrecondBase<float>> make_mg_precond<float>(
-    const MGHierarchy&);
+    MGHierarchy&);
 
 }  // namespace smg

@@ -26,6 +26,11 @@ class MGPrecond {
   /// e = MG(r): one cycle from a zero initial guess.
   void apply(std::span<const CT> r, std::span<CT> e);
 
+  /// Re-read level `l`'s q2/invdiag caches from the hierarchy after the
+  /// autopilot rescaled or promoted it (the matrix itself is always read
+  /// live through the hierarchy).
+  void refresh_level(int l);
+
   const MGHierarchy& hierarchy() const noexcept { return *h_; }
 
  private:
@@ -49,25 +54,42 @@ class MGPrecond {
 /// always-on apply accumulator provides apply_seconds(), and when the
 /// hierarchy config (or SMG_TELEMETRY) enables telemetry, each apply
 /// installs the ledger so the cycle's level/kernel spans are recorded.
+///
+/// Under PrecisionPolicy::Guarded the adapter is the runtime half of the
+/// precision autopilot: every apply probes its output for NaN/Inf and, on a
+/// trip, asks the governor to rescale/promote the offending levels and
+/// re-applies — the solver above never sees the transient.  Solver-detected
+/// events (stagnation, non-finite recurrence terms) arrive via
+/// report_health and run the same repair ladder.
 template <class KT, class CT>
 class MGPrecondAdapter final : public PrecondBase<KT> {
  public:
-  explicit MGPrecondAdapter(const MGHierarchy* h);
+  explicit MGPrecondAdapter(MGHierarchy* h);
 
   void apply(std::span<const KT> r, std::span<KT> e) override;
   double apply_seconds() const override { return telemetry_.apply_seconds(); }
   void reset_timing() override { telemetry_.reset(); }
   obs::Telemetry* telemetry() override { return &telemetry_; }
+  bool self_healing() const override { return guarded_; }
+  bool report_health(HealthEvent e) override;
 
  private:
+  /// Run the governor once; refresh the repaired levels' caches.
+  bool heal(HealthEvent e);
+
+  MGHierarchy* h_;
   MGPrecond<CT> mg_;
   avec<CT> rbuf_, ebuf_;
   obs::Telemetry telemetry_;
+  PrecisionGovernor governor_;
+  bool guarded_ = false;
 };
 
 /// Build the adapter matching the hierarchy's configured compute precision.
+/// The hierarchy is non-const: under PrecisionPolicy::Guarded the adapter's
+/// governor repairs its stored matrices in place.
 template <class KT>
-std::unique_ptr<PrecondBase<KT>> make_mg_precond(const MGHierarchy& h);
+std::unique_ptr<PrecondBase<KT>> make_mg_precond(MGHierarchy& h);
 
 extern template class MGPrecond<float>;
 extern template class MGPrecond<double>;
@@ -75,8 +97,8 @@ extern template class MGPrecondAdapter<double, float>;
 extern template class MGPrecondAdapter<double, double>;
 extern template class MGPrecondAdapter<float, float>;
 extern template std::unique_ptr<PrecondBase<double>> make_mg_precond<double>(
-    const MGHierarchy&);
+    MGHierarchy&);
 extern template std::unique_ptr<PrecondBase<float>> make_mg_precond<float>(
-    const MGHierarchy&);
+    MGHierarchy&);
 
 }  // namespace smg

@@ -76,7 +76,30 @@ double min_abs_nonzero(const StructMat<double>& A) {
   return m;
 }
 
+bool diagonal_positive(const StructMat<double>& A) {
+  const int center = A.stencil().center();
+  if (center < 0) {
+    return false;
+  }
+  const int bs = A.block_size();
+  for (std::int64_t cell = 0; cell < A.ncells(); ++cell) {
+    for (int br = 0; br < bs; ++br) {
+      const double d = A.at(cell, center, br, br);
+      if (!(d > 0.0) || !std::isfinite(d)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 double compute_gmax(const StructMat<double>& A, double S) {
+  if (!diagonal_positive(A)) {
+    // sqrt(d_r d_c) is undefined (or 0/inf): no G admits Theorem 4.1's
+    // bound.  NaN — not 0 — so callers can distinguish "no admissible G"
+    // from a legitimately tiny one.
+    return std::numeric_limits<double>::quiet_NaN();
+  }
   const avec<double> diag = extract_diagonal(A);
   // Track m = max over entries of v^2 / (d_r d_c) without per-entry
   // divisions: a division happens only when the maximum improves.
@@ -89,8 +112,6 @@ double compute_gmax(const StructMat<double>& A, double S) {
     }
     const double dr = diag[static_cast<std::size_t>(r)];
     const double dc = diag[static_cast<std::size_t>(c)];
-    SMG_CHECK(dr > 0.0 && dc > 0.0,
-              "scaling requires positive per-dof diagonal");
     const double v2 = v * v;
     const double dd = dr * dc;
     if (v2 > m * dd) {
@@ -107,9 +128,21 @@ double compute_gmax(const StructMat<double>& A, double S) {
 
 ScaleResult scale_matrix(StructMat<double>& A, double safety, double S) {
   ScaleResult res;
+  if (!diagonal_positive(A)) {
+    // A zero/negative/non-finite a_rr would turn G_max (and every scaled
+    // entry touching that dof) into NaN and poison the whole hierarchy.
+    // Leave A untouched; the caller stores this level unscaled in compute
+    // precision instead.
+    res.diag_ok = false;
+    res.gmax = std::numeric_limits<double>::quiet_NaN();
+    return res;
+  }
   res.gmax = compute_gmax(A, S);
   res.G = safety * res.gmax;
-  SMG_CHECK(res.G > 0.0 && std::isfinite(res.G), "degenerate scaling factor");
+  if (!(res.G > 0.0) || !std::isfinite(res.G)) {
+    // All-zero matrix (gmax = inf) or nonsensical safety: nothing to scale.
+    return res;
+  }
 
   const avec<double> diag = extract_diagonal(A);
   res.q2.resize(diag.size());

@@ -19,6 +19,10 @@ namespace smg {
 
 struct ScaleResult {
   bool applied = false;
+  /// False when a per-dof diagonal entry was zero, negative, or non-finite:
+  /// sqrt(d_r d_c) is then undefined and no Q exists.  The matrix is left
+  /// untouched; callers fall back to unscaled compute-precision storage.
+  bool diag_ok = true;
   double G = 0.0;
   double gmax = 0.0;
   /// sqrt(q_r) per dof with q_r = a_rr / G; kernels recover
@@ -26,12 +30,18 @@ struct ScaleResult {
   avec<double> q2;
 };
 
+/// True iff every per-dof diagonal entry is strictly positive and finite
+/// (the precondition of Theorem 4.1's Q = diag(A)/G).
+bool diagonal_positive(const StructMat<double>& A);
+
 /// Largest admissible G per Theorem 4.1 for the given target upper bound S.
-/// Returns +inf for an all-zero matrix.
+/// Returns +inf for an all-zero matrix and quiet NaN when the diagonal has a
+/// zero/negative/non-finite entry (no admissible G exists).
 double compute_gmax(const StructMat<double>& A, double S);
 
 /// Scale A in place to Â = Q^{-1/2} A Q^{-1/2} with G = safety * G_max.
-/// Requires every per-dof diagonal to be strictly positive.
+/// On a zero/negative/non-finite diagonal entry the matrix is left untouched
+/// and the result reports applied == false, diag_ok == false.
 ScaleResult scale_matrix(StructMat<double>& A, double safety, double S);
 
 /// Largest absolute value over stored entries.

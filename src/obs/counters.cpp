@@ -35,6 +35,21 @@ std::vector<LevelPrecisionCounters> collect_precision_counters(
     visits[static_cast<std::size_t>(l)] =
         visits[static_cast<std::size_t>(l) - 1] * (w_revisit ? 2 : 1);
   }
+  // Autopilot repair ledger: count the decisions that targeted each level.
+  std::vector<std::uint32_t> rescales(static_cast<std::size_t>(h.nlevels()),
+                                      0);
+  std::vector<std::uint32_t> promotions(static_cast<std::size_t>(h.nlevels()),
+                                        0);
+  for (const AutopilotDecision& d : h.autopilot_log()) {
+    if (d.level < 0 || d.level >= h.nlevels()) {
+      continue;
+    }
+    if (d.action == AutopilotAction::Rescale) {
+      ++rescales[static_cast<std::size_t>(d.level)];
+    } else if (d.action == AutopilotAction::Promote) {
+      ++promotions[static_cast<std::size_t>(d.level)];
+    }
+  }
   for (int l = 0; l < h.nlevels(); ++l) {
     const Level& lev = h.level(l);
     LevelPrecisionCounters c;
@@ -72,7 +87,38 @@ std::vector<LevelPrecisionCounters> collect_precision_counters(
       c.conversions_per_apply =
           passes * visits[static_cast<std::size_t>(l)] * c.stored_values;
     }
+    c.rescales = rescales[static_cast<std::size_t>(l)];
+    c.promotions = promotions[static_cast<std::size_t>(l)];
     out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<LevelPrecisionDelta> counter_delta(
+    const std::vector<LevelPrecisionCounters>& before,
+    const std::vector<LevelPrecisionCounters>& after) {
+  const std::size_t n = before.size() < after.size() ? before.size()
+                                                     : after.size();
+  std::vector<LevelPrecisionDelta> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const LevelPrecisionCounters& b = before[i];
+    const LevelPrecisionCounters& a = after[i];
+    LevelPrecisionDelta d;
+    d.level = a.level;
+    d.storage_before = b.storage;
+    d.storage_after = a.storage;
+    d.storage_changed = a.storage != b.storage;
+    d.rescales = a.rescales - b.rescales;
+    d.promotions = a.promotions - b.promotions;
+    d.rescaled = d.rescales > 0 || a.g != b.g;
+    d.overflowed = static_cast<std::int64_t>(a.overflowed) -
+                   static_cast<std::int64_t>(b.overflowed);
+    d.flushed_to_zero = static_cast<std::int64_t>(a.flushed_to_zero) -
+                       static_cast<std::int64_t>(b.flushed_to_zero);
+    d.subnormal = static_cast<std::int64_t>(a.subnormal) -
+                  static_cast<std::int64_t>(b.subnormal);
+    out.push_back(d);
   }
   return out;
 }

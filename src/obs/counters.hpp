@@ -51,6 +51,12 @@ struct LevelPrecisionCounters {
   /// is not a 2-byte format.  Matrix passes per V-cycle: nu1 + nu2 sweeps
   /// + 1 downstroke residual (non-coarsest levels only).
   std::uint64_t conversions_per_apply = 0;
+
+  // Precision-autopilot ledger (core/autopilot.hpp): decisions that targeted
+  // this level, cumulative since setup (the setup planner's decisions
+  // included).  Both stay 0 under PrecisionPolicy::Fixed.
+  std::uint32_t rescales = 0;    ///< Rescale decisions (G lowered in place)
+  std::uint32_t promotions = 0;  ///< Promote decisions (storage widened)
 };
 
 /// Largest finite magnitude of a storage format.
@@ -59,5 +65,31 @@ double format_max(Prec p) noexcept;
 /// Collect the per-level precision counters from a built hierarchy.
 std::vector<LevelPrecisionCounters> collect_precision_counters(
     const MGHierarchy& h);
+
+/// After-minus-before difference of two counter snapshots of the SAME
+/// hierarchy: isolates what the autopilot (and its re-truncations) did
+/// between two points in time, e.g. across one Guarded solve.
+struct LevelPrecisionDelta {
+  int level = 0;
+  Prec storage_before = Prec::FP64;
+  Prec storage_after = Prec::FP64;
+  bool storage_changed = false;  ///< a Promote landed in between
+  bool rescaled = false;         ///< G changed in between (Rescale landed)
+  std::uint32_t rescales = 0;    ///< autopilot Rescale decisions in between
+  std::uint32_t promotions = 0;  ///< autopilot Promote decisions in between
+  /// Truncation-event deltas.  Signed: a repair re-truncates the level from
+  /// its retained FP64 copy, so the counts can legitimately *drop* (e.g. to
+  /// zero after a promotion to FP32).
+  std::int64_t overflowed = 0;
+  std::int64_t flushed_to_zero = 0;
+  std::int64_t subnormal = 0;
+};
+
+/// Pairwise delta of two snapshots from collect_precision_counters on the
+/// same hierarchy.  Levels are matched by position; the result has
+/// min(before.size(), after.size()) entries.
+std::vector<LevelPrecisionDelta> counter_delta(
+    const std::vector<LevelPrecisionCounters>& before,
+    const std::vector<LevelPrecisionCounters>& after);
 
 }  // namespace smg::obs

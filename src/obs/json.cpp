@@ -8,6 +8,25 @@ namespace smg::obs {
 
 namespace {
 
+/// Append one Unicode code point as UTF-8 (cp must be a scalar value).
+void append_utf8(std::string& out, unsigned cp) {
+  if (cp < 0x80) {
+    out += static_cast<char>(cp);
+  } else if (cp < 0x800) {
+    out += static_cast<char>(0xC0 | (cp >> 6));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else if (cp < 0x10000) {
+    out += static_cast<char>(0xE0 | (cp >> 12));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else {
+    out += static_cast<char>(0xF0 | (cp >> 18));
+    out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  }
+}
+
 struct Parser {
   std::string_view text;
   std::size_t pos = 0;
@@ -38,6 +57,29 @@ struct Parser {
       return true;
     }
     return false;
+  }
+
+  /// Consume exactly four hex digits into `v`.
+  bool parse_hex4(unsigned& v) noexcept {
+    if (pos + 4 > text.size()) {
+      return false;
+    }
+    v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text[pos++];
+      unsigned d = 0;
+      if (c >= '0' && c <= '9') {
+        d = static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        d = static_cast<unsigned>(c - 'a') + 10;
+      } else if (c >= 'A' && c <= 'F') {
+        d = static_cast<unsigned>(c - 'A') + 10;
+      } else {
+        return false;
+      }
+      v = (v << 4) | d;
+    }
+    return true;
   }
 
   bool parse_string(std::string& out) {
@@ -80,13 +122,30 @@ struct Parser {
           case 't':
             out += '\t';
             break;
-          case 'u':
-            if (pos + 4 > text.size()) {
+          case 'u': {
+            unsigned cp = 0;
+            if (!parse_hex4(cp)) {
               return false;
             }
-            pos += 4;
-            out += '?';  // codepoint decoding out of scope for telemetry
+            if (cp >= 0xD800 && cp <= 0xDBFF) {
+              // High surrogate: must be followed by \uDC00..\uDFFF; the
+              // pair encodes one supplementary-plane code point.
+              if (pos + 2 > text.size() || text[pos] != '\\' ||
+                  text[pos + 1] != 'u') {
+                return false;
+              }
+              pos += 2;
+              unsigned lo = 0;
+              if (!parse_hex4(lo) || lo < 0xDC00 || lo > 0xDFFF) {
+                return false;
+              }
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+              return false;  // stray low surrogate
+            }
+            append_utf8(out, cp);
             break;
+          }
           default:
             return false;
         }

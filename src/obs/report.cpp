@@ -117,6 +117,8 @@ SolverReport build_report(const Telemetry& t, const MGHierarchy& h,
     }
   }
   r.levels = collect_precision_counters(h);
+  r.policy = h.policy();
+  r.autopilot = h.autopilot_log();
   return r;
 }
 
@@ -165,6 +167,18 @@ void print_report(const SolverReport& r, std::ostream& os) {
   t.print(os);
   os << "\n";
   print_precision_counters(r.levels, os);
+  if (!r.autopilot.empty()) {
+    os << "\nprecision autopilot decisions (policy: "
+       << std::string(to_string(r.policy)) << ")\n";
+    Table a({"level", "trigger", "action", "from", "to", "safety", "reason"});
+    for (const AutopilotDecision& d : r.autopilot) {
+      a.row({std::to_string(d.level), std::string(to_string(d.trigger)),
+             std::string(to_string(d.action)), std::string(to_string(d.from)),
+             std::string(to_string(d.to)),
+             d.safety > 0.0 ? Table::sci(d.safety, 2) : "-", d.reason});
+    }
+    a.print(os);
+  }
 }
 
 void print_report(const SolverReport& r) { print_report(r, std::cout); }
@@ -196,7 +210,8 @@ void print_precision_counters(const std::vector<LevelPrecisionCounters>& c) {
 std::string to_json(const SolverReport& r) {
   std::string out;
   out.reserve(4096);
-  out += "{\"schema\":\"smg-telemetry-v1\",";
+  out += "{\"schema\":\"smg-telemetry-v2\",";
+  out += "\"precision_policy\":\"" + std::string(to_string(r.policy)) + "\",";
   out += "\"solve\":{\"seconds\":" + num(r.solve_seconds);
   out += ",\"iterations\":" + num(r.iterations);
   out += ",\"precond_seconds\":" + num(r.precond_seconds);
@@ -239,7 +254,23 @@ std::string to_json(const SolverReport& r) {
     out += ",\"flushed_to_zero\":" + num(l.flushed_to_zero);
     out += ",\"subnormal\":" + num(l.subnormal);
     out += ",\"conversions_per_apply\":" + num(l.conversions_per_apply);
+    out += ",\"rescales\":" + std::to_string(l.rescales);
+    out += ",\"promotions\":" + std::to_string(l.promotions);
     out += "}";
+  }
+  out += "],\"autopilot\":[";
+  for (std::size_t i = 0; i < r.autopilot.size(); ++i) {
+    const AutopilotDecision& d = r.autopilot[i];
+    if (i > 0) {
+      out += ",";
+    }
+    out += "{\"level\":" + std::to_string(d.level);
+    out += ",\"trigger\":\"" + std::string(to_string(d.trigger)) + "\"";
+    out += ",\"action\":\"" + std::string(to_string(d.action)) + "\"";
+    out += ",\"from\":\"" + std::string(to_string(d.from)) + "\"";
+    out += ",\"to\":\"" + std::string(to_string(d.to)) + "\"";
+    out += ",\"safety\":" + num(d.safety);
+    out += ",\"reason\":\"" + json_escape(d.reason) + "\"}";
   }
   out += "]}";
   return out;

@@ -3,7 +3,7 @@
 // Z% of the bandwidth model" — the per-level ledger Figs. 7-8 of the paper
 // report.  Three outputs:
 //   * print_report  — fixed-width tables on a stream (util/table.hpp),
-//   * to_json       — machine-readable document, schema "smg-telemetry-v1",
+//   * to_json       — machine-readable document, schema "smg-telemetry-v2",
 //   * to_chrome_trace — trace-event JSON loadable in chrome://tracing or
 //                       Perfetto (one complete "X" event per recorded span).
 #pragma once
@@ -41,6 +41,11 @@ struct SolverReport {
   std::uint64_t dropped = 0;
   std::vector<KernelRow> kernels;  ///< rows with calls > 0, level-major
   std::vector<LevelPrecisionCounters> levels;
+  /// Precision-autopilot state (core/autopilot.hpp): the resolved policy and
+  /// every decision the planner/governor took, in order.  Empty under
+  /// PrecisionPolicy::Fixed.
+  PrecisionPolicy policy = PrecisionPolicy::Fixed;
+  std::vector<AutopilotDecision> autopilot;
 };
 
 /// Join the telemetry ledger with the hierarchy's byte model.  Uses the
@@ -63,7 +68,8 @@ void print_precision_counters(const std::vector<LevelPrecisionCounters>& c,
                               std::ostream& os);
 void print_precision_counters(const std::vector<LevelPrecisionCounters>& c);
 
-/// Machine-readable report, schema "smg-telemetry-v1".
+/// Machine-readable report, schema "smg-telemetry-v2" (v2 added
+/// "precision_policy", "autopilot" and the per-level repair counters).
 std::string to_json(const SolverReport& r);
 
 /// Chrome trace-event document ({"traceEvents":[...]}, ph "X", µs units);

@@ -17,6 +17,25 @@ AnyMat AnyMat::from(const StructMat<double>& src, Prec p, Layout layout,
   SMG_CHECK(false, "unknown precision");
 }
 
+void AnyMat::retruncate_from(const StructMat<double>& src, Prec p,
+                             Layout layout, TruncateReport* report) {
+  const bool in_place = std::visit(
+      [&](auto& m) {
+        using T = typename std::decay_t<decltype(m)>::value_type;
+        if (prec_of_v<T> != p || m.layout() != layout ||
+            m.box() != src.box() || m.block_size() != src.block_size() ||
+            m.ndiag() != src.ndiag()) {
+          return false;
+        }
+        convert_into(src, m, report);
+        return true;
+      },
+      m_);
+  if (!in_place) {
+    *this = from(src, p, layout, report);
+  }
+}
+
 Prec AnyMat::precision() const noexcept {
   return visit([](const auto& m) {
     using T = typename std::decay_t<decltype(m)>;

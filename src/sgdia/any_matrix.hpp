@@ -26,6 +26,14 @@ class AnyMat {
   static AnyMat from(const StructMat<double>& src, Prec p, Layout layout,
                      TruncateReport* report = nullptr);
 
+  /// Re-truncate `src` into this matrix.  When the currently held matrix
+  /// already has precision `p`, layout `layout`, and `src`'s shape, values
+  /// are overwritten in place (no allocation — the autopilot's repair path);
+  /// otherwise the held matrix is replaced, e.g. on an FP16 -> FP32 level
+  /// promotion.
+  void retruncate_from(const StructMat<double>& src, Prec p, Layout layout,
+                       TruncateReport* report = nullptr);
+
   Prec precision() const noexcept;
   Layout layout() const noexcept;
   const Box& box() const noexcept;

@@ -211,12 +211,18 @@ class StructMat {
   avec<T> vals_;
 };
 
-/// Copy with a different layout and/or value type; returns overflow stats
-/// when narrowing (used by the hierarchy to detect the need to scale).
+/// Re-convert `a` into the existing matrix `out` (same box, stencil, and
+/// block size; any layout), overwriting its values in place — no allocation.
+/// This is the autopilot's re-truncation path: a level can be re-stored at a
+/// different safety or precision from the retained FP64 setup matrix without
+/// redoing the Galerkin chain.  Returns overflow stats when narrowing.
 template <class Dst, class Src>
-StructMat<Dst> convert(const StructMat<Src>& a, Layout layout,
-                       TruncateReport* report = nullptr) {
-  StructMat<Dst> out(a.box(), a.stencil(), a.block_size(), layout);
+void convert_into(const StructMat<Src>& a, StructMat<Dst>& out,
+                  TruncateReport* report = nullptr) {
+  SMG_CHECK(out.box() == a.box() && out.block_size() == a.block_size() &&
+                out.ndiag() == a.ndiag(),
+            "convert_into requires an identically shaped destination");
+  const Layout layout = out.layout();
   TruncateReport rep;
   const int bs = a.block_size();
   const std::int64_t block2 = static_cast<std::int64_t>(bs) * bs;
@@ -259,6 +265,15 @@ StructMat<Dst> convert(const StructMat<Src>& a, Layout layout,
   if (report != nullptr) {
     *report = rep;
   }
+}
+
+/// Copy with a different layout and/or value type; returns overflow stats
+/// when narrowing (used by the hierarchy to detect the need to scale).
+template <class Dst, class Src>
+StructMat<Dst> convert(const StructMat<Src>& a, Layout layout,
+                       TruncateReport* report = nullptr) {
+  StructMat<Dst> out(a.box(), a.stencil(), a.block_size(), layout);
+  convert_into(a, out, report);
   return out;
 }
 

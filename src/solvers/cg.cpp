@@ -53,8 +53,55 @@ SolveResult pcg(const LinOp<KT>& A, std::span<const KT> b, std::span<KT> x,
   }
   double rz = vdot(rs, zs);
 
+  // Self-healing bookkeeping (inert — zero extra work and a bitwise
+  // identical iteration stream — unless M can actually repair itself).
+  const bool healing = M.self_healing();
+  int heals_left = healing ? opts.heal_retries : 0;
+  avec<KT> xgood;
+  if (healing) {
+    xgood.assign(x.begin(), x.end());
+  }
+  double stag_ref = rnorm;
+  int stag_count = 0;
+  bool stag_active = healing && opts.stagnation_window > 0;
+
+  // Report a health event; on a successful repair restart the recurrence
+  // from the last finite iterate (the Krylov directions predate the repaired
+  // preconditioner and must be discarded).
+  const auto recover = [&](HealthEvent e) {
+    if (heals_left <= 0 || !M.report_health(e)) {
+      return false;
+    }
+    --heals_left;
+    ++res.heals;
+    if (e == HealthEvent::NonFinite) {
+      for (std::size_t i = 0; i < n; ++i) {
+        x[i] = xgood[i];
+      }
+    }
+    A(x, aps);
+    for (std::size_t i = 0; i < n; ++i) {
+      r[i] = b[i] - ap[i];
+    }
+    rnorm = vnrm2(rs);
+    if (!std::isfinite(rnorm)) {
+      return false;
+    }
+    M.apply(rs, zs);
+    for (std::size_t i = 0; i < n; ++i) {
+      p[i] = z[i];
+    }
+    rz = vdot(rs, zs);
+    stag_ref = rnorm;
+    stag_count = 0;
+    return std::isfinite(rz);
+  };
+
   for (int it = 0; it < opts.max_iters; ++it) {
     if (!std::isfinite(rnorm) || !std::isfinite(rz)) {
+      if (recover(HealthEvent::NonFinite)) {
+        continue;
+      }
       res.breakdown = true;
       break;
     }
@@ -62,11 +109,19 @@ SolveResult pcg(const LinOp<KT>& A, std::span<const KT> b, std::span<KT> x,
       res.converged = true;
       break;
     }
+    if (healing) {
+      for (std::size_t i = 0; i < n; ++i) {
+        xgood[i] = x[i];
+      }
+    }
     const obs::ScopedSpan iter_span(obs::Kind::Iteration);
     A(ps, aps);
     const double pap = vdot(std::span<const KT>{p.data(), n},
                             std::span<const KT>{ap.data(), n});
     if (pap == 0.0 || !std::isfinite(pap)) {
+      if (!std::isfinite(pap) && recover(HealthEvent::NonFinite)) {
+        continue;
+      }
       res.breakdown = !std::isfinite(pap);
       break;
     }
@@ -82,6 +137,17 @@ SolveResult pcg(const LinOp<KT>& A, std::span<const KT> b, std::span<KT> x,
     if (rnorm < target) {
       res.converged = true;
       break;
+    }
+    if (stag_active && std::isfinite(rnorm)) {
+      if (rnorm <= opts.stagnation_factor * stag_ref) {
+        stag_ref = rnorm;
+        stag_count = 0;
+      } else if (++stag_count >= opts.stagnation_window) {
+        if (recover(HealthEvent::Stagnation)) {
+          continue;
+        }
+        stag_active = false;  // nothing left to repair; stop re-reporting
+      }
     }
 
     M.apply(rs, zs);

@@ -56,11 +56,61 @@ SolveResult pgmres(const LinOp<KT>& A, std::span<const KT> b, std::span<KT> x,
     res.history.push_back(beta / scale);
   }
 
-  while (res.iters < opts.max_iters && beta >= target) {
-    if (!std::isfinite(beta)) {
-      res.breakdown = true;
-      break;
+  // Self-healing bookkeeping (inert — zero extra work and a bitwise
+  // identical iteration stream — unless M can actually repair itself).
+  const bool healing = M.self_healing();
+  int heals_left = healing ? opts.heal_retries : 0;
+  avec<KT> xgood;
+  if (healing) {
+    xgood.assign(x.begin(), x.end());
+  }
+  double stag_ref = beta;
+  int stag_count = 0;
+  bool stag_active = healing && opts.stagnation_window > 0;
+  bool invariant = false;      ///< exact H[j+1,j] == 0 hit this cycle
+  bool discard_cycle = false;  ///< mid-cycle repair: drop the partial basis
+
+  // Recompute the true residual of the current x into V[0]/beta.
+  const auto true_residual = [&] {
+    A(x, {w.data(), n});
+    for (std::size_t i = 0; i < n; ++i) {
+      V[0][i] = b[i] - w[i];
     }
+    beta = vnrm2(std::span<const KT>{V[0].data(), n});
+  };
+
+  while (res.iters < opts.max_iters) {
+    if (!std::isfinite(beta)) {
+      // The previous cycle's update (or the caller's initial data) is
+      // poisoned.  With a self-healing preconditioner: repair, rewind to
+      // the last finite iterate, restart.  Otherwise surface the breakdown.
+      bool recovered = false;
+      if (heals_left > 0 && M.report_health(HealthEvent::NonFinite)) {
+        --heals_left;
+        ++res.heals;
+        for (std::size_t i = 0; i < n; ++i) {
+          x[i] = xgood[i];
+        }
+        true_residual();
+        stag_ref = beta;
+        stag_count = 0;
+        recovered = std::isfinite(beta);
+      }
+      if (!recovered) {
+        res.breakdown = true;
+        break;
+      }
+    }
+    if (beta < target) {
+      break;  // converged on the true residual
+    }
+    if (healing) {
+      for (std::size_t i = 0; i < n; ++i) {
+        xgood[i] = x[i];
+      }
+    }
+    invariant = false;
+
     // Start (or restart) an Arnoldi cycle.
     scal<KT>(static_cast<KT>(1.0 / beta), {V[0].data(), n});
     std::fill(g.begin(), g.end(), 0.0);
@@ -88,7 +138,15 @@ SolveResult pgmres(const LinOp<KT>& A, std::span<const KT> b, std::span<KT> x,
       const double hlast = vnrm2(std::span<const KT>{w.data(), n});
       H[static_cast<std::size_t>(j) * (m + 1) + j + 1] = hlast;
       if (!std::isfinite(hlast)) {
-        res.breakdown = true;
+        // Column j is poisoned; columns 0..j-1 are still a valid basis
+        // (j is not incremented on this exit path).
+        if (heals_left > 0 && M.report_health(HealthEvent::NonFinite)) {
+          --heals_left;
+          ++res.heals;
+          discard_cycle = true;
+        } else {
+          res.breakdown = true;
+        }
         stop = true;
         break;
       }
@@ -130,45 +188,82 @@ SolveResult pgmres(const LinOp<KT>& A, std::span<const KT> b, std::span<KT> x,
         res.history.push_back(beta / scale);
       }
       if (beta < target || hlast == 0.0) {
+        invariant = hlast == 0.0;
         stop = true;
         ++j;  // include this column in the solution update
         break;
       }
+      if (stag_active) {
+        if (beta <= opts.stagnation_factor * stag_ref) {
+          stag_ref = beta;
+          stag_count = 0;
+        } else if (++stag_count >= opts.stagnation_window) {
+          if (heals_left > 0 && M.report_health(HealthEvent::Stagnation)) {
+            --heals_left;
+            ++res.heals;
+            stag_ref = beta;
+            stag_count = 0;
+            discard_cycle = true;
+            stop = true;
+            break;
+          }
+          stag_active = false;  // nothing left to repair; stop re-reporting
+        }
+      }
     }
 
-    // Solve the j x j triangular system and update x += M^{-1} (V y).
-    std::vector<double> y(static_cast<std::size_t>(j), 0.0);
-    for (int i = j - 1; i >= 0; --i) {
-      double acc = g[static_cast<std::size_t>(i)];
-      for (int kk = i + 1; kk < j; ++kk) {
-        acc -= H[static_cast<std::size_t>(kk) * (m + 1) + i] *
-               y[static_cast<std::size_t>(kk)];
+    if (discard_cycle) {
+      // The preconditioner repaired itself mid-cycle: the basis was built
+      // against the old M, and x += M^{-1}(V y) would mix the two.  Drop
+      // the partial cycle and restart from the unchanged (finite) x.
+      discard_cycle = false;
+      true_residual();
+      continue;
+    }
+
+    // Solve the j x j triangular system and update x += M^{-1} (V y) — also
+    // on a breakdown exit, where columns 0..j-1 are the finite prefix of the
+    // basis: the returned x must reflect the progress actually made.
+    if (j > 0) {
+      std::vector<double> y(static_cast<std::size_t>(j), 0.0);
+      for (int i = j - 1; i >= 0; --i) {
+        double acc = g[static_cast<std::size_t>(i)];
+        for (int kk = i + 1; kk < j; ++kk) {
+          acc -= H[static_cast<std::size_t>(kk) * (m + 1) + i] *
+                 y[static_cast<std::size_t>(kk)];
+        }
+        const double hii = H[static_cast<std::size_t>(i) * (m + 1) + i];
+        y[static_cast<std::size_t>(i)] = hii != 0.0 ? acc / hii : 0.0;
       }
-      const double hii = H[static_cast<std::size_t>(i) * (m + 1) + i];
-      y[static_cast<std::size_t>(i)] = hii != 0.0 ? acc / hii : 0.0;
+      set_zero(std::span<KT>{w.data(), n});
+      for (int i = 0; i < j; ++i) {
+        axpy<KT>(static_cast<KT>(y[static_cast<std::size_t>(i)]),
+                 std::span<const KT>{V[static_cast<std::size_t>(i)].data(), n},
+                 std::span<KT>{w.data(), n});
+      }
+      M.apply({w.data(), n}, {z.data(), n});
+      axpy<KT>(KT{1}, std::span<const KT>{z.data(), n}, x);
     }
-    set_zero(std::span<KT>{w.data(), n});
-    for (int i = 0; i < j; ++i) {
-      axpy<KT>(static_cast<KT>(y[static_cast<std::size_t>(i)]),
-               std::span<const KT>{V[static_cast<std::size_t>(i)].data(), n},
-               std::span<KT>{w.data(), n});
-    }
-    M.apply({w.data(), n}, {z.data(), n});
-    axpy<KT>(KT{1}, std::span<const KT>{z.data(), n}, x);
+
+    // True residual for the next cycle and the final report — recomputed on
+    // the breakdown paths too, so final_relres matches the returned x
+    // instead of a stale recurrence estimate.
+    true_residual();
 
     if (res.breakdown) {
       break;
     }
-
-    // True residual for the next cycle (and final report).
-    A(x, {w.data(), n});
-    for (std::size_t i = 0; i < n; ++i) {
-      V[0][i] = b[i] - w[i];
+    if (invariant && !(beta < target)) {
+      // Exact happy breakdown (H[j+1,j] == 0) that did not reach tolerance:
+      // A M^{-1} maps the current Krylov space into itself, so this x is the
+      // best this space offers and restarting from its residual cannot leave
+      // the invariant subspace.  Surface it instead of stalling silently.
+      res.breakdown = true;
+      break;
     }
-    beta = vnrm2(std::span<const KT>{V[0].data(), n});
   }
 
-  res.converged = std::isfinite(beta) && beta < target;
+  res.converged = std::isfinite(beta) && beta < target && !res.breakdown;
   res.final_relres = beta / scale;
   if (!std::isfinite(res.final_relres)) {
     res.breakdown = true;

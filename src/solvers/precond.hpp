@@ -6,6 +6,7 @@
 #pragma once
 
 #include <span>
+#include <string_view>
 
 #include "util/common.hpp"
 
@@ -14,6 +15,23 @@ class Telemetry;
 }  // namespace smg::obs
 
 namespace smg {
+
+/// Runtime health signals a Krylov solver feeds back to a self-healing
+/// preconditioner (the Guarded precision policy; core/autopilot.hpp).
+enum class HealthEvent {
+  NonFinite,   ///< NaN/Inf observed in the preconditioned residual
+  Stagnation,  ///< relative residual stalled over the configured window
+};
+
+constexpr std::string_view to_string(HealthEvent e) noexcept {
+  switch (e) {
+    case HealthEvent::NonFinite:
+      return "non-finite";
+    case HealthEvent::Stagnation:
+      return "stagnation";
+  }
+  return "?";
+}
 
 template <class KT>
 class PrecondBase {
@@ -32,6 +50,17 @@ class PrecondBase {
   /// Krylov solvers install it (obs::InstallGuard) for the duration of the
   /// solve so their solve/iteration/blas1 spans land in the same instance.
   virtual obs::Telemetry* telemetry() { return nullptr; }
+
+  /// True when this preconditioner can repair itself in response to a health
+  /// event (MGPrecondAdapter under PrecisionPolicy::Guarded).  Solvers only
+  /// spend backup/retry bookkeeping on self-healing preconditioners, so the
+  /// default-policy iteration stream stays bitwise identical.
+  virtual bool self_healing() const { return false; }
+
+  /// Report a health event.  Returns true when the preconditioner repaired
+  /// itself (the caller should retry the failed step from its last good
+  /// state); false when no repair is available and the failure is final.
+  virtual bool report_health(HealthEvent) { return false; }
 };
 
 /// No preconditioning: e = r.

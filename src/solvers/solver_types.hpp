@@ -23,12 +23,30 @@ struct SolveOptions {
   /// run-to-run and across OpenMP thread counts, at the cost of one extra
   /// pass over n/4096 block partials per reduction.
   bool deterministic_reductions = false;
+
+  // --- self-healing feedback (PrecisionPolicy::Guarded only) ---
+  // All three are inert unless the preconditioner reports self_healing():
+  // the default-policy iteration stream stays bitwise identical.
+  /// Max health events reported to a self-healing preconditioner per solve;
+  /// each successful repair retries from the last good iterate.
+  int heal_retries = 4;
+  /// Report Stagnation when the relative residual fails to shrink by
+  /// `stagnation_factor` over this many consecutive iterations (<= 0: off).
+  int stagnation_window = 25;
+  double stagnation_factor = 0.9;
 };
 
 struct SolveResult {
   bool converged = false;
-  bool breakdown = false;    ///< NaN/inf encountered (e.g. FP16 overflow)
+  /// Unrecoverable numerical failure: NaN/inf (e.g. FP16 overflow) or an
+  /// exact Krylov breakdown that left the residual above tolerance.  The
+  /// returned x is always consistent with final_relres (formed from the
+  /// finite Krylov prefix; the true residual is recomputed before exit).
+  bool breakdown = false;
   int iters = 0;
+  /// Successful self-healing repairs (report_health returning true) the
+  /// solver retried through; 0 unless the preconditioner is Guarded.
+  int heals = 0;
   double final_relres = 0.0;
   std::vector<double> history;  ///< relative residual norm per iteration
   double solve_seconds = 0.0;
@@ -36,7 +54,7 @@ struct SolveResult {
 
   std::string status() const {
     if (breakdown) {
-      return "breakdown(NaN)";
+      return "breakdown";
     }
     return converged ? "converged" : "max-iters";
   }

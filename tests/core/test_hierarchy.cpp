@@ -97,6 +97,54 @@ TEST(Hierarchy, StoragePrecisionFollowsShiftLevid) {
   }
 }
 
+TEST(Hierarchy, ShiftLevidZeroOrNegativeStoresAllInCompute) {
+  // shift_levid <= 0 means *every* level is stored in compute precision;
+  // storage_at() and tag() must agree on that (the tag used to advertise a
+  // D16 that never materialized).
+  for (const int shift : {0, -3}) {
+    auto p = make_laplace27(Box{17, 17, 17});
+    MGConfig cfg = base_config();
+    cfg.shift_levid = shift;
+    EXPECT_EQ(cfg.tag().find("D16"), std::string::npos) << cfg.tag();
+    EXPECT_NE(cfg.tag().find("D32"), std::string::npos) << cfg.tag();
+    EXPECT_EQ(cfg.tag().find("shift"), std::string::npos) << cfg.tag();
+    MGHierarchy h(std::move(p.A), cfg);
+    for (int l = 0; l < h.nlevels(); ++l) {
+      EXPECT_EQ(h.level(l).A_stored.precision(), Prec::FP32)
+          << "shift=" << shift << " level " << l;
+      EXPECT_EQ(cfg.storage_at(l), Prec::FP32);
+    }
+  }
+}
+
+TEST(Hierarchy, ShiftLevidBeyondDepthShiftsNothing) {
+  auto p = make_laplace27(Box{17, 17, 17});
+  MGConfig cfg = base_config();
+  cfg.shift_levid = 99;  // deeper than any hierarchy this problem builds
+  EXPECT_NE(cfg.tag().find("D16"), std::string::npos) << cfg.tag();
+  MGHierarchy h(std::move(p.A), cfg);
+  for (int l = 0; l < h.nlevels(); ++l) {
+    EXPECT_EQ(h.level(l).A_stored.precision(), Prec::FP16) << "level " << l;
+  }
+}
+
+TEST(Hierarchy, DegenerateDiagonalFallsBackToComputeStorage) {
+  // One negative diagonal entry voids Theorem 4.1 (no real Q^{-1/2} exists).
+  // The level must fall back to unscaled compute-precision storage instead of
+  // scaling the whole matrix into NaN — under the default Fixed policy too.
+  // (A negative entry rather than zero: the smoother still needs an
+  // invertible diagonal block to set up at all.)
+  auto p = make_laplace27e8(Box{10, 10, 10});
+  p.A.at(0, p.A.stencil().center()) = -2.6e9;
+  MGHierarchy h(std::move(p.A), base_config());
+  EXPECT_TRUE(h.level(0).degenerate_diag);
+  EXPECT_FALSE(h.level(0).scaled);
+  EXPECT_EQ(h.level(0).A_stored.precision(), h.config().compute);
+  EXPECT_TRUE(h.level(0).q2.empty());
+  // The stored values are all finite (FP32 holds 2.6e9 comfortably).
+  EXPECT_EQ(h.level(0).trunc.overflowed, 0u);
+}
+
 TEST(Hierarchy, StoredBytesShrinkWithFp16) {
   auto p1 = make_laplace27(Box{17, 17, 17});
   auto p2 = make_laplace27(Box{17, 17, 17});

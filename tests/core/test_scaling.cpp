@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "core/scaling.hpp"
 #include "fp/convert.hpp"
@@ -120,6 +121,44 @@ TEST(Scaling, DirectTruncationOfWildMatrixOverflows) {
   TruncateReport rep;
   convert<half>(A, Layout::SOA, &rep);
   EXPECT_GT(rep.overflowed, 0u);
+}
+
+TEST(Scaling, DegenerateDiagonalIsRefusedAndMatrixUntouched) {
+  // Theorem 4.1 requires a strictly positive finite diagonal; a zero,
+  // negative, or non-finite entry must refuse the scaling and leave the
+  // matrix exactly as it was (no partial NaN pollution).
+  for (const double bad :
+       {0.0, -3.0, std::numeric_limits<double>::quiet_NaN(),
+        std::numeric_limits<double>::infinity()}) {
+    auto A = wild_matrix(Box{4, 4, 4}, 6.0);
+    A.at(3, A.stencil().center()) = bad;
+    const StructMat<double> orig = A;
+
+    EXPECT_FALSE(diagonal_positive(A));
+    EXPECT_TRUE(std::isnan(compute_gmax(A, kHalfMax)));
+
+    const ScaleResult sr = scale_matrix(A, 0.25, kHalfMax);
+    EXPECT_FALSE(sr.applied);
+    EXPECT_FALSE(sr.diag_ok);
+    EXPECT_TRUE(std::isnan(sr.gmax));
+    EXPECT_TRUE(sr.q2.empty());
+    const auto& av = A.values();
+    const auto& ov = orig.values();
+    ASSERT_EQ(av.size(), ov.size());
+    for (std::size_t i = 0; i < av.size(); ++i) {
+      // Bitwise untouched (NaN-safe comparison via memcmp semantics).
+      ASSERT_TRUE(av[i] == ov[i] || (std::isnan(av[i]) && std::isnan(ov[i])))
+          << "entry " << i;
+    }
+  }
+}
+
+TEST(Scaling, HealthyDiagonalReportsDiagOk) {
+  auto A = wild_matrix(Box{4, 4, 4}, 6.0);
+  EXPECT_TRUE(diagonal_positive(A));
+  const ScaleResult sr = scale_matrix(A, 0.25, kHalfMax);
+  EXPECT_TRUE(sr.applied);
+  EXPECT_TRUE(sr.diag_ok);
 }
 
 TEST(Scaling, MinMaxAbsHelpers) {

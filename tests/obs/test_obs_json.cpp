@@ -1,6 +1,6 @@
 // JSON/Chrome-trace export tests: parser unit tests plus full round-trips
 // of to_json / to_chrome_trace through the in-tree parser, validating the
-// "smg-telemetry-v1" schema without an external dependency.
+// "smg-telemetry-v2" schema without an external dependency.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -51,6 +51,39 @@ TEST(JsonParse, StringsAndEscapes) {
   v = obs::json_parse("\"a\\\"b\\\\c\\n\\t\"");
   ASSERT_TRUE(v.has_value());
   EXPECT_EQ(v->as_string(), "a\"b\\c\n\t");
+}
+
+TEST(JsonParse, UnicodeEscapes) {
+  // BMP code points decode to UTF-8, not a '?' placeholder.
+  auto v = obs::json_parse("\"\\u0041\\u00e9\\u4e2d\"");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->as_string(), "A\xc3\xa9\xe4\xb8\xad");  // "Aé中"
+
+  // \u0000 is representable (embedded NUL).
+  v = obs::json_parse("\"a\\u0000b\"");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->as_string(), std::string("a\0b", 3));
+
+  // Surrogate pair: U+1F600 = \uD83D\uDE00 -> 4-byte UTF-8.
+  v = obs::json_parse("\"\\ud83d\\ude00\"");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->as_string(), "\xf0\x9f\x98\x80");
+
+  // Round trip through json_escape's \u output for control characters.
+  v = obs::json_parse("\"" + obs::json_escape(std::string("\x01\x1f")) +
+                      "\"");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->as_string(), "\x01\x1f");
+}
+
+TEST(JsonParse, RejectsBadUnicodeEscapes) {
+  EXPECT_FALSE(obs::json_parse("\"\\u12\"").has_value());      // short
+  EXPECT_FALSE(obs::json_parse("\"\\u12zz\"").has_value());    // non-hex
+  EXPECT_FALSE(obs::json_parse("\"\\ud83d\"").has_value());    // lone high
+  EXPECT_FALSE(obs::json_parse("\"\\ud83dxy\"").has_value());  // unpaired
+  EXPECT_FALSE(
+      obs::json_parse("\"\\ud83d\\u0041\"").has_value());  // bad low
+  EXPECT_FALSE(obs::json_parse("\"\\ude00\"").has_value());  // stray low
 }
 
 TEST(JsonParse, NestedStructures) {
@@ -128,7 +161,9 @@ TEST(ReportJson, SchemaRoundTrip) {
   ASSERT_TRUE(doc->is_object());
 
   ASSERT_NE(doc->find("schema"), nullptr);
-  EXPECT_EQ(doc->find("schema")->as_string(), "smg-telemetry-v1");
+  EXPECT_EQ(doc->find("schema")->as_string(), "smg-telemetry-v2");
+  ASSERT_NE(doc->find("precision_policy"), nullptr);
+  EXPECT_EQ(doc->find("precision_policy")->as_string(), "fixed");
 
   const obs::JsonValue* solve = doc->find("solve");
   ASSERT_NE(solve, nullptr);
@@ -177,7 +212,7 @@ TEST(ReportJson, SchemaRoundTrip) {
     for (const char* key :
          {"level", "rows", "stored_values", "matrix_bytes", "g", "gmax",
           "headroom", "min_abs", "max_abs", "overflowed", "flushed_to_zero",
-          "subnormal", "conversions_per_apply"}) {
+          "subnormal", "conversions_per_apply", "rescales", "promotions"}) {
       ASSERT_NE(l.find(key), nullptr) << key;
       EXPECT_TRUE(l.find(key)->is_number()) << key;
     }
@@ -186,6 +221,12 @@ TEST(ReportJson, SchemaRoundTrip) {
     EXPECT_TRUE(l.find("scaled")->is_bool());
     EXPECT_GT(l.find("headroom")->as_number(), 1.0);
   }
+
+  // Fixed policy: the autopilot array is present but empty.
+  const obs::JsonValue* autopilot = doc->find("autopilot");
+  ASSERT_NE(autopilot, nullptr);
+  ASSERT_TRUE(autopilot->is_array());
+  EXPECT_TRUE(autopilot->items().empty());
 }
 
 TEST(ChromeTrace, SchemaRoundTrip) {
