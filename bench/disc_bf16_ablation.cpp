@@ -4,6 +4,7 @@
 // significand costs accuracy; #iter with BF16 is always >= FP16's, with a
 // notable gap on rhd (paper: +19% FP16 vs +59% BF16 over Full64 on GPU).
 #include "bench_common.hpp"
+#include "harness/harness.hpp"
 #include "kernels/blas1.hpp"
 #include "util/stats.hpp"
 
@@ -36,7 +37,8 @@ double vcycle_perturbation(const Problem& p, MGConfig cfg,
 
 }  // namespace
 
-int main() {
+SMG_BENCH(disc_bf16_ablation, "Discussion section 8 (BF16 paragraph)",
+          bench::kPaper) {
   bench::print_header("FP16 vs BF16 storage precision",
                       "Discussion section 8 (BF16 paragraph)");
 
@@ -45,7 +47,7 @@ int main() {
            "BF16 scaled?"});
   std::vector<double> ratio16, ratiob16, err16, errb16;
   for (const auto& name : problem_names()) {
-    const Problem p = make_problem(name, bench::default_box(name));
+    const Problem p = make_problem(name, ctx.box(name));
     MGConfig full = config_full64();
     full.min_coarse_cells = 64;
     MGConfig f16 = config_d16_setup_scale();
@@ -53,9 +55,9 @@ int main() {
     MGConfig b16 = f16;
     b16.storage = Prec::BF16;
 
-    const auto rf = bench::run_e2e(p, full);
-    const auto r16 = bench::run_e2e(p, f16);
-    const auto rb = bench::run_e2e(p, b16);
+    const auto rf = bench::run_e2e(p, full, 400, 1e-9, true);
+    const auto r16 = bench::run_e2e(p, f16, 400, 1e-9, true);
+    const auto rb = bench::run_e2e(p, b16, 400, 1e-9, true);
 
     StructMat<double> Aref = p.A;
     MGHierarchy href(std::move(Aref), full);
@@ -71,6 +73,14 @@ int main() {
     for (int l = 0; l < hb.nlevels(); ++l) {
       any_scaled = any_scaled || hb.level(l).scaled;
     }
+    if (any_scaled) {
+      ctx.fail(name + ": BF16 hierarchy triggered the scaling branch "
+                      "(range == FP32, must never scale)");
+    }
+    ctx.value(name + "/iters_fp16", static_cast<double>(r16.solve.iters),
+              "iters", bench::Better::Lower, /*gate=*/true);
+    ctx.value(name + "/iters_bf16", static_cast<double>(rb.solve.iters),
+              "iters", bench::Better::Lower, /*gate=*/true);
 
     auto extra = [&](const bench::E2EResult& r) {
       return 100.0 * (static_cast<double>(r.solve.iters) / rf.solve.iters -
@@ -86,6 +96,17 @@ int main() {
            any_scaled ? "yes(BUG)" : "no"});
   }
   t.print();
+  ctx.value("geomean_iter_inflation_fp16",
+            geomean({ratio16.data(), ratio16.size()}), "x",
+            bench::Better::Lower, /*gate=*/true);
+  ctx.value("geomean_iter_inflation_bf16",
+            geomean({ratiob16.data(), ratiob16.size()}), "x",
+            bench::Better::Lower, /*gate=*/true);
+  ctx.value("geomean_vcycle_err_fp16", geomean({err16.data(), err16.size()}),
+            "relerr", bench::Better::Lower);
+  ctx.value("geomean_vcycle_err_bf16",
+            geomean({errb16.data(), errb16.size()}), "relerr",
+            bench::Better::Lower);
   std::printf("\ngeomean iteration inflation over Full64: FP16 %.2fx,"
               " BF16 %.2fx\n",
               geomean({ratio16.data(), ratio16.size()}),
@@ -100,5 +121,4 @@ int main() {
               "reproduction's problem hardness both formats cost no extra\n"
               "iterations, so the 8x quantization-accuracy gap is reported\n"
               "directly instead.)\n");
-  return 0;
 }

@@ -7,15 +7,18 @@
 // while convergence is insensitive to coarse-level precision; coarsest-first
 // placement buys almost nothing (the paper's critique of [33]).
 #include "bench_common.hpp"
+#include "harness/harness.hpp"
 
 using namespace smg;
 
-int main() {
+SMG_BENCH(disc_level_placement,
+          "Guideline 3.3 + section 4.3 underflow remark",
+          bench::kSmoke | bench::kPaper) {
   bench::print_header("FP16 level-placement sweep (shift_levid)",
                       "Guideline 3.3 + section 4.3 underflow remark");
 
   for (const auto& name : {"laplace27", "rhd"}) {
-    const Problem p = make_problem(name, bench::default_box(name));
+    const Problem p = make_problem(name, ctx.box(name));
     std::printf("\n--- %s ---\n", name);
 
     // Count levels first.
@@ -37,7 +40,7 @@ int main() {
       cfg.min_coarse_cells = 64;
       StructMat<double> A = p.A;
       MGHierarchy h(std::move(A), cfg);
-      const auto r = bench::run_e2e(p, cfg);
+      const auto r = bench::run_e2e(p, cfg, 400, 1e-9, true);
       if (cfg.storage == Prec::FP32) {
         fp32_bytes = static_cast<double>(h.stored_matrix_bytes());
       }
@@ -45,6 +48,15 @@ int main() {
           fp32_bytes > 0.0
               ? static_cast<double>(h.stored_matrix_bytes()) / fp32_bytes
               : 1.0;
+      // Byte counts and (deterministic) iteration counts per placement are
+      // the guideline-3.3 evidence — gate both.
+      const std::string key = std::string(name) + "/" + label;
+      ctx.value(key + "/matrix_bytes_vs_fp32", rel, "frac",
+                bench::Better::Lower, /*gate=*/true);
+      ctx.value(key + "/iters", static_cast<double>(r.solve.iters), "iters",
+                bench::Better::Lower, /*gate=*/true);
+      ctx.value(key + "/mg_seconds", r.precond_seconds, "s",
+                bench::Better::Lower);
       t.row({label, std::to_string(h.stored_matrix_bytes()),
              Table::fmt(100.0 * rel, 1) + "%", std::to_string(r.solve.iters),
              Table::fmt(r.precond_seconds, 3), note});
@@ -64,5 +76,4 @@ int main() {
     std::printf("(finest-first placement captures nearly all byte savings\n"
                 "at shift_levid = 1-2 already: guideline 3.3.)\n");
   }
-  return 0;
 }

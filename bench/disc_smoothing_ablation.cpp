@@ -5,15 +5,18 @@
 // (larger headline speedup, worse absolute time).  This bench quantifies
 // both effects.
 #include "bench_common.hpp"
+#include "harness/harness.hpp"
 
 using namespace smg;
 
-int main() {
+SMG_BENCH(disc_smoothing_ablation,
+          "Discussion section 8 (smoothing paragraph)",
+          bench::kSmoke | bench::kPaper) {
   bench::print_header("Smoothing-count ablation (nu1 = nu2 = s)",
                       "Discussion section 8 (smoothing paragraph)");
 
   for (const auto& name : {"laplace27", "rhd", "weather"}) {
-    const Problem p = make_problem(name, bench::default_box(name));
+    const Problem p = make_problem(name, ctx.box(name));
     std::printf("\n--- %s ---\n", name);
     Table t({"sweeps", "iters 64", "time 64", "iters mix", "time mix",
              "MG share 64", "E2E speedup"});
@@ -26,8 +29,15 @@ int main() {
       mix.min_coarse_cells = 64;
       mix.nu1 = s;
       mix.nu2 = s;
-      const auto rf = bench::run_e2e(p, full);
-      const auto rm = bench::run_e2e(p, mix);
+      const auto rf = bench::run_e2e(p, full, 400, 1e-9, true);
+      const auto rm = bench::run_e2e(p, mix, 400, 1e-9, true);
+      const std::string key =
+          std::string(name) + "/s" + std::to_string(s) + "/";
+      ctx.value(key + "iters_mix16", static_cast<double>(rm.solve.iters),
+                "iters", bench::Better::Lower, /*gate=*/true);
+      ctx.value(key + "e2e_speedup",
+                rf.total_seconds / rm.total_seconds, "x",
+                bench::Better::Higher);
       t.row({std::to_string(s), std::to_string(rf.solve.iters),
              Table::fmt(rf.total_seconds, 3),
              std::to_string(rm.solve.iters),
@@ -40,5 +50,4 @@ int main() {
   std::printf("\n(expected: more sweeps -> larger MG share and E2E speedup,\n"
               "but rarely a better absolute time: the paper's reason for\n"
               "nu1 = nu2 = 1.)\n");
-  return 0;
 }

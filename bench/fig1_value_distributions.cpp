@@ -9,10 +9,13 @@
 
 #include "bench_common.hpp"
 #include "fp/half.hpp"
+#include "harness/harness.hpp"
 
 using namespace smg;
 
-int main() {
+SMG_BENCH(fig1_value_distributions,
+          "Figure 1 (and Table 3 'Out-of-FP16?' / 'Dist.')",
+          bench::kSmoke | bench::kPaper) {
   bench::print_header("Value-magnitude distributions per problem",
                       "Figure 1 (and Table 3 'Out-of-FP16?' / 'Dist.')");
 
@@ -26,7 +29,7 @@ int main() {
   Table table({"problem", "min|a|", "max|a|", "decades", "%below-fp16",
                "%in-fp16", "%above-fp16", "verdict"});
   for (const auto& name : names) {
-    const Problem p = make_problem(name, bench::default_box(name));
+    const Problem p = make_problem(name, ctx.box(name));
     const auto mags = value_magnitudes(p.A);
     double lo = 1e300, hi = 0.0;
     std::size_t below = 0, above = 0;
@@ -43,10 +46,15 @@ int main() {
     const char* verdict = hi > hi16 ? (hi > 100 * hi16 ? "out (Far)" :
                                                          "out (Near)")
                                     : "in range";
+    const double pct_in = 100.0 * (n - below - above) / n;
+    // Representability is a property of the generators, not the host:
+    // gate it so a problem drifting out of its FP16 window fails loudly.
+    ctx.value(name + "/pct_in_fp16", pct_in, "%", bench::Better::Higher,
+              /*gate=*/true);
+    ctx.value(name + "/magnitude_decades", std::log10(hi / lo), "decades");
     table.row({name, Table::sci(lo), Table::sci(hi),
                Table::fmt(std::log10(hi / lo), 1),
-               Table::fmt(100.0 * below / n, 2),
-               Table::fmt(100.0 * (n - below - above) / n, 2),
+               Table::fmt(100.0 * below / n, 2), Table::fmt(pct_in, 2),
                Table::fmt(100.0 * above / n, 2), verdict});
   }
   table.print();
@@ -54,7 +62,7 @@ int main() {
   // Per-decade histogram rows (the shape of Fig. 1's curves).
   std::printf("\nPer-decade histograms (percent of nonzeros):\n");
   for (const auto& name : names) {
-    const Problem p = make_problem(name, bench::default_box(name));
+    const Problem p = make_problem(name, ctx.box(name));
     const auto mags = value_magnitudes(p.A);
     std::map<int, std::size_t> hist;
     for (double v : mags) {
@@ -68,5 +76,4 @@ int main() {
     }
     std::printf("\n");
   }
-  return 0;
 }

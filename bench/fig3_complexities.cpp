@@ -8,18 +8,24 @@
 #include <algorithm>
 
 #include "bench_common.hpp"
+#include "harness/harness.hpp"
 #include "util/stats.hpp"
 
 using namespace smg;
 
-int main() {
-  bench::print_header("Grid/operator complexity statistics over 64 MG cases",
+SMG_BENCH(fig3_complexities,
+          "Figure 3 (+ the C_G / C_O columns of Table 3)",
+          bench::kSmoke | bench::kPaper) {
+  bench::print_header("Grid/operator complexity statistics over MG cases",
                       "Figure 3 (+ the C_G / C_O columns of Table 3)");
 
-  const std::vector<Box> shapes = {Box{24, 24, 24}, Box{32, 32, 32},
-                                   Box{20, 20, 40}, Box{40, 20, 20},
-                                   Box{16, 32, 24}, Box{28, 28, 12},
-                                   Box{36, 18, 18}, Box{22, 26, 30}};
+  std::vector<Box> shapes = {Box{24, 24, 24}, Box{32, 32, 32},
+                             Box{20, 20, 40}, Box{40, 20, 20},
+                             Box{16, 32, 24}, Box{28, 28, 12},
+                             Box{36, 18, 18}, Box{22, 26, 30}};
+  if (ctx.smoke()) {
+    shapes.resize(3);  // 8 problems x 3 shapes keeps the statistic meaningful
+  }
   std::vector<double> cgs, cos;
   Table t({"problem", "box", "levels", "C_G", "C_O"});
   for (const auto& name : problem_names()) {
@@ -51,8 +57,22 @@ int main() {
   s.row({"C_O < 1.50",
          Table::fmt(100.0 * cumulative_at({cos.data(), cos.size()}, 1.50), 1)});
   s.print();
+  const double cg_med = percentile(cgs, 50.0);
+  const double co_med = percentile(cos, 50.0);
+  // Coarsening is deterministic FP64 setup: complexity growth means the
+  // Galerkin stencil collapse changed — gate the medians and the paper's
+  // 80%-checkpoint fractions.
+  ctx.value("cg_median", cg_med, "ratio", bench::Better::Lower,
+            /*gate=*/true);
+  ctx.value("co_median", co_med, "ratio", bench::Better::Lower,
+            /*gate=*/true);
+  ctx.value("cg_below_1.20_frac",
+            cumulative_at({cgs.data(), cgs.size()}, 1.20), "frac",
+            bench::Better::Higher, /*gate=*/true);
+  ctx.value("co_below_1.50_frac",
+            cumulative_at({cos.data(), cos.size()}, 1.50), "frac",
+            bench::Better::Higher, /*gate=*/true);
   std::printf("\nmedians: C_G=%.3f  C_O=%.3f  (finest level dominates ->\n"
               "guideline 3.3: put FP16 on the *finest* levels)\n",
-              percentile(cgs, 50.0), percentile(cos, 50.0));
-  return 0;
+              cg_med, co_med);
 }

@@ -1,24 +1,34 @@
 // Figure 5: multi-scale (anisotropy) metric statistics per problem,
 // plus Table 3's condition-number estimates.
 #include "bench_common.hpp"
+#include "harness/harness.hpp"
 #include "util/stats.hpp"
 
 using namespace smg;
 
-int main() {
+SMG_BENCH(fig5_anisotropy,
+          "Figure 5 (+ Table 3 'Aniso.' and 'Cond.' columns)",
+          bench::kSmoke | bench::kPaper) {
   bench::print_header("Anisotropy / multi-scale metric per problem",
                       "Figure 5 (+ Table 3 'Aniso.' and 'Cond.' columns)");
 
   Table t({"problem", "p50 log10(aniso)", "p90", "max", "class(Table3)",
            "cond-est"});
   for (const auto& name : problem_names()) {
-    const Problem p = make_problem(name, bench::default_box(name));
+    const Problem p = make_problem(name, ctx.box(name));
     auto samples = anisotropy_samples(p.A);
     std::vector<double> v(samples.begin(), samples.end());
     const double cond =
         p.solver == "cg" ? estimate_cond(p.A, 60) : 0.0;  // SPD only
-    t.row({name, Table::fmt(percentile(v, 50.0), 3),
-           Table::fmt(percentile(v, 90.0), 3),
+    const double p50 = percentile(v, 50.0);
+    // The anisotropy metric is a deterministic matrix scan — gate it; the
+    // condition estimate uses threaded spmv reductions, so report only.
+    ctx.value(name + "/aniso_p50_log10", p50, "log10",
+              bench::Better::None, /*gate=*/true);
+    if (cond > 0.0) {
+      ctx.value(name + "/cond_estimate", cond, "kappa");
+    }
+    t.row({name, Table::fmt(p50, 3), Table::fmt(percentile(v, 90.0), 3),
            Table::fmt(maximum({v.data(), v.size()}), 3), p.aniso,
            cond > 0.0 ? Table::sci(cond, 1) : "n/a (nonsym)"});
   }
@@ -26,5 +36,4 @@ int main() {
   std::printf("\n(log10 of max/min directional coupling per cell; 0 means\n"
               "isotropic.  Paper Fig. 5: laplace isotropic; rhd/solid low;\n"
               "oil/weather/rhd-3T/oil-4C high.)\n");
-  return 0;
 }

@@ -13,6 +13,7 @@
 #include <algorithm>
 
 #include "bench_common.hpp"
+#include "harness/harness.hpp"
 
 using namespace smg;
 
@@ -25,12 +26,15 @@ struct Config {
 
 SolveResult run(const Problem& p, MGConfig cfg, int iters) {
   cfg.min_coarse_cells = 64;
-  return bench::run_e2e(p, cfg, iters, 1e-10).solve;
+  // Deterministic reductions: iteration counts become thread-invariant, so
+  // they can be hard-gated in BENCH_*.json.
+  return bench::run_e2e(p, cfg, iters, 1e-10, /*deterministic=*/true).solve;
 }
 
 }  // namespace
 
-int main() {
+SMG_BENCH(fig6_convergence_ablation, "Figure 6 (a)-(e)",
+          bench::kSmoke | bench::kPaper) {
   bench::print_header("Convergence ablation across precision strategies",
                       "Figure 6 (a)-(e)");
 
@@ -46,7 +50,7 @@ int main() {
   };
 
   for (const auto& [name, iters] : problems) {
-    const Problem p = make_problem(name, bench::default_box(name));
+    const Problem p = make_problem(name, ctx.box(name));
     std::printf("\n--- %s (%s, %lld dofs) ---\n", name.c_str(),
                 p.solver.c_str(), static_cast<long long>(p.A.nrows()));
     std::vector<SolveResult> results;
@@ -82,8 +86,18 @@ int main() {
       s.row({configs[c].label, results[c].status(),
              std::to_string(results[c].iters),
              Table::sci(results[c].final_relres, 1)});
+      // Deterministic solves at the recorded box: iteration counts (and
+      // whether a config converges at all) are the paper's Fig. 6 claim —
+      // gate them.  The '-none' strategy is *expected* to break down on the
+      // out-of-range problems, so convergence itself is recorded as a
+      // metric rather than a failure.
+      ctx.value(name + "/" + configs[c].label + "/iters",
+                static_cast<double>(results[c].iters), "iters",
+                bench::Better::Lower, /*gate=*/true);
+      ctx.value(name + "/" + configs[c].label + "/converged",
+                results[c].converged ? 1.0 : 0.0, "bool",
+                bench::Better::None, /*gate=*/true);
     }
     s.print();
   }
-  return 0;
 }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "harness/harness.hpp"
 #include "kernels/blas1.hpp"
 #include "kernels/symgs.hpp"
 
@@ -100,7 +101,9 @@ void set_threads(int nt) {
 
 }  // namespace
 
-int main() {
+SMG_BENCH(fig9_thread_scaling,
+          "Fig. 8/9 threading companion (kernel ablation: SymGS dominates)",
+          bench::kPaper) {
   bench::print_header(
       "Thread scaling: SymGS sweeps and full V-cycles (wavefront smoother)",
       "Fig. 8/9 threading companion (kernel ablation: SymGS dominates)");
@@ -112,6 +115,9 @@ int main() {
   const int hw = 1;
   threads = {1};
 #endif
+  if (ctx.smoke()) {
+    threads.resize(std::min<std::size_t>(threads.size(), 2));  // {1, 2}
+  }
   std::printf("host procs: %d (speedups need >= 2; 1-core hosts "
               "oversubscribe)\n\n",
               hw);
@@ -119,8 +125,13 @@ int main() {
   Table t({"problem", "threads", "mode", "symgs ms", "vcycle ms", "symgs x",
            "vcycle x"});
 
-  for (const auto& name : {"rhd", "weather", "laplace27", "solid3d"}) {
-    const Problem p = make_problem(name, bench::default_box(name));
+  std::vector<const char*> problems = {"rhd", "weather", "laplace27",
+                                       "solid3d"};
+  if (ctx.smoke()) {
+    problems = {"rhd", "laplace27"};
+  }
+  for (const char* name : problems) {
+    const Problem p = make_problem(name, ctx.box(name));
 
     // Baseline: the pre-wavefront configuration (sequential smoother, one
     // thread) — the "seed" single-thread SymGS time regressions are
@@ -130,11 +141,10 @@ int main() {
     seq.smoother_parallel = SmootherParallel::Sequential;
     set_threads(1);
     const Timing base = measure(p, seq);
-    std::printf("{\"bench\":\"fig9_thread_scaling\",\"problem\":\"%s\","
-                "\"threads\":1,\"mode\":\"sequential\",\"symgs_ms\":%.4f,"
-                "\"vcycle_ms\":%.4f,\"symgs_speedup\":1.0,"
-                "\"vcycle_speedup\":1.0}\n",
-                name, base.symgs_ms, base.vcycle_ms);
+    ctx.value(std::string(name) + "/t1_seq/symgs_ms", base.symgs_ms, "ms",
+              bench::Better::Lower);
+    ctx.value(std::string(name) + "/t1_seq/vcycle_ms", base.vcycle_ms, "ms",
+              bench::Better::Lower);
     t.row({name, "1", "sequential", Table::fmt(base.symgs_ms, 3),
            Table::fmt(base.vcycle_ms, 3), "1.00", "1.00"});
 
@@ -146,12 +156,13 @@ int main() {
       const Timing cur = measure(p, cfg);
       const double sx = base.symgs_ms / cur.symgs_ms;
       const double vx = base.vcycle_ms / cur.vcycle_ms;
-      std::printf("{\"bench\":\"fig9_thread_scaling\",\"problem\":\"%s\","
-                  "\"threads\":%d,\"mode\":\"%s\",\"symgs_ms\":%.4f,"
-                  "\"vcycle_ms\":%.4f,\"symgs_speedup\":%.3f,"
-                  "\"vcycle_speedup\":%.3f}\n",
-                  name, nt, cur.mode.c_str(), cur.symgs_ms, cur.vcycle_ms, sx,
-                  vx);
+      const std::string key =
+          std::string(name) + "/t" + std::to_string(nt) + "/";
+      ctx.value(key + "symgs_ms", cur.symgs_ms, "ms", bench::Better::Lower);
+      ctx.value(key + "vcycle_ms", cur.vcycle_ms, "ms",
+                bench::Better::Lower);
+      ctx.value(key + "symgs_speedup", sx, "x", bench::Better::Higher);
+      ctx.value(key + "vcycle_speedup", vx, "x", bench::Better::Higher);
       t.row({name, std::to_string(nt), cur.mode, Table::fmt(cur.symgs_ms, 3),
              Table::fmt(cur.vcycle_ms, 3), Table::fmt(sx, 2) + "x",
              Table::fmt(vx, 2) + "x"});
@@ -164,5 +175,4 @@ int main() {
               "regression check; wavefront rows parallelize every V-cycle "
               "kernel including the smoother.)\n");
   set_threads(hw);
-  return 0;
 }

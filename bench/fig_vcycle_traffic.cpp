@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "harness/harness.hpp"
 #include "kernels/blas1.hpp"
 #include "perfmodel/bytes.hpp"
 
@@ -88,7 +89,9 @@ struct StorageCfg {
 
 }  // namespace
 
-int main() {
+SMG_BENCH(fig_vcycle_traffic,
+          "PAPER.md S5 (memory-bound kernels); ISSUE 2 tentpole",
+          bench::kPaper) {
   bench::print_header(
       "Fused residual->restrict vs two-step downstroke: V-cycle time and "
       "modeled traffic",
@@ -101,6 +104,9 @@ int main() {
   threads = {1};
   std::printf("OpenMP off: single-thread only\n\n");
 #endif
+  if (ctx.smoke() && threads.size() > 2) {
+    threads.resize(2);  // {1, 2}
+  }
 
   const StorageCfg storages[] = {
       {"fp64", config_full64()},
@@ -112,7 +118,7 @@ int main() {
   Table t({"problem", "storage", "threads", "unfused ms", "fused ms",
            "speedup", "model unfused MB", "model fused MB"});
   for (const auto& name : {"laplace27", "rhd"}) {
-    const Problem p = make_problem(name, bench::default_box(name));
+    const Problem p = make_problem(name, ctx.box(name));
     for (const StorageCfg& sc : storages) {
       MGConfig cfg = sc.cfg;
       cfg.min_coarse_cells = 64;
@@ -125,6 +131,12 @@ int main() {
         mb_unfused = modeled_downstroke_mb(h, false);
         mb_fused = modeled_downstroke_mb(h, true);
       }
+      const std::string ckey = std::string(name) + "/" + sc.name;
+      // Closed-form byte model at the recorded box: gate it.
+      ctx.value(ckey + "/model_unfused_mb", mb_unfused, "MB",
+                bench::Better::Lower, /*gate=*/true);
+      ctx.value(ckey + "/model_fused_mb", mb_fused, "MB",
+                bench::Better::Lower, /*gate=*/true);
 
       for (int nt : threads) {
         set_threads(nt);
@@ -135,12 +147,9 @@ int main() {
         const double ms_off = measure_vcycle_ms(p, off);
         const double ms_on = measure_vcycle_ms(p, on);
         const double sx = ms_off / ms_on;
-        std::printf(
-            "{\"bench\":\"fig_vcycle_traffic\",\"problem\":\"%s\","
-            "\"storage\":\"%s\",\"threads\":%d,\"unfused_ms\":%.4f,"
-            "\"fused_ms\":%.4f,\"speedup\":%.3f,\"model_unfused_mb\":%.3f,"
-            "\"model_fused_mb\":%.3f}\n",
-            name, sc.name, nt, ms_off, ms_on, sx, mb_unfused, mb_fused);
+        const std::string key = ckey + "/t" + std::to_string(nt);
+        ctx.value(key + "/fused_ms", ms_on, "ms", bench::Better::Lower);
+        ctx.value(key + "/fused_speedup", sx, "x", bench::Better::Higher);
         t.row({name, sc.name, std::to_string(nt), Table::fmt(ms_off, 3),
                Table::fmt(ms_on, 3), Table::fmt(sx, 2) + "x",
                Table::fmt(mb_unfused, 2), Table::fmt(mb_fused, 2)});
@@ -165,9 +174,8 @@ int main() {
   {
     MGConfig cfg = config_d16_setup_scale();
     cfg.min_coarse_cells = 64;
-    StructMat<double> A = make_problem("laplace27",
-                                       bench::default_box("laplace27"))
-                              .A;
+    StructMat<double> A =
+        make_problem("laplace27", ctx.box("laplace27")).A;
     MGHierarchy h(std::move(A), cfg);
     std::printf("\nper-level downstroke bytes, laplace27 fp16 storage:\n");
     Table lt({"level", "rows", "unfused KB", "fused KB", "saved KB"});
@@ -200,7 +208,7 @@ int main() {
   bool all_same = true;
   set_threads(threads.back());
   for (const std::string& name : problem_names()) {
-    const Problem p = make_problem(name, bench::default_box(name));
+    const Problem p = make_problem(name, ctx.box(name));
     MGConfig off = config_d16_setup_scale();
     off.min_coarse_cells = 64;
     MGConfig on = off;
@@ -212,15 +220,14 @@ int main() {
                       ro.solve.final_relres == rn.solve.final_relres &&
                       ro.solve.history == rn.solve.history;
     all_same = all_same && same;
+    ctx.value(name + "/history_identical", same ? 1.0 : 0.0, "bool",
+              bench::Better::None, /*gate=*/true);
     ct.row({name, std::to_string(ro.solve.iters),
             std::to_string(rn.solve.iters), same ? "yes" : "NO"});
-    std::printf("{\"bench\":\"fig_vcycle_traffic\",\"check\":\"history\","
-                "\"problem\":\"%s\",\"iters_unfused\":%d,\"iters_fused\":%d,"
-                "\"identical\":%s}\n",
-                name.c_str(), ro.solve.iters, rn.solve.iters,
-                same ? "true" : "false");
   }
   ct.print();
   std::printf("\nall histories identical: %s\n", all_same ? "yes" : "NO");
-  return all_same ? 0 : 1;
+  if (!all_same) {
+    ctx.fail("fused-vs-unfused convergence histories diverged");
+  }
 }

@@ -1,0 +1,126 @@
+#include "harness/cli.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace smg::bench {
+
+Cli::Cli(std::string program, std::string description,
+         std::vector<FlagSpec> flags)
+    : program_(std::move(program)),
+      description_(std::move(description)),
+      flags_(std::move(flags)) {
+  flags_.push_back({"help", false, "", "show this help and exit"});
+}
+
+const FlagSpec* Cli::find(const std::string& name) const {
+  for (const FlagSpec& f : flags_) {
+    if (f.name == name) {
+      return &f;
+    }
+  }
+  return nullptr;
+}
+
+bool Cli::parse(int argc, char** argv, int max_positional) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      if (static_cast<int>(positional_.size()) > max_positional) {
+        error_ = "unexpected argument '" + positional_.back() +
+                 "' (see --help)";
+        return false;
+      }
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_inline = false;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_inline = true;
+    }
+    const FlagSpec* spec = find(name);
+    if (spec == nullptr) {
+      error_ = "unknown flag '--" + name + "' (see --help)";
+      return false;
+    }
+    if (name == "help") {
+      help_ = true;
+      continue;
+    }
+    if (spec->takes_value) {
+      if (!has_inline) {
+        if (i + 1 >= argc) {
+          error_ = "flag '--" + name + "' expects a value";
+          return false;
+        }
+        value = argv[++i];
+      }
+    } else if (has_inline) {
+      error_ = "flag '--" + name + "' does not take a value";
+      return false;
+    }
+    parsed_.emplace_back(std::move(name), std::move(value));
+  }
+  return true;
+}
+
+bool Cli::has(const std::string& name) const {
+  for (const auto& [n, v] : parsed_) {
+    if (n == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<std::string> Cli::value(const std::string& name) const {
+  // Last occurrence wins, matching common CLI conventions.
+  std::optional<std::string> out;
+  for (const auto& [n, v] : parsed_) {
+    if (n == name) {
+      out = v;
+    }
+  }
+  return out;
+}
+
+double Cli::value_or(const std::string& name, double def) const {
+  const auto v = value(name);
+  if (!v) {
+    return def;
+  }
+  char* end = nullptr;
+  const double x = std::strtod(v->c_str(), &end);
+  return (end != nullptr && *end == '\0' && end != v->c_str()) ? x : def;
+}
+
+std::string Cli::value_or(const std::string& name,
+                          const std::string& def) const {
+  return value(name).value_or(def);
+}
+
+std::string Cli::usage() const {
+  std::string out = "usage: " + program_ + " [flags]\n\n" + description_ +
+                    "\n\nflags:\n";
+  std::size_t width = 0;
+  std::vector<std::string> heads;
+  for (const FlagSpec& f : flags_) {
+    std::string head = "  --" + f.name;
+    if (f.takes_value) {
+      head += " <" + (f.value_name.empty() ? "VALUE" : f.value_name) + ">";
+    }
+    width = std::max(width, head.size());
+    heads.push_back(std::move(head));
+  }
+  for (std::size_t i = 0; i < flags_.size(); ++i) {
+    out += heads[i] + std::string(width - heads[i].size() + 2, ' ') +
+           flags_[i].help + "\n";
+  }
+  return out;
+}
+
+}  // namespace smg::bench

@@ -1,0 +1,60 @@
+// Shared command-line parser for every bench binary.
+//
+// Before the harness, the 16 bench binaries each hand-rolled (or skipped)
+// argument handling and silently ignored unknown flags; this parser gives
+// them one consistent contract: `--help` always works, `--flag value` and
+// `--flag=value` are both accepted, and an unknown flag is a hard error
+// with a pointer to `--help` instead of a silent no-op.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace smg::bench {
+
+struct FlagSpec {
+  std::string name;     ///< without the leading "--"
+  bool takes_value = false;
+  std::string value_name;  ///< shown in --help, e.g. "PATH"
+  std::string help;
+};
+
+class Cli {
+ public:
+  Cli(std::string program, std::string description,
+      std::vector<FlagSpec> flags);
+
+  /// Parse argv.  Returns false (with `error()` set) on an unknown flag, a
+  /// missing value, or an unexpected positional argument beyond
+  /// `max_positional`.  `--help` sets `help_requested()` and returns true.
+  bool parse(int argc, char** argv, int max_positional = 0);
+
+  bool help_requested() const { return help_; }
+  const std::string& error() const { return error_; }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool has(const std::string& name) const;
+  /// Value of a --flag; nullopt when absent.
+  std::optional<std::string> value(const std::string& name) const;
+  /// Numeric value with a default; parse failure reports via error path in
+  /// parse() so callers can trust the result here.
+  double value_or(const std::string& name, double def) const;
+  std::string value_or(const std::string& name, const std::string& def) const;
+
+  /// Render the --help text.
+  std::string usage() const;
+
+ private:
+  const FlagSpec* find(const std::string& name) const;
+
+  std::string program_;
+  std::string description_;
+  std::vector<FlagSpec> flags_;
+  std::vector<std::pair<std::string, std::string>> parsed_;
+  std::vector<std::string> positional_;
+  std::string error_;
+  bool help_ = false;
+};
+
+}  // namespace smg::bench

@@ -1,0 +1,363 @@
+#include "harness/compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "harness/harness.hpp"
+#include "harness/stats.hpp"
+#include "util/table.hpp"
+
+namespace smg::bench {
+
+std::string_view to_string(Verdict v) noexcept {
+  switch (v) {
+    case Verdict::Ok:
+      return "ok";
+    case Verdict::Improved:
+      return "improved";
+    case Verdict::Regressed:
+      return "REGRESSED";
+    case Verdict::New:
+      return "new";
+    case Verdict::Missing:
+      return "missing";
+    case Verdict::Info:
+      return "info";
+  }
+  return "ok";
+}
+
+namespace {
+
+struct MetricView {
+  std::string bench;
+  std::string unit;
+  Better better = Better::None;
+  bool timed = false;
+  bool gate = false;
+  SampleStats stats;
+};
+
+double num_or(const obs::JsonValue& m, const char* key, double def) {
+  const obs::JsonValue* v = m.find(key);
+  return (v != nullptr && v->is_number()) ? v->as_number() : def;
+}
+
+std::string str_or(const obs::JsonValue& m, const char* key,
+                   const std::string& def) {
+  const obs::JsonValue* v = m.find(key);
+  return (v != nullptr && v->is_string()) ? v->as_string() : def;
+}
+
+/// Flatten a validated document into (bench/metric) -> view.  Stats are
+/// recomputed from the stored samples with the document's own iqr_k, so a
+/// hand-edited baseline (e.g. trimmed samples) stays self-consistent.
+std::map<std::string, MetricView> flatten(const obs::JsonValue& doc) {
+  std::map<std::string, MetricView> out;
+  const double iqr_k = num_or(*doc.find("protocol"), "outlier_iqr_k", 1.5);
+  for (const obs::JsonValue& b : doc.find("benchmarks")->items()) {
+    const std::string bname = str_or(b, "name", "?");
+    for (const obs::JsonValue& m : b.find("metrics")->items()) {
+      MetricView v;
+      v.bench = bname;
+      v.unit = str_or(m, "unit", "");
+      const std::string better = str_or(m, "better", "none");
+      v.better = better == "lower"    ? Better::Lower
+                 : better == "higher" ? Better::Higher
+                                      : Better::None;
+      v.timed = str_or(m, "kind", "value") == "time";
+      const obs::JsonValue* gate = m.find("gate");
+      v.gate = gate != nullptr && gate->is_bool() && gate->as_bool();
+      std::vector<double> xs;
+      for (const obs::JsonValue& s : m.find("samples")->items()) {
+        xs.push_back(s.as_number());
+      }
+      v.stats = compute_stats({xs.data(), xs.size()}, iqr_k);
+      out.emplace(bname + "\x1f" + str_or(m, "name", "?"), std::move(v));
+    }
+  }
+  return out;
+}
+
+std::map<std::string, bool> bench_ok_flags(const obs::JsonValue& doc) {
+  std::map<std::string, bool> out;
+  for (const obs::JsonValue& b : doc.find("benchmarks")->items()) {
+    const obs::JsonValue* ok = b.find("ok");
+    out[str_or(b, "name", "?")] =
+        ok == nullptr || !ok->is_bool() || ok->as_bool();
+  }
+  return out;
+}
+
+}  // namespace
+
+CompareResult compare_documents(const obs::JsonValue& baseline,
+                                const obs::JsonValue& candidate,
+                                const CompareOptions& opts) {
+  CompareResult r;
+  for (const std::string& e : validate_bench_document(baseline)) {
+    r.errors.push_back("baseline: " + e);
+  }
+  for (const std::string& e : validate_bench_document(candidate)) {
+    r.errors.push_back("candidate: " + e);
+  }
+  if (!r.errors.empty()) {
+    return r;
+  }
+
+  const auto base = flatten(baseline);
+  const auto cand = flatten(candidate);
+
+  for (const auto& [key, b] : base) {
+    const std::string metric = key.substr(key.find('\x1f') + 1);
+    MetricDelta d;
+    d.bench = b.bench;
+    d.metric = metric;
+    d.unit = b.unit;
+    d.base_median = b.stats.median;
+
+    const auto it = cand.find(key);
+    if (it == cand.end()) {
+      d.verdict = Verdict::Missing;
+      d.gated = b.gate || opts.gate_all;
+      if (d.gated) {
+        ++r.regressions;  // a gated metric silently vanishing is a failure
+      }
+      r.deltas.push_back(std::move(d));
+      continue;
+    }
+    const MetricView& c = it->second;
+    d.cand_median = c.stats.median;
+    d.rel_delta = b.stats.median != 0.0
+                      ? (c.stats.median - b.stats.median) /
+                            std::fabs(b.stats.median)
+                      : 0.0;
+
+    const bool gated_metric = (b.gate || opts.gate_all) &&
+                              (!b.timed || opts.gate_time);
+    if (b.better == Better::None && !gated_metric) {
+      d.verdict = Verdict::Info;
+      r.deltas.push_back(std::move(d));
+      continue;
+    }
+
+    const double tol = b.timed ? opts.time_tol : opts.tol;
+    const double noise =
+        std::max(relative_iqr(b.stats), relative_iqr(c.stats));
+    d.eff_tol = std::max(tol, opts.noise_mult * noise);
+    d.gated = gated_metric;
+
+    if (b.better == Better::None) {
+      // Gated direction-less metric: any move beyond tolerance (either
+      // way) is a regression — these are "must not drift" quantities.
+      const double rel = b.stats.median != 0.0
+                             ? std::fabs(d.rel_delta)
+                             : (c.stats.median == 0.0 ? 0.0 : 1.0);
+      if (rel > d.eff_tol) {
+        d.verdict = Verdict::Regressed;
+        ++r.regressions;
+      } else {
+        d.verdict = Verdict::Ok;
+      }
+      r.deltas.push_back(std::move(d));
+      continue;
+    }
+
+    // Evaluate in "lower is better" space: flip the sign for higher.
+    const double sign = b.better == Better::Lower ? 1.0 : -1.0;
+    const auto moved = [&](double from, double to) {
+      if (from == 0.0) {
+        return sign * (to - from) > 0.0;
+      }
+      return sign * (to - from) / std::fabs(from) > d.eff_tol;
+    };
+    const bool abs_ok =
+        !b.timed ||
+        std::fabs(c.stats.median - b.stats.median) > opts.min_abs_s;
+    const bool worse = moved(b.stats.median, c.stats.median) &&
+                       moved(b.stats.min, c.stats.min) && abs_ok;
+    const auto improved_dir = [&](double from, double to) {
+      if (from == 0.0) {
+        return sign * (to - from) < 0.0;
+      }
+      return sign * (to - from) / std::fabs(from) < -d.eff_tol;
+    };
+    const bool better = improved_dir(b.stats.median, c.stats.median) &&
+                        improved_dir(b.stats.min, c.stats.min) && abs_ok;
+
+    if (worse) {
+      d.verdict = Verdict::Regressed;
+      if (d.gated) {
+        ++r.regressions;
+      }
+    } else if (better) {
+      d.verdict = Verdict::Improved;
+      ++r.improvements;
+    } else {
+      d.verdict = Verdict::Ok;
+    }
+    r.deltas.push_back(std::move(d));
+  }
+
+  for (const auto& [key, c] : cand) {
+    if (base.find(key) != base.end()) {
+      continue;
+    }
+    MetricDelta d;
+    d.bench = c.bench;
+    d.metric = key.substr(key.find('\x1f') + 1);
+    d.unit = c.unit;
+    d.verdict = Verdict::New;
+    d.cand_median = c.stats.median;
+    r.deltas.push_back(std::move(d));
+  }
+
+  const auto base_ok = bench_ok_flags(baseline);
+  for (const auto& [name, ok] : bench_ok_flags(candidate)) {
+    const auto it = base_ok.find(name);
+    if (!ok && (it == base_ok.end() || it->second)) {
+      r.broke.push_back(name);
+    }
+  }
+  return r;
+}
+
+bool has_failures(const CompareResult& r) {
+  return !r.errors.empty() || r.regressions > 0 || !r.broke.empty();
+}
+
+namespace {
+
+std::string fmt_pct(double rel) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%", 100.0 * rel);
+  return buf;
+}
+
+std::string fmt_val(double v) {
+  char buf[32];
+  if (v == 0.0 || (std::fabs(v) >= 1e-3 && std::fabs(v) < 1e6)) {
+    std::snprintf(buf, sizeof(buf), "%.4g", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3e", v);
+  }
+  return buf;
+}
+
+/// Severity order for display: regressions first, then missing/broke info.
+int severity(Verdict v) {
+  switch (v) {
+    case Verdict::Regressed:
+      return 0;
+    case Verdict::Missing:
+      return 1;
+    case Verdict::Improved:
+      return 2;
+    case Verdict::New:
+      return 3;
+    case Verdict::Ok:
+      return 4;
+    case Verdict::Info:
+      return 5;
+  }
+  return 6;
+}
+
+std::vector<const MetricDelta*> sorted_deltas(const CompareResult& r) {
+  std::vector<const MetricDelta*> ds;
+  ds.reserve(r.deltas.size());
+  for (const MetricDelta& d : r.deltas) {
+    ds.push_back(&d);
+  }
+  std::stable_sort(ds.begin(), ds.end(),
+                   [](const MetricDelta* a, const MetricDelta* b) {
+                     return severity(a->verdict) < severity(b->verdict);
+                   });
+  return ds;
+}
+
+}  // namespace
+
+std::string to_markdown(const CompareResult& r) {
+  std::string out;
+  if (!r.errors.empty()) {
+    out += "### bench_compare: schema errors\n\n";
+    for (const std::string& e : r.errors) {
+      out += "- " + e + "\n";
+    }
+    return out;
+  }
+  out += "### Benchmark comparison (";
+  out += std::to_string(r.regressions) + " regression(s), ";
+  out += std::to_string(r.improvements) + " improvement(s))\n\n";
+  if (!r.broke.empty()) {
+    out += "**Benchmarks newly failing:** ";
+    for (std::size_t i = 0; i < r.broke.size(); ++i) {
+      out += (i > 0 ? ", " : "") + ("`" + r.broke[i] + "`");
+    }
+    out += "\n\n";
+  }
+  out += "| benchmark | metric | base | candidate | delta | tol | verdict "
+         "|\n";
+  out += "|---|---|---:|---:|---:|---:|---|\n";
+  for (const MetricDelta* d : sorted_deltas(r)) {
+    if (d->verdict == Verdict::Ok || d->verdict == Verdict::Info) {
+      continue;  // keep PR comments focused on what moved
+    }
+    out += "| " + d->bench + " | " + d->metric;
+    if (!d->unit.empty()) {
+      out += " (" + d->unit + ")";
+    }
+    out += " | " + fmt_val(d->base_median) + " | " +
+           fmt_val(d->cand_median) + " | " +
+           (d->verdict == Verdict::New || d->verdict == Verdict::Missing
+                ? std::string("-")
+                : fmt_pct(d->rel_delta)) +
+           " | " +
+           (d->eff_tol > 0.0 ? fmt_pct(d->eff_tol) : std::string("-")) +
+           " | " + std::string(to_string(d->verdict)) +
+           (d->gated ? "" : " (ungated)") + " |\n";
+  }
+  out += "\n<sub>Gate: median AND min past the noise-widened tolerance; "
+         "only `gate: true` metrics fail the job.</sub>\n";
+  return out;
+}
+
+std::string to_text(const CompareResult& r) {
+  std::ostringstream os;
+  if (!r.errors.empty()) {
+    os << "schema errors:\n";
+    for (const std::string& e : r.errors) {
+      os << "  " << e << "\n";
+    }
+    return os.str();
+  }
+  Table t({"benchmark", "metric", "base", "candidate", "delta", "eff tol",
+           "verdict"});
+  for (const MetricDelta* d : sorted_deltas(r)) {
+    t.row({d->bench, d->metric + (d->unit.empty() ? "" : " [" + d->unit + "]"),
+           fmt_val(d->base_median), fmt_val(d->cand_median),
+           d->verdict == Verdict::New || d->verdict == Verdict::Missing
+               ? "-"
+               : fmt_pct(d->rel_delta),
+           d->eff_tol > 0.0 ? fmt_pct(d->eff_tol) : "-",
+           std::string(to_string(d->verdict)) +
+               (d->gated ? "" : " (ungated)")});
+  }
+  t.print(os);
+  os << "\n" << r.regressions << " regression(s), " << r.improvements
+     << " improvement(s)";
+  if (!r.broke.empty()) {
+    os << ", newly failing:";
+    for (const std::string& b : r.broke) {
+      os << " " << b;
+    }
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace smg::bench

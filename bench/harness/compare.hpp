@@ -1,0 +1,79 @@
+// Baseline-vs-candidate comparison of two smg-bench-v1 documents with
+// noise-aware per-metric thresholds — the regression gate behind
+// `bench_compare` and the CI perf-smoke job.
+//
+// Verdict rule (for a better=lower metric; higher mirrors it):
+//   * the effective tolerance widens with measured noise:
+//       eff_tol = max(tol, noise_mult * max(rel_iqr(base), rel_iqr(cand)))
+//     where rel_iqr = IQR / median of the recorded samples, so a metric
+//     that jitters 10% run-to-run is never gated at a 5% threshold;
+//   * REGRESSED needs BOTH the median and the min to move past eff_tol
+//     (min is the classic noise-robust point estimate; requiring both
+//     filters one-sided scheduler noise), and for timed metrics the
+//     absolute median delta must also exceed min_abs_s — sub-50µs swings
+//     are clock jitter, not regressions;
+//   * better=none metrics are informational, unless marked gate:true — a
+//     gated direction-less metric regresses on ANY move beyond eff_tol
+//     (two-sided), for "must not drift" quantities like model constants;
+//   * only metrics with "gate": true fail the exit code by default
+//     (--all gates every lower/higher metric).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace smg::bench {
+
+enum class Verdict { Ok, Improved, Regressed, New, Missing, Info };
+
+std::string_view to_string(Verdict v) noexcept;
+
+struct CompareOptions {
+  double tol = 0.02;        ///< rel. tolerance for value metrics
+  double time_tol = 0.10;   ///< rel. tolerance for timed metrics
+  double noise_mult = 4.0;  ///< eff_tol >= noise_mult * relative IQR
+  double min_abs_s = 5e-5;  ///< absolute floor for timed deltas (seconds)
+  bool gate_time = true;    ///< let timed metrics fail the exit code
+  bool gate_all = false;    ///< gate every directional metric, not just
+                            ///< those marked "gate": true
+};
+
+struct MetricDelta {
+  std::string bench;
+  std::string metric;
+  std::string unit;
+  Verdict verdict = Verdict::Ok;
+  bool gated = false;        ///< counted toward the exit code
+  double base_median = 0.0;
+  double cand_median = 0.0;
+  double rel_delta = 0.0;    ///< (cand - base) / |base|, 0 when base == 0
+  double eff_tol = 0.0;      ///< the noise-widened threshold applied
+};
+
+struct CompareResult {
+  std::vector<MetricDelta> deltas;
+  std::vector<std::string> errors;  ///< schema problems; non-empty = unusable
+  int regressions = 0;  ///< gated REGRESSED count (plus gated missing)
+  int improvements = 0;
+  /// Benchmarks whose "ok" flag went true -> false.
+  std::vector<std::string> broke;
+};
+
+/// Compare two parsed documents.  Both are schema-validated first.
+CompareResult compare_documents(const obs::JsonValue& baseline,
+                                const obs::JsonValue& candidate,
+                                const CompareOptions& opts);
+
+/// Render the delta table as GitHub-flavored markdown (for PR comments).
+std::string to_markdown(const CompareResult& r);
+
+/// Render a compact fixed-width text report.
+std::string to_text(const CompareResult& r);
+
+/// True when the comparison should fail (schema errors, any gated
+/// regression, or a benchmark that flipped to not-ok).
+bool has_failures(const CompareResult& r);
+
+}  // namespace smg::bench

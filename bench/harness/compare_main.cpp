@@ -1,0 +1,152 @@
+// bench_compare: noise-aware regression gate over two smg-bench-v1
+// documents (see harness/compare.hpp for the verdict rule).
+//
+//   bench_compare baseline.json candidate.json
+//   bench_compare base.json cand.json --markdown delta.md --no-gate-time
+//
+// Exit code: 0 no gated regressions, 1 regression(s) or newly-failing
+// benches, 2 usage/schema/IO errors.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "harness/cli.hpp"
+#include "harness/compare.hpp"
+#include "obs/report.hpp"
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    return false;
+  }
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+/// Warn (stderr, non-fatal) when the two documents are apples-to-oranges
+/// in a way the schema can detect: different build types, or smoke vs
+/// paper problem sizes.
+void warn_on_mismatch(const smg::obs::JsonValue& base,
+                      const smg::obs::JsonValue& cand) {
+  const auto str_at = [](const smg::obs::JsonValue& doc, const char* section,
+                         const char* key) -> std::string {
+    const auto* s = doc.find(section);
+    const auto* v = s != nullptr ? s->find(key) : nullptr;
+    return v != nullptr && v->is_string() ? v->as_string() : std::string();
+  };
+  const auto bool_at = [](const smg::obs::JsonValue& doc, const char* section,
+                          const char* key) {
+    const auto* s = doc.find(section);
+    const auto* v = s != nullptr ? s->find(key) : nullptr;
+    return v != nullptr && v->is_bool() && v->as_bool();
+  };
+  const std::string bt_base = str_at(base, "environment", "build_type");
+  const std::string bt_cand = str_at(cand, "environment", "build_type");
+  if (bt_base != bt_cand) {
+    std::fprintf(stderr,
+                 "bench_compare: warning: build_type differs (baseline %s, "
+                 "candidate %s) -- timings are not comparable\n",
+                 bt_base.c_str(), bt_cand.c_str());
+  }
+  if (bool_at(base, "protocol", "smoke") != bool_at(cand, "protocol",
+                                                    "smoke")) {
+    std::fprintf(stderr,
+                 "bench_compare: warning: one document is a smoke run and "
+                 "the other is not -- problem sizes differ\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace smg::bench;
+
+  Cli cli("bench_compare <baseline.json> <candidate.json>",
+          "Compare two smg-bench-v1 documents and gate on regressions.\n"
+          "Thresholds widen automatically with the recorded run-to-run\n"
+          "noise (IQR) of each metric; see docs/BENCH_SCHEMA.md.",
+          {
+              {"tol", true, "FRAC",
+               "relative tolerance for value metrics (default 0.02)"},
+              {"time-tol", true, "FRAC",
+               "relative tolerance for timed metrics (default 0.10)"},
+              {"noise-mult", true, "K",
+               "tolerance floor = K * relative IQR (default 4)"},
+              {"min-abs-s", true, "SEC",
+               "ignore timed deltas below this many seconds (default 5e-5)"},
+              {"no-gate-time", false, "",
+               "report timed metrics but never fail on them (use when\n"
+               "                      baseline and candidate ran on "
+               "different hosts)"},
+              {"all", false, "",
+               "gate every directional metric, not just gate:true ones"},
+              {"markdown", true, "PATH",
+               "also write the delta table as GitHub markdown"},
+              {"quiet", false, "", "suppress the text report on stdout"},
+          });
+  if (!cli.parse(argc, argv, /*max_positional=*/2)) {
+    std::fprintf(stderr, "bench_compare: %s\n", cli.error().c_str());
+    return 2;
+  }
+  if (cli.help_requested()) {
+    std::printf("%s", cli.usage().c_str());
+    return 0;
+  }
+  if (cli.positional().size() != 2) {
+    std::fprintf(stderr,
+                 "bench_compare: expected <baseline.json> <candidate.json> "
+                 "(see --help)\n");
+    return 2;
+  }
+
+  std::string base_text, cand_text;
+  if (!read_file(cli.positional()[0], base_text)) {
+    std::fprintf(stderr, "bench_compare: cannot read %s\n",
+                 cli.positional()[0].c_str());
+    return 2;
+  }
+  if (!read_file(cli.positional()[1], cand_text)) {
+    std::fprintf(stderr, "bench_compare: cannot read %s\n",
+                 cli.positional()[1].c_str());
+    return 2;
+  }
+  const auto base = smg::obs::json_parse(base_text);
+  const auto cand = smg::obs::json_parse(cand_text);
+  if (!base || !cand) {
+    std::fprintf(stderr, "bench_compare: %s is not valid JSON\n",
+                 (!base ? cli.positional()[0] : cli.positional()[1]).c_str());
+    return 2;
+  }
+
+  CompareOptions opts;
+  opts.tol = cli.value_or("tol", opts.tol);
+  opts.time_tol = cli.value_or("time-tol", opts.time_tol);
+  opts.noise_mult = cli.value_or("noise-mult", opts.noise_mult);
+  opts.min_abs_s = cli.value_or("min-abs-s", opts.min_abs_s);
+  opts.gate_time = !cli.has("no-gate-time");
+  opts.gate_all = cli.has("all");
+
+  warn_on_mismatch(*base, *cand);
+  const CompareResult r = compare_documents(*base, *cand, opts);
+  if (!r.errors.empty()) {
+    for (const std::string& e : r.errors) {
+      std::fprintf(stderr, "bench_compare: %s\n", e.c_str());
+    }
+    return 2;
+  }
+  if (!cli.has("quiet")) {
+    std::printf("%s", to_text(r).c_str());
+  }
+  if (const auto md = cli.value("markdown"); md) {
+    if (!smg::obs::write_text_file(*md, to_markdown(r))) {
+      std::fprintf(stderr, "bench_compare: cannot write %s\n", md->c_str());
+      return 2;
+    }
+  }
+  return has_failures(r) ? 1 : 0;
+}

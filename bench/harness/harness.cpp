@@ -1,0 +1,414 @@
+#include "harness/harness.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <exception>
+
+#include "bench_common.hpp"
+#include "perfmodel/stream.hpp"
+#include "util/timer.hpp"
+
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace smg::bench {
+
+std::string_view to_string(Better b) noexcept {
+  switch (b) {
+    case Better::Lower:
+      return "lower";
+    case Better::Higher:
+      return "higher";
+    case Better::None:
+      return "none";
+  }
+  return "none";
+}
+
+namespace {
+
+std::vector<BenchInfo>& registry() {
+  static std::vector<BenchInfo> r;
+  return r;
+}
+
+double env_double(const char* name, double def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') {
+    return def;
+  }
+  char* end = nullptr;
+  const double x = std::strtod(v, &end);
+  return (end != nullptr && *end == '\0') ? x : def;
+}
+
+}  // namespace
+
+int register_bench(BenchInfo info) {
+  registry().push_back(std::move(info));
+  return static_cast<int>(registry().size()) - 1;
+}
+
+const std::vector<BenchInfo>& registered_benches() { return registry(); }
+
+RunOptions options_from_env(RunOptions base) {
+  base.warmup = static_cast<int>(env_double("SMG_BENCH_WARMUP",
+                                            base.warmup));
+  base.repeats = std::max(
+      1, static_cast<int>(env_double("SMG_BENCH_REPEATS", base.repeats)));
+  base.iqr_k = env_double("SMG_BENCH_IQR_K", base.iqr_k);
+  base.stream_n = static_cast<std::size_t>(env_double(
+      "SMG_BENCH_STREAM_N", static_cast<double>(base.stream_n)));
+  return base;
+}
+
+Box Context::box(std::string_view problem) const {
+  Box b = default_box(problem);
+  if (opts_.smoke) {
+    b.nx = std::max(12, b.nx / 2);
+    b.ny = std::max(12, b.ny / 2);
+    b.nz = std::max(12, b.nz / 2);
+  }
+  return b;
+}
+
+double Context::time(const std::string& name,
+                     const std::function<void()>& fn, bool gate) {
+  for (int w = 0; w < opts_.warmup; ++w) {
+    fn();
+  }
+  std::vector<double> xs;
+  xs.reserve(static_cast<std::size_t>(opts_.repeats));
+  for (int r = 0; r < opts_.repeats; ++r) {
+    Timer t;
+    fn();
+    xs.push_back(t.seconds());
+  }
+  const double best = *std::min_element(xs.begin(), xs.end());
+  samples(name, std::move(xs), "s", Better::Lower, gate, /*timed=*/true);
+  return best;
+}
+
+void Context::samples(const std::string& name, std::vector<double> xs,
+                      const std::string& unit, Better better, bool gate,
+                      bool timed) {
+  MetricResult m;
+  m.name = name;
+  m.unit = unit;
+  m.better = better;
+  m.gate = gate;
+  m.timed = timed;
+  m.samples = std::move(xs);
+  metrics_.push_back(std::move(m));
+}
+
+void Context::value(const std::string& name, double v,
+                    const std::string& unit, Better better, bool gate) {
+  samples(name, {v}, unit, better, gate, /*timed=*/false);
+}
+
+void Context::fail(const std::string& why) { failures_.push_back(why); }
+
+BenchRun run_bench(const BenchInfo& info, const RunOptions& opts) {
+  BenchRun out;
+  out.name = info.name;
+  out.paper_ref = info.paper_ref;
+  Context ctx(opts);
+  Timer t;
+  try {
+    info.fn(ctx);
+  } catch (const std::exception& e) {
+    ctx.fail(std::string("exception: ") + e.what());
+  } catch (...) {
+    ctx.fail("unknown exception");
+  }
+  out.wall_seconds = t.seconds();
+  out.ok = ctx.ok();
+  out.metrics = ctx.metrics();
+  out.failures = ctx.failures();
+  return out;
+}
+
+obs::JsonValue capture_environment(const RunOptions& opts) {
+  using obs::JsonValue;
+  JsonValue env = JsonValue::object();
+#if defined(SMG_GIT_SHA)
+  env.set("git_sha", JsonValue(std::string(SMG_GIT_SHA)));
+#else
+  env.set("git_sha", JsonValue(std::string("unknown")));
+#endif
+#if defined(SMG_GIT_DIRTY)
+  env.set("git_dirty", JsonValue(SMG_GIT_DIRTY != 0));
+#else
+  env.set("git_dirty", JsonValue(false));
+#endif
+#if defined(SMG_CXX_COMPILER_ID)
+  env.set("compiler_id", JsonValue(std::string(SMG_CXX_COMPILER_ID)));
+#else
+  env.set("compiler_id", JsonValue(std::string("unknown")));
+#endif
+#if defined(__VERSION__)
+  env.set("compiler", JsonValue(std::string(__VERSION__)));
+#else
+  env.set("compiler", JsonValue(std::string("unknown")));
+#endif
+#if defined(SMG_CXX_FLAGS)
+  env.set("cxx_flags", JsonValue(std::string(SMG_CXX_FLAGS)));
+#else
+  env.set("cxx_flags", JsonValue(std::string("")));
+#endif
+#if defined(SMG_BUILD_TYPE)
+  env.set("build_type", JsonValue(std::string(SMG_BUILD_TYPE)));
+#else
+  env.set("build_type", JsonValue(std::string("unknown")));
+#endif
+#if defined(SMG_SIMD_AVX2)
+  env.set("simd", JsonValue(true));
+#else
+  env.set("simd", JsonValue(false));
+#endif
+#if defined(_OPENMP)
+  env.set("openmp", JsonValue(true));
+  env.set("omp_max_threads",
+          JsonValue(static_cast<double>(omp_get_max_threads())));
+#else
+  env.set("openmp", JsonValue(false));
+  env.set("omp_max_threads", JsonValue(1.0));
+#endif
+  {
+    char host[256] = "unknown";
+#if defined(__unix__) || defined(__APPLE__)
+    if (gethostname(host, sizeof(host)) != 0) {
+      std::snprintf(host, sizeof(host), "unknown");
+    }
+    host[sizeof(host) - 1] = '\0';
+#endif
+    env.set("hostname", JsonValue(std::string(host)));
+  }
+  {
+    char stamp[32] = "unknown";
+    const std::time_t now = std::time(nullptr);
+    std::tm tm_utc{};
+#if defined(_WIN32)
+    gmtime_s(&tm_utc, &now);
+#else
+    gmtime_r(&now, &tm_utc);
+#endif
+    std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+    env.set("timestamp_utc", JsonValue(std::string(stamp)));
+  }
+  if (opts.stream_n > 0) {
+    const StreamResult s = measure_stream(opts.stream_n);
+    env.set("stream_triad_gbs", JsonValue(s.triad_gbs));
+    env.set("stream_copy_gbs", JsonValue(s.copy_gbs));
+  } else {
+    env.set("stream_triad_gbs", JsonValue(0.0));
+    env.set("stream_copy_gbs", JsonValue(0.0));
+  }
+  return env;
+}
+
+obs::JsonValue make_document(const std::string& suite_name,
+                             const RunOptions& opts,
+                             const obs::JsonValue& environment,
+                             const std::vector<BenchRun>& runs) {
+  using obs::JsonValue;
+  JsonValue doc = JsonValue::object();
+  doc.set("schema", JsonValue(std::string(kBenchSchema)));
+  doc.set("suite", JsonValue(suite_name));
+  doc.set("environment", environment);
+
+  JsonValue protocol = JsonValue::object();
+  protocol.set("warmup", JsonValue(static_cast<double>(opts.warmup)));
+  protocol.set("repeats", JsonValue(static_cast<double>(opts.repeats)));
+  protocol.set("outlier_iqr_k", JsonValue(opts.iqr_k));
+  protocol.set("smoke", JsonValue(opts.smoke));
+  doc.set("protocol", protocol);
+
+  JsonValue benches = JsonValue::array();
+  for (const BenchRun& run : runs) {
+    JsonValue b = JsonValue::object();
+    b.set("name", JsonValue(run.name));
+    b.set("paper_ref", JsonValue(run.paper_ref));
+    b.set("ok", JsonValue(run.ok));
+    b.set("wall_seconds", JsonValue(run.wall_seconds));
+    if (!run.failures.empty()) {
+      JsonValue fs = JsonValue::array();
+      for (const std::string& f : run.failures) {
+        fs.push_back(JsonValue(f));
+      }
+      b.set("failures", fs);
+    }
+    JsonValue metrics = JsonValue::array();
+    for (const MetricResult& m : run.metrics) {
+      const SampleStats s =
+          compute_stats({m.samples.data(), m.samples.size()}, opts.iqr_k);
+      JsonValue jm = JsonValue::object();
+      jm.set("name", JsonValue(m.name));
+      jm.set("unit", JsonValue(m.unit));
+      jm.set("better", JsonValue(std::string(to_string(m.better))));
+      jm.set("kind", JsonValue(std::string(m.timed ? "time" : "value")));
+      jm.set("gate", JsonValue(m.gate));
+      jm.set("n", JsonValue(static_cast<double>(s.n)));
+      jm.set("rejected", JsonValue(static_cast<double>(s.rejected)));
+      jm.set("min", JsonValue(s.min));
+      jm.set("max", JsonValue(s.max));
+      jm.set("mean", JsonValue(s.mean));
+      jm.set("median", JsonValue(s.median));
+      jm.set("q1", JsonValue(s.q1));
+      jm.set("q3", JsonValue(s.q3));
+      jm.set("iqr", JsonValue(s.iqr));
+      JsonValue xs = JsonValue::array();
+      for (double x : m.samples) {
+        xs.push_back(JsonValue(x));
+      }
+      jm.set("samples", xs);
+      metrics.push_back(std::move(jm));
+    }
+    b.set("metrics", metrics);
+    benches.push_back(std::move(b));
+  }
+  doc.set("benchmarks", benches);
+  return doc;
+}
+
+namespace {
+
+void require(std::vector<std::string>& errors, bool cond,
+             const std::string& what) {
+  if (!cond) {
+    errors.push_back(what);
+  }
+}
+
+bool is_num(const obs::JsonValue* v) {
+  return v != nullptr && v->is_number();
+}
+bool is_str(const obs::JsonValue* v) {
+  return v != nullptr && v->is_string();
+}
+bool is_bool(const obs::JsonValue* v) {
+  return v != nullptr && v->is_bool();
+}
+
+}  // namespace
+
+std::vector<std::string> validate_bench_document(const obs::JsonValue& doc) {
+  std::vector<std::string> errors;
+  if (!doc.is_object()) {
+    return {"document root is not an object"};
+  }
+  const obs::JsonValue* schema = doc.find("schema");
+  require(errors, is_str(schema) && schema->as_string() == kBenchSchema,
+          std::string("schema must be \"") + kBenchSchema + "\"");
+  require(errors, is_str(doc.find("suite")), "suite must be a string");
+
+  const obs::JsonValue* env = doc.find("environment");
+  if (env == nullptr || !env->is_object()) {
+    errors.push_back("environment must be an object");
+  } else {
+    for (const char* k : {"git_sha", "compiler", "compiler_id", "cxx_flags",
+                          "build_type", "hostname", "timestamp_utc"}) {
+      require(errors, is_str(env->find(k)),
+              std::string("environment.") + k + " must be a string");
+    }
+    for (const char* k : {"git_dirty", "simd", "openmp"}) {
+      require(errors, is_bool(env->find(k)),
+              std::string("environment.") + k + " must be a bool");
+    }
+    for (const char* k :
+         {"omp_max_threads", "stream_triad_gbs", "stream_copy_gbs"}) {
+      require(errors, is_num(env->find(k)),
+              std::string("environment.") + k + " must be a number");
+    }
+  }
+
+  const obs::JsonValue* protocol = doc.find("protocol");
+  if (protocol == nullptr || !protocol->is_object()) {
+    errors.push_back("protocol must be an object");
+  } else {
+    for (const char* k : {"warmup", "repeats", "outlier_iqr_k"}) {
+      require(errors, is_num(protocol->find(k)),
+              std::string("protocol.") + k + " must be a number");
+    }
+    require(errors, is_bool(protocol->find("smoke")),
+            "protocol.smoke must be a bool");
+  }
+
+  const obs::JsonValue* benches = doc.find("benchmarks");
+  if (benches == nullptr || !benches->is_array()) {
+    errors.push_back("benchmarks must be an array");
+    return errors;
+  }
+  for (const obs::JsonValue& b : benches->items()) {
+    if (!b.is_object()) {
+      errors.push_back("benchmarks[] entry is not an object");
+      continue;
+    }
+    const std::string bname =
+        is_str(b.find("name")) ? b.find("name")->as_string() : "<unnamed>";
+    require(errors, is_str(b.find("name")), "benchmark name missing");
+    require(errors, is_str(b.find("paper_ref")),
+            bname + ": paper_ref must be a string");
+    require(errors, is_bool(b.find("ok")), bname + ": ok must be a bool");
+    require(errors, is_num(b.find("wall_seconds")),
+            bname + ": wall_seconds must be a number");
+    const obs::JsonValue* metrics = b.find("metrics");
+    if (metrics == nullptr || !metrics->is_array()) {
+      errors.push_back(bname + ": metrics must be an array");
+      continue;
+    }
+    for (const obs::JsonValue& m : metrics->items()) {
+      if (!m.is_object()) {
+        errors.push_back(bname + ": metrics[] entry is not an object");
+        continue;
+      }
+      const std::string mname = is_str(m.find("name"))
+                                    ? m.find("name")->as_string()
+                                    : "<unnamed>";
+      const std::string where = bname + "." + mname;
+      require(errors, is_str(m.find("name")), where + ": name missing");
+      require(errors, is_str(m.find("unit")), where + ": unit missing");
+      const obs::JsonValue* better = m.find("better");
+      require(errors,
+              is_str(better) && (better->as_string() == "lower" ||
+                                 better->as_string() == "higher" ||
+                                 better->as_string() == "none"),
+              where + ": better must be lower|higher|none");
+      const obs::JsonValue* kind = m.find("kind");
+      require(errors,
+              is_str(kind) && (kind->as_string() == "time" ||
+                               kind->as_string() == "value"),
+              where + ": kind must be time|value");
+      require(errors, is_bool(m.find("gate")),
+              where + ": gate must be a bool");
+      for (const char* k : {"n", "rejected", "min", "max", "mean", "median",
+                            "q1", "q3", "iqr"}) {
+        require(errors, is_num(m.find(k)),
+                where + ": " + k + " must be a number");
+      }
+      const obs::JsonValue* samples = m.find("samples");
+      if (samples == nullptr || !samples->is_array() ||
+          samples->items().empty()) {
+        errors.push_back(where + ": samples must be a non-empty array");
+      } else {
+        for (const obs::JsonValue& s : samples->items()) {
+          if (!s.is_number()) {
+            errors.push_back(where + ": samples must all be numbers");
+            break;
+          }
+        }
+      }
+    }
+  }
+  return errors;
+}
+
+}  // namespace smg::bench

@@ -1,0 +1,159 @@
+// Benchmark-harness runner library: suite registry, fixed warmup+repeat
+// measurement protocol, environment capture, and schema-versioned JSON
+// emission ("smg-bench-v1", docs/BENCH_SCHEMA.md).
+//
+// Every paper-reproduction bench registers one entry point with SMG_BENCH;
+// the same translation unit then builds two ways:
+//   * standalone (fig9_thread_scaling, ...) via harness/standalone_main.cpp,
+//     keeping the historical one-binary-per-figure workflow, and
+//   * aggregated into bench_runner (harness/runner_main.cpp), which runs a
+//     whole suite and emits one BENCH_<suite>.json perf-trajectory document
+//     that bench_compare gates PRs against.
+//
+// Benches keep printing their paper-style tables to stdout; metrics
+// recorded through Context are what lands in the JSON.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "grid/box.hpp"
+#include "harness/stats.hpp"
+#include "obs/json.hpp"
+
+namespace smg::bench {
+
+inline constexpr const char* kBenchSchema = "smg-bench-v1";
+
+/// Suite membership bit flags.  smoke = fast, reduced problem sizes, runs
+/// in CI on every PR; paper = the full figure/table reproductions.
+enum Suite : unsigned {
+  kSmoke = 1u << 0,
+  kPaper = 1u << 1,
+};
+
+enum class Better { Lower, Higher, None };
+
+std::string_view to_string(Better b) noexcept;
+
+/// One recorded metric.  `samples` keeps every repeat so the document can
+/// be re-analyzed; the emitted JSON adds the SampleStats summary.
+struct MetricResult {
+  std::string name;  ///< hierarchical, e.g. "rhd/t2/symgs_ms"
+  std::string unit;  ///< "s", "ms", "x", "iters", "%", "mb", ...
+  Better better = Better::Lower;
+  bool timed = false;  ///< produced by the warmup+repeat protocol
+  /// Hard-gated by bench_compare: a significant move in the bad direction
+  /// fails the comparison.  Reserve for machine-independent quantities
+  /// (iteration counts, modeled bytes, representability fractions) unless
+  /// baselines are recorded on the same host.
+  bool gate = false;
+  std::vector<double> samples;
+};
+
+struct RunOptions {
+  bool smoke = false;  ///< reduced problem sizes (Context::box halves dims)
+  int warmup = 1;      ///< discarded runs before sampling
+  int repeats = 5;     ///< recorded samples per timed metric
+  double iqr_k = 1.5;  ///< Tukey fence factor for outlier rejection
+  /// STREAM probe array length in doubles (0 skips the probe).
+  std::size_t stream_n = std::size_t{1} << 23;
+};
+
+/// Defaults above overridden by SMG_BENCH_WARMUP / SMG_BENCH_REPEATS /
+/// SMG_BENCH_IQR_K / SMG_BENCH_STREAM_N (see EXPERIMENTS.md); CLI flags
+/// override the environment in the mains.
+RunOptions options_from_env(RunOptions base = {});
+
+/// Handed to every registered bench: problem scaling, the measurement
+/// protocol, and the metric sink.
+class Context {
+ public:
+  explicit Context(RunOptions opts) : opts_(opts) {}
+
+  const RunOptions& opts() const { return opts_; }
+  bool smoke() const { return opts_.smoke; }
+
+  /// Host-scaled box for a registered problem (bench_common default_box);
+  /// smoke mode halves every dimension (floor 12) so suites finish in
+  /// CI-friendly time while keeping multi-level hierarchies.
+  Box box(std::string_view problem) const;
+
+  /// Fixed warmup+repeat protocol: run `fn` opts().warmup times unrecorded,
+  /// then opts().repeats times recording wall seconds per run.  Records a
+  /// timed metric (unit "s", lower is better) and returns the minimum
+  /// sample — the conventional noise-robust point estimate.
+  double time(const std::string& name, const std::function<void()>& fn,
+              bool gate = false);
+
+  /// Record externally measured samples (benches with bespoke inner loops).
+  void samples(const std::string& name, std::vector<double> xs,
+               const std::string& unit, Better better = Better::Lower,
+               bool gate = false, bool timed = true);
+
+  /// Record a single derived value (iteration count, speedup, modeled MB).
+  void value(const std::string& name, double v, const std::string& unit,
+             Better better = Better::None, bool gate = false);
+
+  /// Mark this bench run failed (e.g. a self-check found divergence);
+  /// recorded in JSON ("ok": false) and turned into a nonzero exit code.
+  void fail(const std::string& why);
+
+  const std::vector<MetricResult>& metrics() const { return metrics_; }
+  bool ok() const { return failures_.empty(); }
+  const std::vector<std::string>& failures() const { return failures_; }
+
+ private:
+  RunOptions opts_;
+  std::vector<MetricResult> metrics_;
+  std::vector<std::string> failures_;
+};
+
+struct BenchInfo {
+  std::string name;
+  std::string paper_ref;  ///< which figure/table of the paper it reproduces
+  unsigned suites = kPaper;
+  void (*fn)(Context&) = nullptr;
+};
+
+/// Static-initializer registration; returns the registry index.
+int register_bench(BenchInfo info);
+const std::vector<BenchInfo>& registered_benches();
+
+#define SMG_BENCH(ident, ref, suites)                                     \
+  static void ident##_run(::smg::bench::Context& ctx);                    \
+  static const int ident##_registered = ::smg::bench::register_bench(     \
+      {#ident, ref, (suites), &ident##_run});                             \
+  static void ident##_run([[maybe_unused]] ::smg::bench::Context& ctx)
+
+/// Result of running one registered bench.
+struct BenchRun {
+  std::string name;
+  std::string paper_ref;
+  bool ok = true;
+  double wall_seconds = 0.0;
+  std::vector<MetricResult> metrics;
+  std::vector<std::string> failures;
+};
+
+/// Execute one bench under the protocol; never throws (a bench exception
+/// becomes ok=false with the message in failures).
+BenchRun run_bench(const BenchInfo& info, const RunOptions& opts);
+
+/// Build-and-host environment block of the JSON document.  Runs the STREAM
+/// probe (src/perfmodel) unless opts.stream_n == 0.
+obs::JsonValue capture_environment(const RunOptions& opts);
+
+/// Assemble the schema-versioned document.  `suite_name` is "smoke",
+/// "paper", or "standalone".
+obs::JsonValue make_document(const std::string& suite_name,
+                             const RunOptions& opts,
+                             const obs::JsonValue& environment,
+                             const std::vector<BenchRun>& runs);
+
+/// Structural validation against docs/BENCH_SCHEMA.md; returns a list of
+/// human-readable problems, empty when the document is schema-valid.
+std::vector<std::string> validate_bench_document(const obs::JsonValue& doc);
+
+}  // namespace smg::bench

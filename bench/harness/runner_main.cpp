@@ -1,0 +1,126 @@
+// bench_runner: run a benchmark suite and emit one BENCH_<suite>.json
+// perf-trajectory document (schema smg-bench-v1, docs/BENCH_SCHEMA.md).
+//
+//   bench_runner --suite smoke --json BENCH_smoke.json
+//   bench_runner --suite paper --json BENCH_paper.json --no-stream
+//   bench_runner --bench fig9_thread_scaling --list ...
+//
+// Exit code: 0 on success, 1 when any bench failed a self-check, 2 on
+// usage/IO errors.
+#include <cstdio>
+#include <string>
+
+#include "harness/cli.hpp"
+#include "harness/harness.hpp"
+#include "obs/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace smg::bench;
+
+  Cli cli("bench_runner",
+          "Run a StructMG-FP16 benchmark suite and emit a schema-versioned\n"
+          "BENCH_<suite>.json document (see docs/BENCH_SCHEMA.md and\n"
+          "docs/REPRODUCING.md).",
+          {
+              {"suite", true, "NAME", "suite to run: smoke | paper"},
+              {"bench", true, "NAME",
+               "run a single registered bench (overrides --suite)"},
+              {"json", true, "PATH", "write the smg-bench-v1 document here"},
+              {"list", false, "", "list registered benches and exit"},
+              {"repeats", true, "N", "samples per timed metric (default 5)"},
+              {"warmup", true, "N", "discarded warmup runs (default 1)"},
+              {"no-stream", false, "",
+               "skip the STREAM bandwidth probe in environment capture"},
+          });
+  if (!cli.parse(argc, argv)) {
+    std::fprintf(stderr, "bench_runner: %s\n", cli.error().c_str());
+    return 2;
+  }
+  if (cli.help_requested()) {
+    std::printf("%s", cli.usage().c_str());
+    return 0;
+  }
+
+  if (cli.has("list")) {
+    for (const BenchInfo& b : registered_benches()) {
+      std::printf("%-28s suites:%s%s  %s\n", b.name.c_str(),
+                  (b.suites & kSmoke) ? " smoke" : "",
+                  (b.suites & kPaper) ? " paper" : "", b.paper_ref.c_str());
+    }
+    return 0;
+  }
+
+  const std::string suite = cli.value_or("suite", std::string("smoke"));
+  const std::string only = cli.value_or("bench", std::string(""));
+  unsigned suite_mask = 0;
+  if (only.empty()) {
+    if (suite == "smoke") {
+      suite_mask = kSmoke;
+    } else if (suite == "paper") {
+      suite_mask = kPaper;
+    } else {
+      std::fprintf(stderr, "bench_runner: unknown suite '%s' (smoke|paper)\n",
+                   suite.c_str());
+      return 2;
+    }
+  }
+
+  RunOptions opts = options_from_env();
+  opts.smoke = only.empty() ? suite == "smoke" : false;
+  opts.repeats = static_cast<int>(cli.value_or("repeats", opts.repeats));
+  opts.warmup = static_cast<int>(cli.value_or("warmup", opts.warmup));
+  if (cli.has("no-stream")) {
+    opts.stream_n = 0;
+  }
+
+  std::vector<BenchRun> runs;
+  bool all_ok = true;
+  bool matched = false;
+  for (const BenchInfo& b : registered_benches()) {
+    if (only.empty() ? (b.suites & suite_mask) == 0 : b.name != only) {
+      continue;
+    }
+    matched = true;
+    std::printf("\n########## %s ##########\n", b.name.c_str());
+    BenchRun run = run_bench(b, opts);
+    if (!run.ok) {
+      all_ok = false;
+      for (const std::string& f : run.failures) {
+        std::fprintf(stderr, "bench_runner: %s FAILED: %s\n",
+                     b.name.c_str(), f.c_str());
+      }
+    }
+    std::printf("[%s: %.2fs, %zu metric(s), %s]\n", b.name.c_str(),
+                run.wall_seconds, run.metrics.size(),
+                run.ok ? "ok" : "FAILED");
+    runs.push_back(std::move(run));
+  }
+  if (!matched) {
+    std::fprintf(stderr, "bench_runner: nothing matched (try --list)\n");
+    return 2;
+  }
+
+  const std::string json_path = cli.value_or("json", std::string(""));
+  if (!json_path.empty()) {
+    const smg::obs::JsonValue env = capture_environment(opts);
+    const smg::obs::JsonValue doc =
+        make_document(only.empty() ? suite : "standalone", opts, env, runs);
+    const auto errors = validate_bench_document(doc);
+    for (const std::string& e : errors) {
+      std::fprintf(stderr, "bench_runner: schema self-check: %s\n",
+                   e.c_str());
+    }
+    if (!errors.empty()) {
+      return 2;
+    }
+    if (!smg::obs::write_text_file(json_path,
+                                   smg::obs::json_write(doc, 1) + "\n")) {
+      std::fprintf(stderr, "bench_runner: cannot write %s\n",
+                   json_path.c_str());
+      return 2;
+    }
+    std::printf("\nwrote %s (%s, %zu benchmark(s))\n", json_path.c_str(),
+                kBenchSchema, runs.size());
+  }
+  return all_ok ? 0 : 1;
+}

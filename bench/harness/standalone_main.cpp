@@ -1,0 +1,80 @@
+// Shared main() for the standalone paper-reproduction binaries
+// (fig1_value_distributions, tab2_format_bounds, ...).  Each binary links
+// exactly one SMG_BENCH translation unit plus this file, so every bench
+// gets the same CLI contract (--help, --json, unknown flags are errors)
+// instead of the previous per-binary ad-hoc parsing.
+#include <cstdio>
+#include <string>
+
+#include "harness/cli.hpp"
+#include "harness/harness.hpp"
+#include "obs/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace smg::bench;
+
+  const auto& benches = registered_benches();
+  if (benches.empty()) {
+    std::fprintf(stderr, "no bench registered in this binary\n");
+    return 2;
+  }
+
+  std::string description = "Paper-reproduction benchmark";
+  if (benches.size() == 1) {
+    description = std::string("Reproduces: ") + benches.front().paper_ref;
+  }
+  Cli cli(argv != nullptr && argc > 0 ? argv[0] : "bench", description,
+          {
+              {"json", true, "PATH",
+               "write an smg-bench-v1 document for this bench"},
+              {"smoke", false, "",
+               "reduced problem sizes (the CI smoke-suite scale)"},
+              {"repeats", true, "N", "samples per timed metric (default 5)"},
+              {"warmup", true, "N", "discarded warmup runs (default 1)"},
+              {"no-stream", false, "",
+               "skip the STREAM probe when emitting --json"},
+          });
+  if (!cli.parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n", cli.error().c_str());
+    return 2;
+  }
+  if (cli.help_requested()) {
+    std::printf("%s", cli.usage().c_str());
+    return 0;
+  }
+
+  RunOptions opts = options_from_env();
+  opts.smoke = cli.has("smoke");
+  opts.repeats = static_cast<int>(cli.value_or("repeats", opts.repeats));
+  opts.warmup = static_cast<int>(cli.value_or("warmup", opts.warmup));
+  const std::string json_path = cli.value_or("json", std::string(""));
+  if (cli.has("no-stream") || json_path.empty()) {
+    opts.stream_n = 0;
+  }
+
+  std::vector<BenchRun> runs;
+  bool all_ok = true;
+  for (const BenchInfo& b : benches) {
+    BenchRun run = run_bench(b, opts);
+    if (!run.ok) {
+      all_ok = false;
+      for (const std::string& f : run.failures) {
+        std::fprintf(stderr, "%s FAILED: %s\n", b.name.c_str(), f.c_str());
+      }
+    }
+    runs.push_back(std::move(run));
+  }
+
+  if (!json_path.empty()) {
+    const smg::obs::JsonValue env = capture_environment(opts);
+    const smg::obs::JsonValue doc =
+        make_document("standalone", opts, env, runs);
+    if (!smg::obs::write_text_file(json_path,
+                                   smg::obs::json_write(doc, 1) + "\n")) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+  return all_ok ? 0 : 1;
+}

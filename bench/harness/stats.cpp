@@ -1,0 +1,70 @@
+#include "harness/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smg::bench {
+
+namespace {
+
+/// p in [0,100] over an already-sorted sample vector.
+double sorted_percentile(const std::vector<double>& xs, double p) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+}  // namespace
+
+SampleStats compute_stats(std::span<const double> samples, double iqr_k) {
+  SampleStats out;
+  if (samples.empty()) {
+    return out;
+  }
+  std::vector<double> xs(samples.begin(), samples.end());
+  std::sort(xs.begin(), xs.end());
+
+  out.q1 = sorted_percentile(xs, 25.0);
+  out.q3 = sorted_percentile(xs, 75.0);
+  out.iqr = out.q3 - out.q1;
+
+  std::vector<double> kept;
+  kept.reserve(xs.size());
+  if (iqr_k > 0.0 && xs.size() >= 4) {
+    const double lo = out.q1 - iqr_k * out.iqr;
+    const double hi = out.q3 + iqr_k * out.iqr;
+    for (double x : xs) {
+      if (x >= lo && x <= hi) {
+        kept.push_back(x);
+      }
+    }
+  }
+  if (kept.empty()) {
+    kept = xs;  // rejection disabled, tiny sample, or it rejected everything
+  }
+  out.n = static_cast<int>(kept.size());
+  out.rejected = static_cast<int>(xs.size() - kept.size());
+  out.min = kept.front();
+  out.max = kept.back();
+  out.median = sorted_percentile(kept, 50.0);
+  double acc = 0.0;
+  for (double x : kept) {
+    acc += x;
+  }
+  out.mean = acc / static_cast<double>(kept.size());
+  return out;
+}
+
+double relative_iqr(const SampleStats& s) {
+  if (s.n + s.rejected < 4 || s.median == 0.0) {
+    return 0.0;
+  }
+  return s.iqr / std::fabs(s.median);
+}
+
+}  // namespace smg::bench

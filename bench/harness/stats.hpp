@@ -1,0 +1,43 @@
+// Sample statistics for the benchmark harness: quartiles, IQR, and
+// Tukey-fence outlier rejection.
+//
+// Every timed metric in a BENCH_*.json document carries the raw samples
+// plus the summary computed here, so bench_compare (and any external
+// analysis) can re-derive or tighten the statistics without re-running.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace smg::bench {
+
+/// Summary of one metric's samples after outlier rejection.
+///
+/// Quartiles are computed on the raw samples (linear interpolation between
+/// order statistics, the same convention as smg::percentile); samples
+/// outside the Tukey fences [q1 - k*iqr, q3 + k*iqr] are then rejected and
+/// min/max/mean/median recomputed on the survivors.  The quartiles
+/// themselves are reported pre-rejection — rejecting on fences derived
+/// from the already-cleaned set would bias repeated application.
+struct SampleStats {
+  int n = 0;         ///< samples kept after rejection
+  int rejected = 0;  ///< samples outside the Tukey fences
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double q1 = 0.0;   ///< 25th percentile of the raw samples
+  double q3 = 0.0;   ///< 75th percentile of the raw samples
+  double iqr = 0.0;  ///< q3 - q1
+};
+
+/// Compute the summary; `iqr_k` is the Tukey fence factor (1.5 classic).
+/// `iqr_k` <= 0 disables rejection.  Empty input returns a zero struct.
+SampleStats compute_stats(std::span<const double> samples,
+                          double iqr_k = 1.5);
+
+/// Relative noise of a metric: iqr / |median|, 0 when median is 0 or
+/// there are fewer than 4 samples (quartiles meaningless below that).
+double relative_iqr(const SampleStats& s);
+
+}  // namespace smg::bench

@@ -110,3 +110,16 @@ BENCHMARK(BM_Dot)->Arg(1 << 16)->Arg(1 << 20);
 
 }  // namespace
 }  // namespace smg
+
+// Own main instead of benchmark_main: ReportUnrecognizedArguments makes an
+// unknown flag a hard error (exit 1), matching the harness CLI contract the
+// other bench binaries get from harness/standalone_main.cpp.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -5,11 +5,14 @@
 // percent_A statistics of §3.1 for the supported stencils.
 #include "bench_common.hpp"
 #include "csr/csr_matrix.hpp"
+#include "harness/harness.hpp"
 #include "perfmodel/bytes.hpp"
 
 using namespace smg;
 
-int main() {
+SMG_BENCH(tab2_format_bounds,
+          "Table 2 + the percent_A statistic of section 3.1",
+          bench::kSmoke | bench::kPaper) {
   bench::print_header("Format memory model and speedup upper bounds",
                       "Table 2 + the percent_A statistic of section 3.1");
 
@@ -36,10 +39,23 @@ int main() {
          Table::fmt(speedup_bound_csr(Prec::FP64, Prec::FP16, 8, delta), 2)});
   t.print();
 
+  // These bounds are the paper's Table 2; closed-form and host-independent,
+  // so any drift is a real model change — gate them.
+  ctx.value("sgdia/speedup_bound_64_16",
+            speedup_bound_sgdia(Prec::FP64, Prec::FP16), "x",
+            bench::Better::Higher, /*gate=*/true);
+  ctx.value("sgdia/speedup_bound_32_16",
+            speedup_bound_sgdia(Prec::FP32, Prec::FP16), "x",
+            bench::Better::Higher, /*gate=*/true);
+  ctx.value("sgdia/bytes_per_nnz_fp16", sgdia_bytes_per_nnz(Prec::FP16),
+            "B", bench::Better::Lower, /*gate=*/true);
+
   // Cross-check the model against real container sizes on a 3d27 grid.
-  std::printf("\nCross-check on a 32^3 3d27 matrix (actual container bytes"
-              " per logical nonzero):\n");
-  const Problem p = make_problem("laplace27", Box{32, 32, 32});
+  const Box xbox = ctx.smoke() ? Box{16, 16, 16} : Box{32, 32, 32};
+  std::printf("\nCross-check on a %dx%dx%d 3d27 matrix (actual container"
+              " bytes per logical nonzero):\n",
+              xbox.nx, xbox.ny, xbox.nz);
+  const Problem p = make_problem("laplace27", xbox);
   const double nnz = static_cast<double>(p.A.nnz_logical());
   const auto c32 = csr_from_struct<double, std::int32_t>(p.A);
   const auto c16 = csr_from_struct<half, std::int32_t>(p.A);
@@ -52,6 +68,8 @@ int main() {
   t2.row({"CSR fp64/int32", Table::fmt(c32.bytes() / nnz, 2)});
   t2.row({"CSR fp16/int32", Table::fmt(c16.bytes() / nnz, 2)});
   t2.print();
+  ctx.value("laplace27/csr_fp16_int32_bytes_per_nnz", c16.bytes() / nnz,
+            "B", bench::Better::Lower);
 
   // percent_A (Eq. 2) per stencil, as quoted in section 3.1.
   std::printf("\npercent_A = nnz / (nnz + 2m) per stencil (section 3.1"
@@ -59,9 +77,11 @@ int main() {
   Table t3({"pattern", "nnz/row", "percent_A"});
   for (Pattern pat : {Pattern::P3d7, Pattern::P3d19, Pattern::P3d27}) {
     const double npr = stencil_nnz_per_row(pat, 1);
+    ctx.value(std::string(to_string(pat)) + "/percent_A",
+              percent_matrix(npr, 1.0), "frac", bench::Better::Higher,
+              /*gate=*/true);
     t3.row({std::string(to_string(pat)), Table::fmt(npr, 0),
             Table::fmt(percent_matrix(npr, 1.0), 2)});
   }
   t3.print();
-  return 0;
 }

@@ -3,16 +3,17 @@
 #include "bench_common.hpp"
 #include "core/scaling.hpp"
 #include "fp/half.hpp"
+#include "harness/harness.hpp"
 
 using namespace smg;
 
-int main() {
+SMG_BENCH(tab3_problem_table, "Table 3", bench::kSmoke | bench::kPaper) {
   bench::print_header("Problem characteristics", "Table 3");
 
   Table t({"problem", "pde", "pattern", "#dof", "#nnz", "real?", "out-fp16?",
            "aniso", "solver", "C_G", "C_O"});
   for (const auto& name : problem_names()) {
-    Problem p = make_problem(name, bench::default_box(name));
+    Problem p = make_problem(name, ctx.box(name));
     const bool out = max_abs_value(p.A) > static_cast<double>(kHalfMax);
     const std::string pde =
         p.A.block_size() == 1
@@ -22,8 +23,17 @@ int main() {
     const auto nnz = p.A.nnz_logical();
     MGConfig cfg = config_d16_setup_scale();
     cfg.min_coarse_cells = 64;
-    const std::string pattern(to_string(Pattern::P3d27));
     MGHierarchy h(std::move(p.A), cfg);
+    // Generator + coarsening invariants at the recorded box sizes: any
+    // drift means the problem definitions or Galerkin setup changed.
+    ctx.value(name + "/dof", static_cast<double>(dof), "rows",
+              bench::Better::None, /*gate=*/true);
+    ctx.value(name + "/nnz", static_cast<double>(nnz), "nnz",
+              bench::Better::None, /*gate=*/true);
+    ctx.value(name + "/grid_complexity", h.grid_complexity(), "ratio",
+              bench::Better::Lower, /*gate=*/true);
+    ctx.value(name + "/operator_complexity", h.operator_complexity(),
+              "ratio", bench::Better::Lower, /*gate=*/true);
     t.row({name, pde,
            std::to_string(h.level(0).A_full.stencil().ndiag()) + "pt",
            std::to_string(dof), std::to_string(nnz),
@@ -36,5 +46,4 @@ int main() {
   std::printf("\n(paper sizes are 2.1M-637M dofs on clusters; boxes here are\n"
               "host-scaled.  Patterns: 3d15/3d19 expand to 3d27 on coarse\n"
               "levels, exactly as footnote 5 of the paper describes.)\n");
-  return 0;
 }

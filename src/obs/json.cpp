@@ -1,6 +1,7 @@
 #include "obs/json.hpp"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -284,6 +285,103 @@ std::optional<JsonValue> json_parse(std::string_view text) {
     return std::nullopt;  // trailing garbage
   }
   return root;
+}
+
+namespace {
+
+/// Shortest representation that round-trips: exact integers print as
+/// integers, everything else via %.17g (non-finite values are not valid
+/// JSON; emit null like JSON.stringify does).
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  const double r = std::floor(v);
+  if (r == v && std::fabs(v) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  out += buf;
+}
+
+void write_value(std::string& out, const JsonValue& v, int indent,
+                 int depth) {
+  const auto newline = [&](int d) {
+    if (indent >= 0) {
+      out += '\n';
+      out.append(static_cast<std::size_t>(indent) *
+                     static_cast<std::size_t>(d),
+                 ' ');
+    }
+  };
+  switch (v.type()) {
+    case JsonValue::Type::Null:
+      out += "null";
+      break;
+    case JsonValue::Type::Bool:
+      out += v.as_bool() ? "true" : "false";
+      break;
+    case JsonValue::Type::Number:
+      append_number(out, v.as_number());
+      break;
+    case JsonValue::Type::String:
+      out += '"';
+      out += json_escape(v.as_string());
+      out += '"';
+      break;
+    case JsonValue::Type::Array: {
+      out += '[';
+      bool first = true;
+      for (const JsonValue& item : v.items()) {
+        if (!first) {
+          out += ',';
+        }
+        first = false;
+        newline(depth + 1);
+        write_value(out, item, indent, depth + 1);
+      }
+      if (!v.items().empty()) {
+        newline(depth);
+      }
+      out += ']';
+      break;
+    }
+    case JsonValue::Type::Object: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, member] : v.members()) {
+        if (!first) {
+          out += ',';
+        }
+        first = false;
+        newline(depth + 1);
+        out += '"';
+        out += json_escape(key);
+        out += "\":";
+        if (indent >= 0) {
+          out += ' ';
+        }
+        write_value(out, member, indent, depth + 1);
+      }
+      if (!v.members().empty()) {
+        newline(depth);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string json_write(const JsonValue& v, int indent) {
+  std::string out;
+  out.reserve(256);
+  write_value(out, v, indent, 0);
+  return out;
 }
 
 std::string json_escape(std::string_view s) {

@@ -1,11 +1,12 @@
 // Minimal JSON value tree, parser, and writer.
 //
-// Just enough JSON for the telemetry exports: the report writer emits
-// machine-readable solver telemetry and Chrome trace-event timelines, and
-// tests/obs round-trips those files through this parser to validate the
-// schema without an external dependency.  Not a general-purpose library:
-// no \uXXXX surrogate pairs (escapes decode to '?'), numbers parse via
-// strtod, objects keep at most one value per key (last wins).
+// Just enough JSON for the machine-readable exports: the telemetry report
+// writer (smg-telemetry-v2), the benchmark harness (smg-bench-v1), and
+// Chrome trace-event timelines all emit through here, and tests round-trip
+// those files through this parser to validate the schemas without an
+// external dependency.  Not a general-purpose library: numbers parse via
+// strtod, objects keep at most one value per key (last wins).  \uXXXX
+// escapes (including surrogate pairs) decode to UTF-8 on parse.
 #pragma once
 
 #include <map>
@@ -81,5 +82,11 @@ std::optional<JsonValue> json_parse(std::string_view text);
 
 /// Serialize with JSON string escaping (round-trips through json_parse).
 std::string json_escape(std::string_view s);
+
+/// Serialize a value tree back to JSON text (round-trips through
+/// json_parse).  `indent` < 0 emits a compact single-line document;
+/// >= 0 pretty-prints with that many spaces per nesting level.  Numbers
+/// that hold exact integers print without a fractional part.
+std::string json_write(const JsonValue& v, int indent = -1);
 
 }  // namespace smg::obs

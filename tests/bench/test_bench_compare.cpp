@@ -1,0 +1,259 @@
+// bench_compare verdict logic over fabricated smg-bench-v1 documents:
+// the injected-regression case, same-baseline noise, noise widening,
+// missing gated metrics, drift gating, and exit-code policy.
+#include "harness/compare.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "harness/harness.hpp"
+
+namespace smg::bench {
+namespace {
+
+/// Build a one-bench document through the real emitter so the tests also
+/// exercise make_document/validate_bench_document.
+obs::JsonValue make_doc(const std::vector<MetricResult>& metrics,
+                        bool ok = true) {
+  RunOptions opts;
+  opts.stream_n = 0;  // no STREAM probe in unit tests
+  BenchRun run;
+  run.name = "synthetic";
+  run.paper_ref = "test";
+  run.ok = ok;
+  if (!ok) {
+    run.failures.push_back("injected failure");
+  }
+  run.metrics = metrics;
+  obs::JsonValue env = capture_environment(opts);
+  return make_document("smoke", opts, env, {run});
+}
+
+MetricResult timed_metric(const std::string& name, std::vector<double> xs,
+                          bool gate) {
+  MetricResult m;
+  m.name = name;
+  m.unit = "s";
+  m.better = Better::Lower;
+  m.timed = true;
+  m.gate = gate;
+  m.samples = std::move(xs);
+  return m;
+}
+
+MetricResult value_metric(const std::string& name, double v, Better better,
+                          bool gate) {
+  MetricResult m;
+  m.name = name;
+  m.unit = "x";
+  m.better = better;
+  m.timed = false;
+  m.gate = gate;
+  m.samples = {v};
+  return m;
+}
+
+std::vector<double> scaled(const std::vector<double>& xs, double f) {
+  std::vector<double> out;
+  for (double x : xs) {
+    out.push_back(x * f);
+  }
+  return out;
+}
+
+const std::vector<double> kBase = {0.100, 0.101, 0.102, 0.103, 0.104};
+
+TEST(BenchCompare, EmittedDocumentsAreSchemaValid) {
+  const auto doc = make_doc({timed_metric("t", kBase, true)});
+  EXPECT_TRUE(validate_bench_document(doc).empty());
+}
+
+TEST(BenchCompare, IdenticalDocumentsPass) {
+  const auto base = make_doc({timed_metric("t", kBase, true),
+                              value_metric("iters", 42.0, Better::Lower,
+                                           true)});
+  const CompareResult r = compare_documents(base, base, {});
+  EXPECT_TRUE(r.errors.empty());
+  EXPECT_EQ(r.regressions, 0);
+  EXPECT_FALSE(has_failures(r));
+}
+
+TEST(BenchCompare, TwentyPercentSlowdownOnGatedTimedMetricFails) {
+  // The acceptance case: a synthetic 20% slowdown must exit nonzero while
+  // the 10% timed tolerance passes re-run noise of the same baseline.
+  const auto base = make_doc({timed_metric("t", kBase, true)});
+  const auto cand = make_doc({timed_metric("t", scaled(kBase, 1.20), true)});
+  const CompareResult r = compare_documents(base, cand, {});
+  ASSERT_EQ(r.regressions, 1);
+  EXPECT_TRUE(has_failures(r));
+  ASSERT_FALSE(r.deltas.empty());
+  EXPECT_EQ(r.deltas[0].verdict, Verdict::Regressed);
+  EXPECT_NEAR(r.deltas[0].rel_delta, 0.20, 1e-9);
+}
+
+TEST(BenchCompare, SmallJitterWithinTimeTolerancePasses) {
+  const auto base = make_doc({timed_metric("t", kBase, true)});
+  const auto cand = make_doc({timed_metric("t", scaled(kBase, 1.05), true)});
+  const CompareResult r = compare_documents(base, cand, {});
+  EXPECT_EQ(r.regressions, 0);
+  EXPECT_FALSE(has_failures(r));
+}
+
+TEST(BenchCompare, NoisyMetricWidensTolerance) {
+  // Base jitters ~25% run-to-run (rel IQR ~0.25): eff_tol = 4 * 0.25 = 1.0,
+  // so even a 40% median move must NOT regress.
+  const std::vector<double> noisy = {0.080, 0.095, 0.100, 0.105, 0.120};
+  const auto base = make_doc({timed_metric("t", noisy, true)});
+  const auto cand = make_doc({timed_metric("t", scaled(noisy, 1.40), true)});
+  const CompareResult r = compare_documents(base, cand, {});
+  EXPECT_EQ(r.regressions, 0) << "noise-widened tolerance must absorb this";
+}
+
+TEST(BenchCompare, SubMicrosecondTimedDeltaIgnored) {
+  // 20% relative but 2µs absolute: below the min_abs_s clock-jitter floor.
+  const std::vector<double> tiny = {1.0e-5, 1.0e-5, 1.1e-5, 1.0e-5};
+  const auto base = make_doc({timed_metric("t", tiny, true)});
+  const auto cand = make_doc({timed_metric("t", scaled(tiny, 1.2), true)});
+  const CompareResult r = compare_documents(base, cand, {});
+  EXPECT_EQ(r.regressions, 0);
+}
+
+TEST(BenchCompare, NoGateTimeExemptsTimedMetrics) {
+  const auto base = make_doc({timed_metric("t", kBase, true)});
+  const auto cand = make_doc({timed_metric("t", scaled(kBase, 1.5), true)});
+  CompareOptions opts;
+  opts.gate_time = false;
+  const CompareResult r = compare_documents(base, cand, opts);
+  EXPECT_EQ(r.regressions, 0);
+  EXPECT_FALSE(has_failures(r));
+}
+
+TEST(BenchCompare, UngatedRegressionDoesNotFailExitCode) {
+  const auto base = make_doc({timed_metric("t", kBase, false)});
+  const auto cand = make_doc({timed_metric("t", scaled(kBase, 1.5), false)});
+  const CompareResult r = compare_documents(base, cand, {});
+  EXPECT_EQ(r.regressions, 0);
+  ASSERT_FALSE(r.deltas.empty());
+  EXPECT_EQ(r.deltas[0].verdict, Verdict::Regressed);  // reported, not gated
+  EXPECT_FALSE(r.deltas[0].gated);
+  EXPECT_FALSE(has_failures(r));
+}
+
+TEST(BenchCompare, GateAllPromotesUngatedMetrics) {
+  const auto base = make_doc({timed_metric("t", kBase, false)});
+  const auto cand = make_doc({timed_metric("t", scaled(kBase, 1.5), false)});
+  CompareOptions opts;
+  opts.gate_all = true;
+  const CompareResult r = compare_documents(base, cand, opts);
+  EXPECT_EQ(r.regressions, 1);
+  EXPECT_TRUE(has_failures(r));
+}
+
+TEST(BenchCompare, GatedIterationIncreaseFails) {
+  const auto base = make_doc({value_metric("iters", 40.0, Better::Lower,
+                                           true)});
+  const auto cand = make_doc({value_metric("iters", 44.0, Better::Lower,
+                                           true)});
+  const CompareResult r = compare_documents(base, cand, {});
+  EXPECT_EQ(r.regressions, 1);
+}
+
+TEST(BenchCompare, HigherIsBetterDropFails) {
+  const auto base = make_doc({value_metric("pct", 99.0, Better::Higher,
+                                           true)});
+  const auto cand = make_doc({value_metric("pct", 80.0, Better::Higher,
+                                           true)});
+  const CompareResult r = compare_documents(base, cand, {});
+  EXPECT_EQ(r.regressions, 1);
+}
+
+TEST(BenchCompare, HigherIsBetterGainIsImprovement) {
+  const auto base = make_doc({value_metric("pct", 80.0, Better::Higher,
+                                           true)});
+  const auto cand = make_doc({value_metric("pct", 99.0, Better::Higher,
+                                           true)});
+  const CompareResult r = compare_documents(base, cand, {});
+  EXPECT_EQ(r.regressions, 0);
+  EXPECT_EQ(r.improvements, 1);
+}
+
+TEST(BenchCompare, GatedDirectionlessMetricFailsOnDriftEitherWay) {
+  const auto base = make_doc({value_metric("model_mb", 100.0, Better::None,
+                                           true)});
+  const auto up = make_doc({value_metric("model_mb", 110.0, Better::None,
+                                         true)});
+  const auto down = make_doc({value_metric("model_mb", 90.0, Better::None,
+                                           true)});
+  EXPECT_EQ(compare_documents(base, up, {}).regressions, 1);
+  EXPECT_EQ(compare_documents(base, down, {}).regressions, 1);
+  EXPECT_EQ(compare_documents(base, base, {}).regressions, 0);
+}
+
+TEST(BenchCompare, UngatedDirectionlessMetricIsInfoOnly) {
+  const auto base = make_doc({value_metric("note", 100.0, Better::None,
+                                           false)});
+  const auto cand = make_doc({value_metric("note", 500.0, Better::None,
+                                           false)});
+  const CompareResult r = compare_documents(base, cand, {});
+  EXPECT_EQ(r.regressions, 0);
+  ASSERT_FALSE(r.deltas.empty());
+  EXPECT_EQ(r.deltas[0].verdict, Verdict::Info);
+}
+
+TEST(BenchCompare, MissingGatedMetricIsRegression) {
+  const auto base = make_doc({value_metric("iters", 40.0, Better::Lower,
+                                           true)});
+  const auto cand = make_doc({value_metric("other", 1.0, Better::Lower,
+                                           false)});
+  const CompareResult r = compare_documents(base, cand, {});
+  EXPECT_EQ(r.regressions, 1);
+  EXPECT_TRUE(has_failures(r));
+}
+
+TEST(BenchCompare, NewMetricIsReportedNotGated) {
+  const auto base = make_doc({value_metric("a", 1.0, Better::Lower, true)});
+  const auto cand = make_doc({value_metric("a", 1.0, Better::Lower, true),
+                              value_metric("b", 2.0, Better::Lower, true)});
+  const CompareResult r = compare_documents(base, cand, {});
+  EXPECT_EQ(r.regressions, 0);
+  bool saw_new = false;
+  for (const MetricDelta& d : r.deltas) {
+    saw_new = saw_new || d.verdict == Verdict::New;
+  }
+  EXPECT_TRUE(saw_new);
+}
+
+TEST(BenchCompare, NewlyFailingBenchFailsComparison) {
+  const auto base = make_doc({value_metric("a", 1.0, Better::Lower, true)},
+                             /*ok=*/true);
+  const auto cand = make_doc({value_metric("a", 1.0, Better::Lower, true)},
+                             /*ok=*/false);
+  const CompareResult r = compare_documents(base, cand, {});
+  ASSERT_EQ(r.broke.size(), 1u);
+  EXPECT_EQ(r.broke[0], "synthetic");
+  EXPECT_TRUE(has_failures(r));
+}
+
+TEST(BenchCompare, InvalidDocumentReportsSchemaErrors) {
+  obs::JsonValue junk = obs::JsonValue::object();
+  junk.set("schema", obs::JsonValue(std::string("not-a-schema")));
+  const auto base = make_doc({value_metric("a", 1.0, Better::Lower, true)});
+  const CompareResult r = compare_documents(junk, base, {});
+  EXPECT_FALSE(r.errors.empty());
+  EXPECT_TRUE(has_failures(r));
+}
+
+TEST(BenchCompare, MarkdownListsRegressionAndGateFootnote) {
+  const auto base = make_doc({timed_metric("t", kBase, true)});
+  const auto cand = make_doc({timed_metric("t", scaled(kBase, 1.3), true)});
+  const std::string md =
+      to_markdown(compare_documents(base, cand, {}));
+  EXPECT_NE(md.find("REGRESSED"), std::string::npos);
+  EXPECT_NE(md.find("1 regression(s)"), std::string::npos);
+  EXPECT_NE(md.find("| synthetic | t"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smg::bench

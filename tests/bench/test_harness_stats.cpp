@@ -1,0 +1,111 @@
+// Harness statistics: quartiles, Tukey-fence outlier rejection, and the
+// relative-IQR noise estimate bench_compare widens its tolerances with.
+#include "harness/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace smg::bench {
+namespace {
+
+TEST(HarnessStats, EmptyInputIsZeroStruct) {
+  const SampleStats s = compute_stats({});
+  EXPECT_EQ(s.n, 0);
+  EXPECT_EQ(s.rejected, 0);
+  EXPECT_EQ(s.median, 0.0);
+  EXPECT_EQ(s.iqr, 0.0);
+}
+
+TEST(HarnessStats, SingleSample) {
+  const std::vector<double> xs = {3.5};
+  const SampleStats s = compute_stats({xs.data(), xs.size()});
+  EXPECT_EQ(s.n, 1);
+  EXPECT_EQ(s.rejected, 0);
+  EXPECT_DOUBLE_EQ(s.min, 3.5);
+  EXPECT_DOUBLE_EQ(s.max, 3.5);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.median, 3.5);
+  EXPECT_DOUBLE_EQ(s.iqr, 0.0);
+}
+
+TEST(HarnessStats, OddCountMedianAndQuartiles) {
+  // Sorted: 1 2 3 4 5; rank interpolation gives q1 = 2, q3 = 4.
+  const std::vector<double> xs = {5.0, 3.0, 1.0, 4.0, 2.0};
+  const SampleStats s = compute_stats({xs.data(), xs.size()});
+  EXPECT_EQ(s.n, 5);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.q1, 2.0);
+  EXPECT_DOUBLE_EQ(s.q3, 4.0);
+  EXPECT_DOUBLE_EQ(s.iqr, 2.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+}
+
+TEST(HarnessStats, EvenCountInterpolates) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const SampleStats s = compute_stats({xs.data(), xs.size()});
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_DOUBLE_EQ(s.q1, 1.75);
+  EXPECT_DOUBLE_EQ(s.q3, 3.25);
+}
+
+TEST(HarnessStats, RejectsFarOutlierWithClassicFence) {
+  // 10 tight samples around 1.0 plus one 10x outlier: the fences
+  // [q1 - 1.5*iqr, q3 + 1.5*iqr] exclude it; min/max/mean come from the
+  // survivors while the quartiles stay the raw-sample ones.
+  std::vector<double> xs = {0.98, 0.99, 1.00, 1.00, 1.01,
+                            1.01, 1.02, 1.02, 1.03, 10.0};
+  const SampleStats s = compute_stats({xs.data(), xs.size()}, 1.5);
+  EXPECT_EQ(s.rejected, 1);
+  EXPECT_EQ(s.n, 9);
+  EXPECT_LE(s.max, 1.03);
+  EXPECT_LT(s.mean, 1.1);
+  EXPECT_NEAR(s.median, 1.01, 1e-12);
+}
+
+TEST(HarnessStats, NoRejectionBelowFourSamples) {
+  // Three samples, one wild: quartiles are meaningless, keep everything.
+  const std::vector<double> xs = {1.0, 1.0, 100.0};
+  const SampleStats s = compute_stats({xs.data(), xs.size()}, 1.5);
+  EXPECT_EQ(s.rejected, 0);
+  EXPECT_EQ(s.n, 3);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+}
+
+TEST(HarnessStats, ZeroKDisablesRejection) {
+  std::vector<double> xs = {1.0, 1.0, 1.0, 1.0, 1.0, 50.0};
+  const SampleStats s = compute_stats({xs.data(), xs.size()}, 0.0);
+  EXPECT_EQ(s.rejected, 0);
+  EXPECT_EQ(s.n, 6);
+  EXPECT_DOUBLE_EQ(s.max, 50.0);
+}
+
+TEST(HarnessStats, ZeroIqrRejectsNothingFromConstantSamples) {
+  const std::vector<double> xs = {2.0, 2.0, 2.0, 2.0, 2.0};
+  const SampleStats s = compute_stats({xs.data(), xs.size()}, 1.5);
+  EXPECT_EQ(s.rejected, 0);
+  EXPECT_DOUBLE_EQ(s.median, 2.0);
+  EXPECT_DOUBLE_EQ(s.iqr, 0.0);
+}
+
+TEST(HarnessStats, RelativeIqrIsNoiseOverMedian) {
+  const std::vector<double> xs = {0.9, 1.0, 1.0, 1.1};
+  const SampleStats s = compute_stats({xs.data(), xs.size()});
+  EXPECT_GT(relative_iqr(s), 0.0);
+  EXPECT_NEAR(relative_iqr(s), s.iqr / s.median, 1e-15);
+}
+
+TEST(HarnessStats, RelativeIqrZeroBelowFourSamples) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  const SampleStats s = compute_stats({xs.data(), xs.size()});
+  EXPECT_DOUBLE_EQ(relative_iqr(s), 0.0);
+}
+
+TEST(HarnessStats, RelativeIqrZeroWhenMedianZero) {
+  const std::vector<double> xs = {-1.0, 0.0, 0.0, 1.0};
+  const SampleStats s = compute_stats({xs.data(), xs.size()});
+  EXPECT_DOUBLE_EQ(relative_iqr(s), 0.0);
+}
+
+}  // namespace
+}  // namespace smg::bench

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's documentation (stdlib only).
+
+Validates every relative link in the checked markdown files:
+  * the target file exists (relative to the linking file),
+  * an intra-file or cross-file #anchor resolves to a real heading,
+  * bare path references in backticks are NOT checked (prose, not links).
+
+External http(s)/mailto links are skipped: CI must not depend on the
+network.  Exit code 0 when clean, 1 with a list of broken links.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# SNIPPETS.md quotes exemplar code from external repositories verbatim;
+# its relative "links" point into those repos, not this one.
+EXCLUDED = {"SNIPPETS.md"}
+
+CHECKED = sorted(
+    p
+    for p in (
+        list(REPO.glob("*.md"))
+        + list((REPO / "docs").glob("*.md"))
+        + list((REPO / "bench").glob("*.md"))
+    )
+    if p.name not in EXCLUDED
+)
+
+LINK_RE = re.compile(r"(?<!\!)\[(?P<text>[^\]]*)\]\((?P<target>[^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(?P<title>.+?)\s*$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_anchor(title: str) -> str:
+    """GitHub's heading -> anchor slug (approximation: lowercase, strip
+    punctuation except hyphens/underscores, spaces to hyphens)."""
+    title = re.sub(r"`([^`]*)`", r"\1", title)  # unwrap inline code
+    title = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", title)  # unwrap links
+    slug = []
+    for ch in title.strip().lower():
+        if ch.isalnum() or ch in "_-":
+            slug.append(ch)
+        elif ch in " ":
+            slug.append("-")
+    return "".join(slug)
+
+
+def anchors_of(path: Path, cache={}) -> set:
+    if path not in cache:
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            cache[path] = set()
+        else:
+            text = CODE_FENCE_RE.sub("", text)
+            cache[path] = {
+                github_anchor(m.group("title"))
+                for m in HEADING_RE.finditer(text)
+            }
+    return cache[path]
+
+
+def main() -> int:
+    errors = []
+    for md in CHECKED:
+        text = md.read_text(encoding="utf-8")
+        text = CODE_FENCE_RE.sub("", text)
+        for m in LINK_RE.finditer(text):
+            target = m.group("target")
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            rel = md.relative_to(REPO)
+            path_part, _, anchor = target.partition("#")
+            if path_part:
+                dest = (md.parent / path_part).resolve()
+                if not dest.exists():
+                    errors.append(f"{rel}: broken link -> {target}")
+                    continue
+            else:
+                dest = md
+            if anchor:
+                if dest.suffix != ".md":
+                    continue  # anchors into non-markdown: not checkable
+                if anchor.lower() not in anchors_of(dest):
+                    errors.append(f"{rel}: broken anchor -> {target}")
+    if errors:
+        print(f"{len(errors)} broken markdown link(s):")
+        for e in errors:
+            print(f"  {e}")
+        return 1
+    print(f"ok: {len(CHECKED)} files checked, all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
