@@ -1,0 +1,142 @@
+#include "core/hierarchy_cache.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace smg {
+
+namespace {
+
+struct Fnv1a {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+
+  void bytes(const void* p, std::size_t n) noexcept {
+    const auto* b = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= b[i];
+      h *= 0x100000001b3ull;
+    }
+  }
+
+  template <class T>
+  void value(const T& v) noexcept {
+    bytes(&v, sizeof(T));
+  }
+
+  template <class E>
+  void enumval(E e) noexcept {
+    const auto u = static_cast<std::int64_t>(e);
+    value(u);
+  }
+};
+
+}  // namespace
+
+std::uint64_t hierarchy_fingerprint(const StructMat<double>& A,
+                                    const MGConfig& cfg) noexcept {
+  Fnv1a f;
+  // Geometry, layout, stencil.
+  const Box& box = A.box();
+  f.value(box.nx);
+  f.value(box.ny);
+  f.value(box.nz);
+  f.enumval(A.layout());
+  f.value(A.block_size());
+  const Stencil& st = A.stencil();
+  f.value(st.ndiag());
+  for (int d = 0; d < st.ndiag(); ++d) {
+    const Offset& o = st.offset(d);
+    f.value(o.dx);
+    f.value(o.dy);
+    f.value(o.dz);
+  }
+  // Matrix values: the full stored run (boundary-truncated entries are
+  // stored zeros, so this is layout-stable for a fixed layout field).
+  const std::size_t nvals = static_cast<std::size_t>(A.ncells()) *
+                            static_cast<std::size_t>(st.ndiag()) *
+                            static_cast<std::size_t>(A.block_size()) *
+                            static_cast<std::size_t>(A.block_size());
+  f.bytes(A.data(), nvals * sizeof(double));
+  // Every MGConfig field that shapes the setup (all of them: a telemetry
+  // or layout change must not alias a cached setup either).
+  f.value(cfg.max_levels);
+  f.value(cfg.min_coarse_cells);
+  f.value(cfg.min_dim);
+  f.enumval(cfg.cycle);
+  f.value(cfg.aniso_coarsening);
+  f.value(cfg.coarsen_threshold);
+  f.enumval(cfg.smoother);
+  f.value(cfg.nu1);
+  f.value(cfg.nu2);
+  f.value(cfg.jacobi_weight);
+  f.enumval(cfg.smoother_parallel);
+  f.enumval(cfg.fused_transfers);
+  f.enumval(cfg.compute);
+  f.enumval(cfg.storage);
+  f.value(cfg.shift_levid);
+  f.enumval(cfg.scale);
+  f.value(cfg.scale_safety);
+  f.enumval(cfg.precision_policy);
+  f.value(cfg.truncate_smoother);
+  f.enumval(cfg.telemetry);
+  f.enumval(cfg.layout);
+  return f.h;
+}
+
+std::shared_ptr<MGHierarchy> HierarchyCache::get_or_build(
+    const StructMat<double>& A, const MGConfig& cfg) {
+  const std::uint64_t key = hierarchy_fingerprint(A, cfg);
+  if (capacity_ > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+      if (it->key == key) {
+        lru_.splice(lru_.begin(), lru_, it);  // bump to MRU
+        ++hits_;
+        return lru_.front().hierarchy;
+      }
+    }
+    ++misses_;
+  }
+  // Build outside the lock: setups are expensive and concurrent misses on
+  // different problems should not serialize.
+  StructMat<double> copy = A;
+  auto built = std::make_shared<MGHierarchy>(std::move(copy), cfg);
+  if (capacity_ > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    lru_.push_front(Entry{key, built});
+    while (lru_.size() > capacity_) {
+      lru_.pop_back();
+    }
+  }
+  return built;
+}
+
+std::size_t HierarchyCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+void HierarchyCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+HierarchyCache& HierarchyCache::global() {
+  static HierarchyCache* g = [] {
+    std::size_t cap = 4;
+    if (const char* env = std::getenv("SMG_HIERARCHY_CACHE");
+        env != nullptr && *env != '\0') {
+      char* end = nullptr;
+      const long v = std::strtol(env, &end, 10);
+      if (end != env && v >= 0) {
+        cap = static_cast<std::size_t>(v);
+      }
+    }
+    return new HierarchyCache(cap);
+  }();
+  return *g;
+}
+
+}  // namespace smg

@@ -152,6 +152,161 @@ void MGPrecond<CT>::cycle(int lev, bool zero_guess) {
 }
 
 template <class CT>
+void MGPrecond<CT>::ensure_panels(int k) {
+  const int nlev = h_->nlevels();
+  if (pv_.size() != static_cast<std::size_t>(nlev)) {
+    pv_.assign(static_cast<std::size_t>(nlev), PanelData{});
+  }
+  const MGConfig& cfg = h_->config();
+  for (int l = 0; l < nlev; ++l) {
+    const std::int64_t n = h_->level(l).A_full.nrows();
+    PanelData& P = pv_[static_cast<std::size_t>(l)];
+    if (P.u.rows() != n || P.u.cols() != k) {
+      P.u.resize(n, k);
+      P.f.resize(n, k);
+      if (cfg.fused_transfers == FusedTransfers::Off ||
+          cfg.smoother == SmootherType::Jacobi) {
+        P.r.resize(n, k);
+      }
+    }
+  }
+}
+
+template <class CT>
+void MGPrecond<CT>::smooth_many(int lev, bool forward) {
+  const Level& hl = h_->level(lev);
+  LevelData& L = lv_[static_cast<std::size_t>(lev)];
+  PanelData& P = pv_[static_cast<std::size_t>(lev)];
+  const CT* q2 = L.q2.empty() ? nullptr : L.q2.data();
+  const MGConfig& cfg = h_->config();
+  std::span<const CT> invdiag{L.invdiag.data(), L.invdiag.size()};
+
+  if (cfg.smoother == SmootherType::SymGS) {
+    const WavefrontSchedule* wf =
+        hl.smoother_wf.valid() ? &hl.smoother_wf : nullptr;
+    hl.A_stored.visit([&](const auto& m) {
+      if (forward) {
+        gs_forward_many(m, P.f, P.u, invdiag, q2, wf);
+      } else {
+        gs_backward_many(m, P.f, P.u, invdiag, q2, wf);
+      }
+    });
+    return;
+  }
+
+  // Panel Jacobi: the same double-buffered residual-fused sweep as the
+  // single-vector path, all columns per matrix pass.
+  if (P.r.rows() != P.u.rows() || P.r.cols() != P.u.cols()) {
+    P.r.resize(P.u.rows(), P.u.cols());
+  }
+  const CT w = static_cast<CT>(cfg.jacobi_weight);
+  hl.A_stored.visit([&](const auto& m) {
+    jacobi_sweep_fused_many(m, P.f, P.u, invdiag, q2, w, P.r);
+  });
+  std::swap(P.u, P.r);
+}
+
+template <class CT>
+void MGPrecond<CT>::cycle_many(int lev, bool zero_guess) {
+  const int last = h_->nlevels() - 1;
+  PanelData& P = pv_[static_cast<std::size_t>(lev)];
+  LevelData& L = lv_[static_cast<std::size_t>(lev)];
+  const Level& hl = h_->level(lev);
+  const MGConfig& cfg = h_->config();
+
+  const obs::LevelScope level_scope(lev);
+  const obs::ScopedSpan level_span(obs::Kind::Level);
+
+  if (lev == last) {
+    // Coarsest level: the dense FP64 solve is inherently per-column; peel
+    // the panel.  Padding columns are never touched and stay zero.
+    const obs::KernelSpan span(obs::Kind::CoarseSolve);
+    const std::size_t n = static_cast<std::size_t>(P.f.rows());
+    colbuf_f_.resize(n);
+    colbuf_u_.resize(n);
+    for (int c = 0; c < P.f.cols(); ++c) {
+      P.f.extract_col(c, {colbuf_f_.data(), n});
+      h_->coarse_solver().solve<CT>({colbuf_f_.data(), n},
+                                    {colbuf_u_.data(), n});
+      P.u.insert_col(c, {colbuf_u_.data(), n});
+    }
+    return;
+  }
+
+  if (zero_guess) {
+    P.u.fill(CT{0});
+  }
+  for (int s = 0; s < cfg.nu1; ++s) {
+    smooth_many(lev, /*forward=*/true);
+  }
+
+  const CT* q2 = L.q2.empty() ? nullptr : L.q2.data();
+  PanelData& C = pv_[static_cast<std::size_t>(lev) + 1];
+  if (cfg.fused_transfers != FusedTransfers::Off) {
+    hl.A_stored.visit([&](const auto& m) {
+      residual_restrict_many(m, P.f, P.u, q2, hl.to_coarse, C.f);
+    });
+  } else {
+    hl.A_stored.visit([&](const auto& m) {
+      residual_many(m, P.f, P.u, P.r, q2);
+    });
+    restrict_to_coarse_many<CT>(hl.to_coarse, hl.A_full.block_size(), P.r,
+                                C.f);
+  }
+
+  cycle_many(lev + 1, /*zero_guess=*/true);
+  if (cfg.cycle == CycleType::W && lev + 1 < last) {
+    cycle_many(lev + 1, /*zero_guess=*/false);
+  }
+
+  prolong_add_many<CT>(hl.to_coarse, hl.A_full.block_size(), C.u, P.u);
+  for (int s = 0; s < cfg.nu2; ++s) {
+    smooth_many(lev, /*forward=*/false);
+  }
+}
+
+template <class CT>
+void MGPrecond<CT>::apply_many(const MultiVector<CT>& r, MultiVector<CT>& e) {
+  ensure_panels(r.cols());
+  PanelData& P0 = pv_.front();
+  SMG_CHECK(r.rows() == P0.f.rows() && e.rows() == P0.u.rows() &&
+                r.cols() == e.cols() &&
+                r.padded_cols() == P0.f.padded_cols(),
+            "MG apply_many size mismatch");
+  const int kp = r.padded_cols();
+  const std::int64_t rows = r.rows();
+  if (h_->finest_wrapped()) {
+    // Same per-element division as the single-vector ewise_div, every
+    // column of the row sharing one q2 read.  Padding: 0 / q2 == +0.
+    const CT* SMG_RESTRICT q2w = wrap_q2_.data();
+    const CT* SMG_RESTRICT src = r.data();
+    CT* SMG_RESTRICT dst = P0.f.data();
+    for (std::int64_t row = 0; row < rows; ++row) {
+      const CT q = q2w[row];
+      for (int c = 0; c < kp; ++c) {
+        dst[row * kp + c] = src[row * kp + c] / q;
+      }
+    }
+  } else {
+    copy_convert<CT, CT>({r.data(), r.size()}, {P0.f.data(), P0.f.size()});
+  }
+  cycle_many(0, /*zero_guess=*/true);
+  if (h_->finest_wrapped()) {
+    const CT* SMG_RESTRICT q2w = wrap_q2_.data();
+    const CT* SMG_RESTRICT src = P0.u.data();
+    CT* SMG_RESTRICT dst = e.data();
+    for (std::int64_t row = 0; row < rows; ++row) {
+      const CT q = q2w[row];
+      for (int c = 0; c < kp; ++c) {
+        dst[row * kp + c] = src[row * kp + c] / q;
+      }
+    }
+  } else {
+    copy_convert<CT, CT>({P0.u.data(), P0.u.size()}, {e.data(), e.size()});
+  }
+}
+
+template <class CT>
 void MGPrecond<CT>::apply(std::span<const CT> r, std::span<CT> e) {
   LevelData& L0 = lv_.front();
   SMG_CHECK(r.size() == L0.f.size() && e.size() == L0.u.size(),
@@ -228,6 +383,42 @@ void MGPrecondAdapter<KT, CT>::apply(std::span<const KT> r,
   }
   copy_convert<KT, CT>({ebuf_.data(), ebuf_.size()}, e);
   telemetry_.record_apply(t0, telemetry_.now());
+}
+
+template <class KT, class CT>
+void MGPrecondAdapter<KT, CT>::apply_many(const MultiVector<KT>& r,
+                                          MultiVector<KT>& e) {
+  SMG_CHECK(r.rows() == e.rows() && r.cols() == e.cols(),
+            "adapter apply_many shape mismatch");
+  const obs::InstallGuard guard(&telemetry_);
+  const double t0 = telemetry_.now();
+  if (rpanel_.rows() != r.rows() || rpanel_.cols() != r.cols()) {
+    rpanel_.resize(r.rows(), r.cols());
+    epanel_.resize(r.rows(), r.cols());
+  }
+  // Whole-buffer truncate: padding zeros convert to padding zeros, and each
+  // real element gets exactly the single-apply's KT->CT conversion.
+  copy_convert<CT, KT>({r.data(), r.size()},
+                       {rpanel_.data(), rpanel_.size()});
+  mg_.apply_many(rpanel_, epanel_);
+  if (guarded_ && all_finite(std::span<const CT>{rpanel_.data(),
+                                                 rpanel_.size()})) {
+    // Panel-wide probe-and-heal: one poisoned column is enough evidence of
+    // a poisoned stored matrix, and the repair (rescale/promote) is global
+    // to the level anyway — so the whole panel re-applies after a repair,
+    // exactly like the single-vector path re-applies its one vector.
+    while (!all_finite(std::span<const CT>{epanel_.data(),
+                                           epanel_.size()})) {
+      if (!heal(HealthEvent::NonFinite)) {
+        break;  // let the solver see the breakdown
+      }
+      mg_.apply_many(rpanel_, epanel_);
+    }
+  }
+  copy_convert<KT, CT>({epanel_.data(), epanel_.size()},
+                       {e.data(), e.size()});
+  telemetry_.record_apply(t0, telemetry_.now());
+  telemetry_.record_panel_apply(r.cols());
 }
 
 template <class KT, class CT>

@@ -11,6 +11,7 @@
 #include "obs/telemetry.hpp"
 #include "solvers/precond.hpp"
 #include "util/aligned.hpp"
+#include "util/multivector.hpp"
 #include "util/timer.hpp"
 
 namespace smg {
@@ -26,6 +27,13 @@ class MGPrecond {
   /// e = MG(r): one cycle from a zero initial guess.
   void apply(std::span<const CT> r, std::span<CT> e);
 
+  /// E[c] = MG(R[c]) for every panel column in ONE pass over each level's
+  /// stored matrix (throughput mode).  Column c is bitwise identical to a
+  /// single-vector apply of that column; padding columns stay finite zero
+  /// end to end.  Panel level buffers are (re)sized lazily on the first
+  /// call with a new width.
+  void apply_many(const MultiVector<CT>& r, MultiVector<CT>& e);
+
   /// Re-read level `l`'s q2/invdiag caches from the hierarchy after the
   /// autopilot rescaled or promoted it (the matrix itself is always read
   /// live through the hierarchy).
@@ -36,6 +44,10 @@ class MGPrecond {
  private:
   void cycle(int lev, bool zero_guess);
   void smooth(int lev, bool forward);
+  void cycle_many(int lev, bool zero_guess);
+  void smooth_many(int lev, bool forward);
+  /// Size the panel level buffers for width k (no-op when already sized).
+  void ensure_panels(int k);
 
   struct LevelData {
     avec<CT> u, f, r;
@@ -43,8 +55,17 @@ class MGPrecond {
     avec<CT> invdiag;  ///< smoother blocks in compute precision
   };
 
+  /// Panel (multi-RHS) counterparts of LevelData's u/f/r; empty until the
+  /// first apply_many.  The r panel only exists on the unfused reference
+  /// path and as the Jacobi ping-pong buffer, mirroring LevelData.
+  struct PanelData {
+    MultiVector<CT> u, f, r;
+  };
+
   const MGHierarchy* h_;
   std::vector<LevelData> lv_;
+  std::vector<PanelData> pv_;  ///< sized by ensure_panels (apply_many only)
+  avec<CT> colbuf_f_, colbuf_u_;  ///< per-column coarse-solve scratch
   avec<CT> wrap_q2_;  ///< finest Q^{1/2} when hierarchy.finest_wrapped()
 };
 
@@ -67,6 +88,10 @@ class MGPrecondAdapter final : public PrecondBase<KT> {
   explicit MGPrecondAdapter(MGHierarchy* h);
 
   void apply(std::span<const KT> r, std::span<KT> e) override;
+  /// Panel apply: one k-column V-cycle streaming each level's matrix once.
+  /// Same KT<->CT truncate/recover and the same Guarded probe-and-heal as
+  /// the single-vector apply, panel-wide.
+  void apply_many(const MultiVector<KT>& r, MultiVector<KT>& e) override;
   double apply_seconds() const override { return telemetry_.apply_seconds(); }
   void reset_timing() override { telemetry_.reset(); }
   obs::Telemetry* telemetry() override { return &telemetry_; }
@@ -80,6 +105,7 @@ class MGPrecondAdapter final : public PrecondBase<KT> {
   MGHierarchy* h_;
   MGPrecond<CT> mg_;
   avec<CT> rbuf_, ebuf_;
+  MultiVector<CT> rpanel_, epanel_;  ///< apply_many conversion buffers
   obs::Telemetry telemetry_;
   PrecisionGovernor governor_;
   bool guarded_ = false;

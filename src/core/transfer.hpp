@@ -19,10 +19,12 @@
 #include <array>
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "grid/box.hpp"
 #include "obs/telemetry.hpp"
 #include "util/common.hpp"
+#include "util/multivector.hpp"
 
 namespace smg {
 
@@ -237,6 +239,126 @@ void restrict_to_coarse_scatter(const Coarsening& c, int bs,
                     static_cast<CT>(w) * rf[fcell * bs + br];
               }
             }
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Panel restriction: F_c = R R_f for all columns of the panel in one pass
+/// over the transfer geometry.  Column c is bitwise identical to
+/// restrict_to_coarse on that column: the per-coarse-dof child list is
+/// enumerated in the same (a, b, cidx) order with the same
+/// static_cast<CT>(w) weights, and each column folds its own accumulator.
+template <class CT>
+void restrict_to_coarse_many(const Coarsening& c, int bs,
+                             const MultiVector<CT>& rf, MultiVector<CT>& fc) {
+  const Box& fine = c.fine;
+  const Box& coarse = c.coarse;
+  SMG_CHECK(rf.rows() == fine.size() * bs && fc.rows() == coarse.size() * bs &&
+                rf.padded_cols() == fc.padded_cols(),
+            "restrict_many size mismatch");
+  const obs::KernelSpan span(obs::Kind::Restrict);
+  const double rscale = c.restrict_scale();
+  const int kp = rf.padded_cols();
+  const CT* SMG_RESTRICT rp = rf.data();
+  CT* SMG_RESTRICT fp = fc.data();
+  // Hoist the pure per-coordinate child lookups out of the point loop (the
+  // same values the per-point calls would return).
+  std::vector<detail::Children> cxi(static_cast<std::size_t>(coarse.nx));
+  for (int I = 0; I < coarse.nx; ++I) {
+    cxi[static_cast<std::size_t>(I)] = detail::children_of(I, fine.nx, c.mask[0]);
+  }
+#pragma omp parallel for collapse(2) schedule(static)
+  for (int K = 0; K < coarse.nz; ++K) {
+    for (int J = 0; J < coarse.ny; ++J) {
+      const auto ck = detail::children_of(K, fine.nz, c.mask[2]);
+      const auto cj = detail::children_of(J, fine.ny, c.mask[1]);
+      for (int I = 0; I < coarse.nx; ++I) {
+        const auto& ci = cxi[static_cast<std::size_t>(I)];
+        // Flatten the child triple loop once per coarse point; the list
+        // preserves the (a, b, cidx) fold order of the single-RHS kernel.
+        std::int64_t src[27];
+        CT wv[27];
+        int ns = 0;
+        for (int a = 0; a < ck.count; ++a) {
+          for (int b = 0; b < cj.count; ++b) {
+            for (int cidx = 0; cidx < ci.count; ++cidx) {
+              const double w = rscale * ck.w[a] * cj.w[b] * ci.w[cidx];
+              src[ns] = fine.idx(ci.idx[cidx], cj.idx[b], ck.idx[a]);
+              wv[ns] = static_cast<CT>(w);
+              ++ns;
+            }
+          }
+        }
+        CT* SMG_RESTRICT dst = fp + coarse.idx(I, J, K) * bs * kp;
+        for (int br = 0; br < bs; ++br) {
+          CT* SMG_RESTRICT dr = dst + static_cast<std::int64_t>(br) * kp;
+#pragma omp simd
+          for (int cc = 0; cc < kp; ++cc) {
+            CT acc{0};
+            for (int t = 0; t < ns; ++t) {
+              acc += wv[t] * rp[(src[t] * bs + br) * kp + cc];
+            }
+            dr[cc] = acc;
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Panel prolongation: U_f += P E_c for all columns in one pass; column c is
+/// bitwise identical to prolong_add on that column (same parent fold order,
+/// same weights, separate accumulator added once).
+template <class CT>
+void prolong_add_many(const Coarsening& c, int bs, const MultiVector<CT>& ec,
+                      MultiVector<CT>& uf) {
+  const Box& fine = c.fine;
+  const Box& coarse = c.coarse;
+  SMG_CHECK(uf.rows() == fine.size() * bs && ec.rows() == coarse.size() * bs &&
+                uf.padded_cols() == ec.padded_cols(),
+            "prolong_many size mismatch");
+  const obs::KernelSpan span(obs::Kind::Prolong);
+  const int kp = uf.padded_cols();
+  const CT* SMG_RESTRICT ep = ec.data();
+  CT* SMG_RESTRICT up = uf.data();
+  // Hoist the pure per-coordinate parent lookups out of the point loop.
+  std::vector<detail::Parents> pxi(static_cast<std::size_t>(fine.nx));
+  for (int i = 0; i < fine.nx; ++i) {
+    pxi[static_cast<std::size_t>(i)] = detail::parents_of(i, coarse.nx, c.mask[0]);
+  }
+#pragma omp parallel for collapse(2) schedule(static)
+  for (int k = 0; k < fine.nz; ++k) {
+    for (int j = 0; j < fine.ny; ++j) {
+      const auto pk = detail::parents_of(k, coarse.nz, c.mask[2]);
+      const auto pj = detail::parents_of(j, coarse.ny, c.mask[1]);
+      for (int i = 0; i < fine.nx; ++i) {
+        const auto& pi = pxi[static_cast<std::size_t>(i)];
+        const std::int64_t fcell = fine.idx(i, j, k);
+        std::int64_t src[8];
+        CT wv[8];
+        int ns = 0;
+        for (int a = 0; a < pk.count; ++a) {
+          for (int b = 0; b < pj.count; ++b) {
+            for (int cidx = 0; cidx < pi.count; ++cidx) {
+              const double w = pk.w[a] * pj.w[b] * pi.w[cidx];
+              src[ns] = coarse.idx(pi.idx[cidx], pj.idx[b], pk.idx[a]);
+              wv[ns] = static_cast<CT>(w);
+              ++ns;
+            }
+          }
+        }
+        for (int br = 0; br < bs; ++br) {
+          CT* SMG_RESTRICT ur = up + (fcell * bs + br) * kp;
+#pragma omp simd
+          for (int cc = 0; cc < kp; ++cc) {
+            CT acc{0};
+            for (int t = 0; t < ns; ++t) {
+              acc += wv[t] * ep[(src[t] * bs + br) * kp + cc];
+            }
+            ur[cc] += acc;
           }
         }
       }

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <span>
+#include <vector>
 
 #include "core/transfer.hpp"
 #include "kernels/spmv.hpp"
@@ -120,7 +121,7 @@ void residual_lines(const ResidualLineCtx<ST, CT>& ctx, const StructMat<ST>& A,
               if (q2 != nullptr) {
                 xv *= q2[nbr * bs + bc];
               }
-              acc += widen1<CT>(blk[br * bs + bc]) * xv;
+              acc = mul_add(widen1<CT>(blk[br * bs + bc]), xv, acc);
             }
           }
           if (q2 != nullptr) {
@@ -200,7 +201,7 @@ void residual_lines(const ResidualLineCtx<ST, CT>& ctx, const StructMat<ST>& A,
           for (int br = 0; br < bs; ++br) {
             CT acc{0};
             for (int bc = 0; bc < bs; ++bc) {
-              acc += blk[br * bs + bc] * xv[bc];
+              acc = mul_add(blk[br * bs + bc], xv[bc], acc);
             }
             yv[br] += acc;
           }
@@ -210,7 +211,7 @@ void residual_lines(const ResidualLineCtx<ST, CT>& ctx, const StructMat<ST>& A,
       if (q2 != nullptr) {
         const CT* SMG_RESTRICT ql = q2 + base * bs;
         for (std::int64_t q = 0; q < lstride; ++q) {
-          rl[q] = fl[q] - ql[q] * rl[q];
+          rl[q] = mul_add(-ql[q], rl[q], fl[q]);
         }
       } else {
         for (std::int64_t q = 0; q < lstride; ++q) {
@@ -444,6 +445,183 @@ void jacobi_sweep_fused(const StructMat<ST>& A, std::span<const CT> f,
           }
           unew[static_cast<std::size_t>(cell * bs + br)] =
               u[static_cast<std::size_t>(cell * bs + br)] + w * acc;
+        }
+      }
+    }
+  }
+}
+
+/// Panel fused downstroke: Fc = R (F - A U) for all columns in one matrix
+/// sweep.  Column c is bitwise identical to residual_restrict on that column
+/// (and therefore to residual_many + restrict_to_coarse_many): the fine
+/// residual planes come from panel_lines — the panel mirror of
+/// residual_lines — and the coarse gather uses the same child order and
+/// static_cast<CT>(w) weights.  Same race-free parallelization: threads own
+/// disjoint chunks of coarse z-planes with a rolling 3-plane window.
+template <class ST, class CT>
+void residual_restrict_many(const StructMat<ST>& A, const MultiVector<CT>& f,
+                            const MultiVector<CT>& u, const CT* q2,
+                            const Coarsening& c, MultiVector<CT>& fc) {
+  const Box& fine = c.fine;
+  const Box& coarse = c.coarse;
+  const int bs = A.block_size();
+  SMG_CHECK(A.box() == fine, "residual_restrict_many: matrix box != fine box");
+  SMG_CHECK(f.rows() == A.nrows() && u.rows() == A.nrows() &&
+                fc.rows() == coarse.size() * bs &&
+                f.padded_cols() == fc.padded_cols() &&
+                u.padded_cols() == fc.padded_cols(),
+            "residual_restrict_many size mismatch");
+  const obs::KernelSpan span(obs::Kind::ResidualRestrict);
+  const double rscale = c.restrict_scale();
+  const detail::PanelLineCtx<ST, CT> ctx(A);
+  const int kp = f.padded_cols();
+  const CT* fp = f.data();
+  const CT* up = u.data();
+  CT* out = fc.data();
+  const std::int64_t lstride = static_cast<std::int64_t>(fine.nx) * bs;
+  const std::size_t plane_dofs = static_cast<std::size_t>(lstride) *
+                                 static_cast<std::size_t>(fine.ny) *
+                                 static_cast<std::size_t>(kp);
+  // Hoist the pure per-coordinate child lookups out of the point loop.
+  std::vector<detail::Children> cxi(static_cast<std::size_t>(coarse.nx));
+  for (int I = 0; I < coarse.nx; ++I) {
+    cxi[static_cast<std::size_t>(I)] = detail::children_of(I, fine.nx, c.mask[0]);
+  }
+
+#pragma omp parallel
+  {
+#if defined(_OPENMP)
+    const int nth = omp_get_num_threads();
+    const int tid = omp_get_thread_num();
+#else
+    const int nth = 1;
+    const int tid = 0;
+#endif
+    const int ncz = coarse.nz;
+    const int k0 =
+        static_cast<int>(static_cast<std::int64_t>(ncz) * tid / nth);
+    const int k1 =
+        static_cast<int>(static_cast<std::int64_t>(ncz) * (tid + 1) / nth);
+    if (k0 < k1) {
+      avec<CT> planes[3];
+      int held[3] = {-1, -1, -1};
+      for (int K = k0; K < k1; ++K) {
+        const auto ck = detail::children_of(K, fine.nz, c.mask[2]);
+        const CT* pk[3];
+        for (int a = 0; a < ck.count; ++a) {
+          const int kf = ck.idx[a];
+          const int slot = kf % 3;
+          if (held[slot] != kf) {
+            if (planes[slot].size() != plane_dofs) {
+              planes[slot].resize(plane_dofs);
+            }
+            detail::panel_lines<true>(ctx, A, fp, up, q2, kf, 0, fine.ny,
+                                      planes[slot].data(), kp);
+            held[slot] = kf;
+          }
+          pk[a] = planes[slot].data();
+        }
+        for (int J = 0; J < coarse.ny; ++J) {
+          const auto cj = detail::children_of(J, fine.ny, c.mask[1]);
+          for (int I = 0; I < coarse.nx; ++I) {
+            const auto& ci = cxi[static_cast<std::size_t>(I)];
+            // Flatten the child triple loop once per coarse point — the
+            // same (a, b, cidx) fold order and static_cast<CT>(w) weights
+            // as the per-column code, not recomputed per column.
+            const CT* srcp[27];
+            std::int64_t soff[27];
+            CT wv[27];
+            int ns = 0;
+            for (int a = 0; a < ck.count; ++a) {
+              for (int b = 0; b < cj.count; ++b) {
+                for (int cidx = 0; cidx < ci.count; ++cidx) {
+                  const double w = rscale * ck.w[a] * cj.w[b] * ci.w[cidx];
+                  srcp[ns] = pk[a];
+                  soff[ns] = (cj.idx[b] * lstride +
+                              static_cast<std::int64_t>(ci.idx[cidx]) * bs) *
+                             kp;
+                  wv[ns] = static_cast<CT>(w);
+                  ++ns;
+                }
+              }
+            }
+            CT* SMG_RESTRICT dst = out + coarse.idx(I, J, K) * bs * kp;
+            for (int br = 0; br < bs; ++br) {
+              CT* SMG_RESTRICT dr = dst + static_cast<std::int64_t>(br) * kp;
+              const std::int64_t boff = static_cast<std::int64_t>(br) * kp;
+#pragma omp simd
+              for (int cc = 0; cc < kp; ++cc) {
+                CT acc{0};
+                for (int t = 0; t < ns; ++t) {
+                  acc += wv[t] * srcp[t][soff[t] + boff + cc];
+                }
+                dr[cc] = acc;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Panel fused Jacobi sweep: Unew = U + w D^{-1} (F - A U) for all columns
+/// in one matrix sweep; column c is bitwise identical to jacobi_sweep_fused.
+/// Unew must not alias U.
+template <class ST, class CT>
+void jacobi_sweep_fused_many(const StructMat<ST>& A, const MultiVector<CT>& f,
+                             const MultiVector<CT>& u,
+                             std::span<const CT> invdiag, const CT* q2, CT w,
+                             MultiVector<CT>& unew) {
+  const Box& box = A.box();
+  const int bs = A.block_size();
+  const std::int64_t block2 = static_cast<std::int64_t>(bs) * bs;
+  SMG_CHECK(f.rows() == A.nrows() && u.rows() == A.nrows() &&
+                unew.rows() == A.nrows() &&
+                static_cast<std::int64_t>(invdiag.size()) ==
+                    A.ncells() * block2 &&
+                f.padded_cols() == unew.padded_cols() &&
+                u.padded_cols() == unew.padded_cols(),
+            "jacobi_sweep_fused_many size mismatch");
+  SMG_CHECK(unew.data() != u.data(), "jacobi_sweep_fused_many: unew aliases u");
+  const obs::KernelSpan span(obs::Kind::Jacobi);
+  const detail::PanelLineCtx<ST, CT> ctx(A);
+  const int nx = box.nx;
+  const int kp = f.padded_cols();
+  const std::int64_t ndof_line = static_cast<std::int64_t>(nx) * bs;
+  const std::size_t plane_dofs = static_cast<std::size_t>(ndof_line) *
+                                 static_cast<std::size_t>(box.ny) *
+                                 static_cast<std::size_t>(kp);
+  const CT* fp = f.data();
+  const CT* up = u.data();
+  CT* np = unew.data();
+
+#pragma omp parallel for schedule(static)
+  for (int k = 0; k < box.nz; ++k) {
+    thread_local avec<CT> rbuf;
+    if (rbuf.size() < plane_dofs) {
+      rbuf.resize(plane_dofs);
+    }
+    CT* rp = rbuf.data();
+    detail::panel_lines<true>(ctx, A, fp, up, q2, k, 0, box.ny, rp, kp);
+    for (int j = 0; j < box.ny; ++j) {
+      const CT* rl = rp + static_cast<std::int64_t>(j) * ndof_line * kp;
+      const std::int64_t base = box.idx(0, j, k);
+      for (int i = 0; i < nx; ++i) {
+        const std::int64_t cell = base + i;
+        const CT* blk = invdiag.data() + cell * block2;
+        for (int br = 0; br < bs; ++br) {
+          const CT* SMG_RESTRICT urow = up + (cell * bs + br) * kp;
+          CT* SMG_RESTRICT nrow = np + (cell * bs + br) * kp;
+#pragma omp simd
+          for (int cc = 0; cc < kp; ++cc) {
+            CT acc{0};
+            for (int bc = 0; bc < bs; ++bc) {
+              acc += blk[br * bs + bc] *
+                     rl[(static_cast<std::int64_t>(i) * bs + bc) * kp + cc];
+            }
+            nrow[cc] = urow[cc] + w * acc;
+          }
         }
       }
     }

@@ -20,12 +20,14 @@
 //  * spmv_ref   — layout-agnostic scalar reference used by tests.
 #pragma once
 
+#include <cmath>
 #include <span>
 
 #include "kernels/loops.hpp"
 #include "obs/telemetry.hpp"
 #include "sgdia/struct_matrix.hpp"
 #include "util/common.hpp"
+#include "util/multivector.hpp"
 
 #if defined(SMG_SIMD_AVX2)
 #include <immintrin.h>
@@ -43,6 +45,23 @@ inline CT widen1(ST v) noexcept {
   } else {
     return static_cast<CT>(v);
   }
+}
+
+/// Deterministic a*b + c for the block-kernel folds.  The optimizer's FP
+/// contraction choice for a plain `acc += a * b` depends on the surrounding
+/// vectorization context, so the "same source shape at both sites" contract
+/// (single-RHS kernel vs its panel mirror) is not enough once the fold sits
+/// inside differently-shaped loops.  Pinning the operation removes the
+/// ambiguity: one hardware fma where the ISA has it, and on targets without
+/// an fma instruction the compiler cannot contract either site, so the
+/// explicit mul+add matches the kernels' plain expressions bitwise.
+template <class CT>
+inline CT mul_add(CT a, CT b, CT c) noexcept {
+#if defined(SMG_SIMD_AVX2) || defined(FP_FAST_FMA)
+  return std::fma(a, b, c);
+#else
+  return a * b + c;
+#endif
 }
 
 #if defined(SMG_SIMD_AVX2)
@@ -442,7 +461,7 @@ void apply_soa_block_lines(const StructMat<ST>& A, const CT* SMG_RESTRICT x,
           for (int br = 0; br < bs; ++br) {
             CT acc{0};
             for (int bc = 0; bc < bs; ++bc) {
-              acc += blk[br * bs + bc] * xv[bc];
+              acc = mul_add(blk[br * bs + bc], xv[bc], acc);
             }
             yv[br] += acc;
           }
@@ -456,7 +475,7 @@ void apply_soa_block_lines(const StructMat<ST>& A, const CT* SMG_RESTRICT x,
         if constexpr (kResidual) {
           const CT* SMG_RESTRICT bl = b + base * bs;
           for (std::int64_t q = 0; q < ndof; ++q) {
-            yl[q] = bl[q] - ql[q] * yl[q];
+            yl[q] = mul_add(-ql[q], yl[q], bl[q]);
           }
         } else {
           for (std::int64_t q = 0; q < ndof; ++q) {
@@ -607,7 +626,8 @@ void apply_aos(const StructMat<ST>& A, const CT* SMG_RESTRICT x,
               if (q2 != nullptr) {
                 xv *= q2[nbr * bs + bc];
               }
-              acc += detail::widen1<CT>(blk[br * bs + bc]) * xv;
+              acc = detail::mul_add(detail::widen1<CT>(blk[br * bs + bc]),
+                                    xv, acc);
             }
           }
           if (q2 != nullptr) {
@@ -690,6 +710,629 @@ void residual(const StructMat<ST>& A, std::span<const CT> b,
     apply_soa<true>(A, x.data(), b.data(), r.data(), q2);
   } else {
     apply_aos<true>(A, x.data(), b.data(), r.data(), q2);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-RHS (panel) kernels.
+//
+// The panel variants stream the stored matrix ONCE for all k interleaved
+// columns of a MultiVector — the dominant traffic of every kernel above is
+// the matrix itself (PAPER.md §5), so k right-hand sides amortize it ~k×.
+// Column c of every panel kernel performs bitwise the same operations in the
+// same order as the corresponding single-RHS kernel (the contract
+// kernels/fused.hpp established for the fused downstroke):
+//  * the AVX2 (half, float) paths perform one IEEE fma per element — exactly
+//    what each lane of _mm256_fmadd_ps/_mm256_fnmadd_ps computes, with
+//    skipped out-of-range cells bitwise neutral (a dead lane contributes
+//    fma(0, x, acc) == acc by the stored-zero invariant, and the accumulator
+//    can never be -0 mid-sum: it starts +0 and round-to-nearest addition
+//    only yields -0 from (-0) + (-0));
+//  * every other (layout, storage, compute) combination keeps the exact
+//    scalar source shape of the kernel it mirrors, so the compiler makes the
+//    same FP-contraction choice at both sites; the block-kernel folds, whose
+//    contraction the optimizer resolves per vectorization context, are
+//    pinned on BOTH sides via detail::mul_add.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+/// Panel analogue of soa_diag_fma: one diagonal run over kp interleaved
+/// columns; a and q2 are per-row (amortized over the panel), x/y advance by
+/// the row stride kp.
+template <bool kSubtract, bool kScaled, class ST, class CT>
+inline void panel_diag_fma(const ST* SMG_RESTRICT a, const CT* SMG_RESTRICT x,
+                           const CT* SMG_RESTRICT q2, CT* SMG_RESTRICT y,
+                           int n, int kp) noexcept {
+  // A 1-column panel is laid out exactly like the plain vector, and the
+  // single-RHS kernel is the bitwise reference the panel must reproduce —
+  // delegating recovers its 8-rows-per-op AVX2 paths instead of paying the
+  // per-row scalar setup below with a trivial inner loop.
+  if (kp == 1) {
+    soa_diag_fma<kSubtract, kScaled>(a, x, q2, y, n);
+    return;
+  }
+#if defined(SMG_SIMD_AVX2)
+  if constexpr (std::is_same_v<ST, half> && std::is_same_v<CT, float>) {
+    // Widen the diagonal run up front (vcvtph2ps converts exactly, like the
+    // per-entry _cvtsh_ss it replaces), so the row loop streams plain
+    // floats; the per-entry conversion is a per-nnz cost that does not
+    // amortize over columns.  Each lane below performs the optional exact
+    // q2 multiply and one IEEE fma — the same per-cell operation sequence
+    // as the scalar remainder loop.
+    constexpr int kChunk = 256;
+    alignas(32) float af[kChunk];
+    for (int i0 = 0; i0 < n; i0 += kChunk) {
+      const int m = std::min(kChunk, n - i0);
+      widen(a + i0, af, static_cast<std::size_t>(m));
+      if (kp % 8 == 0) {
+        for (int i = 0; i < m; ++i) {
+          const __m256 av = _mm256_set1_ps(af[i]);
+          const __m256 qv =
+              kScaled ? _mm256_set1_ps(q2[i0 + i]) : _mm256_setzero_ps();
+          const float* SMG_RESTRICT xr =
+              x + static_cast<std::int64_t>(i0 + i) * kp;
+          float* SMG_RESTRICT yr = y + static_cast<std::int64_t>(i0 + i) * kp;
+          for (int c = 0; c < kp; c += 8) {
+            __m256 xv = _mm256_loadu_ps(xr + c);
+            if constexpr (kScaled) {
+              xv = _mm256_mul_ps(xv, qv);
+            }
+            __m256 yv = _mm256_loadu_ps(yr + c);
+            if constexpr (kSubtract) {
+              yv = _mm256_fnmadd_ps(av, xv, yv);
+            } else {
+              yv = _mm256_fmadd_ps(av, xv, yv);
+            }
+            _mm256_storeu_ps(yr + c, yv);
+          }
+        }
+      } else {
+        for (int i = 0; i < m; ++i) {
+          const float av = af[i];
+          const float qv = kScaled ? q2[i0 + i] : 0.0f;
+          const float* SMG_RESTRICT xr =
+              x + static_cast<std::int64_t>(i0 + i) * kp;
+          float* SMG_RESTRICT yr = y + static_cast<std::int64_t>(i0 + i) * kp;
+#pragma omp simd
+          for (int c = 0; c < kp; ++c) {
+            float xv = xr[c];
+            if constexpr (kScaled) {
+              xv *= qv;
+            }
+            yr[c] =
+                kSubtract ? std::fma(-av, xv, yr[c]) : std::fma(av, xv, yr[c]);
+          }
+        }
+      }
+    }
+    return;
+  }
+  // Same-type panels: per lane the operation sequence is exactly the scalar
+  // fallback's — optional q2 multiply, then one contracted multiply-add —
+  // so the explicit form is bitwise neutral while removing the per-row
+  // runtime-trip-count setup the auto-vectorizer emits for the loop below.
+  if constexpr (std::is_same_v<ST, double> && std::is_same_v<CT, double>) {
+    if (kp % 4 == 0) {
+      for (int i = 0; i < n; ++i) {
+        const __m256d av = _mm256_set1_pd(a[i]);
+        const __m256d qv =
+            kScaled ? _mm256_set1_pd(q2[i]) : _mm256_setzero_pd();
+        const double* SMG_RESTRICT xr = x + static_cast<std::int64_t>(i) * kp;
+        double* SMG_RESTRICT yr = y + static_cast<std::int64_t>(i) * kp;
+        for (int c = 0; c < kp; c += 4) {
+          __m256d xv = _mm256_loadu_pd(xr + c);
+          if constexpr (kScaled) {
+            xv = _mm256_mul_pd(xv, qv);
+          }
+          __m256d yv = _mm256_loadu_pd(yr + c);
+          if constexpr (kSubtract) {
+            yv = _mm256_fnmadd_pd(av, xv, yv);
+          } else {
+            yv = _mm256_fmadd_pd(av, xv, yv);
+          }
+          _mm256_storeu_pd(yr + c, yv);
+        }
+      }
+      return;
+    }
+  }
+  if constexpr (std::is_same_v<ST, float> && std::is_same_v<CT, float>) {
+    if (kp % 8 == 0) {
+      for (int i = 0; i < n; ++i) {
+        const __m256 av = _mm256_set1_ps(a[i]);
+        const __m256 qv =
+            kScaled ? _mm256_set1_ps(q2[i]) : _mm256_setzero_ps();
+        const float* SMG_RESTRICT xr = x + static_cast<std::int64_t>(i) * kp;
+        float* SMG_RESTRICT yr = y + static_cast<std::int64_t>(i) * kp;
+        for (int c = 0; c < kp; c += 8) {
+          __m256 xv = _mm256_loadu_ps(xr + c);
+          if constexpr (kScaled) {
+            xv = _mm256_mul_ps(xv, qv);
+          }
+          __m256 yv = _mm256_loadu_ps(yr + c);
+          if constexpr (kSubtract) {
+            yv = _mm256_fnmadd_ps(av, xv, yv);
+          } else {
+            yv = _mm256_fmadd_ps(av, xv, yv);
+          }
+          _mm256_storeu_ps(yr + c, yv);
+        }
+      }
+      return;
+    }
+  }
+#endif
+  for (int i = 0; i < n; ++i) {
+    const CT* SMG_RESTRICT xr = x + static_cast<std::int64_t>(i) * kp;
+    CT* SMG_RESTRICT yr = y + static_cast<std::int64_t>(i) * kp;
+#pragma omp simd
+    for (int c = 0; c < kp; ++c) {
+      const CT ax = widen1<CT>(a[i]) * (kScaled ? q2[i] * xr[c] : xr[c]);
+      yr[c] += kSubtract ? -ax : ax;
+    }
+  }
+}
+
+/// Per-matrix state reused across panel_lines calls; the AVX2 (half, float)
+/// case hoists the F16LineProto descriptor out of the line loop exactly as
+/// the single-RHS kernels do.
+template <class ST, class CT>
+struct PanelLineCtx {
+  explicit PanelLineCtx(const StructMat<ST>&) {}
+};
+
+#if defined(SMG_SIMD_AVX2)
+template <>
+struct PanelLineCtx<half, float> {
+  F16LineProto proto;
+  explicit PanelLineCtx(const StructMat<half>& A) : proto(A) {}
+};
+
+/// Panel mirror of f16_run_line: per column the per-cell sequence (zero
+/// accumulator, one fma per valid diagonal in descriptor order, q2
+/// post-multiply, b - acc) is element-for-element what each SIMD lane of
+/// the 8-wide kernel computes.  yl is the nx*kp local output panel and
+/// doubles as the accumulator — CT stores are exact, so the intermediate
+/// spills are bitwise neutral.
+template <bool kResidual, bool kScaled>
+inline void panel_f16_run_line(const half* SMG_RESTRICT am,
+                               const float* SMG_RESTRICT xb,
+                               const float* SMG_RESTRICT bb,
+                               const float* SMG_RESTRICT q2b,
+                               float* SMG_RESTRICT yl, int nx, int kp,
+                               const F16LineDesc& d) noexcept {
+  // A 1-column panel is the plain vector; the 8-wide single-RHS runner is
+  // the bitwise reference (same per-cell sequence, per the contract above).
+  if (kp == 1) {
+    f16_run_line<kResidual, kScaled>(am, xb, bb, q2b, yl, nx, d);
+    return;
+  }
+  for (std::int64_t q = 0; q < static_cast<std::int64_t>(nx) * kp; ++q) {
+    yl[q] = 0.0f;
+  }
+  // Widen each diagonal run up front (vcvtph2ps, exact like the per-entry
+  // scalar convert): the conversion is per-nnz and must not be repaid per
+  // column.  kChunk covers any realistic line length in one pass.
+  constexpr int kChunk = 256;
+  alignas(32) float af[kChunk];
+  for (int v = 0; v < d.nv; ++v) {
+    const half* SMG_RESTRICT av = am + d.aoff[v];
+    const std::int64_t sh = d.shift[v];
+    const int ihi = d.ihi[v];
+    for (int i1 = d.ilo[v]; i1 < ihi; i1 += kChunk) {
+      const int m = std::min(kChunk, ihi - i1);
+      widen(av + i1, af, static_cast<std::size_t>(m));
+      if (kp % 8 == 0) {
+        for (int i = 0; i < m; ++i) {
+          const __m256 a8 = _mm256_set1_ps(af[i]);
+          const __m256 q8 =
+              kScaled ? _mm256_set1_ps(q2b[sh + i1 + i]) : _mm256_setzero_ps();
+          const float* SMG_RESTRICT xr =
+              xb + (sh + i1 + i) * static_cast<std::int64_t>(kp);
+          float* SMG_RESTRICT yr = yl + static_cast<std::int64_t>(i1 + i) * kp;
+          for (int c = 0; c < kp; c += 8) {
+            __m256 xv = _mm256_loadu_ps(xr + c);
+            if constexpr (kScaled) {
+              xv = _mm256_mul_ps(xv, q8);
+            }
+            _mm256_storeu_ps(
+                yr + c, _mm256_fmadd_ps(a8, xv, _mm256_loadu_ps(yr + c)));
+          }
+        }
+      } else {
+        for (int i = 0; i < m; ++i) {
+          const float a = af[i];
+          const float qv = kScaled ? q2b[sh + i1 + i] : 0.0f;
+          const float* SMG_RESTRICT xr =
+              xb + (sh + i1 + i) * static_cast<std::int64_t>(kp);
+          float* SMG_RESTRICT yr = yl + static_cast<std::int64_t>(i1 + i) * kp;
+#pragma omp simd
+          for (int c = 0; c < kp; ++c) {
+            float xv = xr[c];
+            if constexpr (kScaled) {
+              xv *= qv;
+            }
+            yr[c] = std::fma(a, xv, yr[c]);
+          }
+        }
+      }
+    }
+  }
+  for (int i = 0; i < nx; ++i) {
+    float* SMG_RESTRICT yr = yl + static_cast<std::int64_t>(i) * kp;
+    const float qv = kScaled ? q2b[i] : 0.0f;
+    const float* SMG_RESTRICT br =
+        kResidual ? bb + static_cast<std::int64_t>(i) * kp : nullptr;
+    if (kp % 8 == 0) {
+      const __m256 q8 = kScaled ? _mm256_set1_ps(qv) : _mm256_setzero_ps();
+      for (int c = 0; c < kp; c += 8) {
+        __m256 acc = _mm256_loadu_ps(yr + c);
+        if constexpr (kScaled) {
+          acc = _mm256_mul_ps(acc, q8);
+        }
+        if constexpr (kResidual) {
+          acc = _mm256_sub_ps(_mm256_loadu_ps(br + c), acc);
+        }
+        _mm256_storeu_ps(yr + c, acc);
+      }
+    } else {
+#pragma omp simd
+      for (int c = 0; c < kp; ++c) {
+        float acc = yr[c];
+        if constexpr (kScaled) {
+          acc *= qv;
+        }
+        if constexpr (kResidual) {
+          acc = br[c] - acc;
+        }
+        yr[c] = acc;
+      }
+    }
+  }
+}
+#endif  // SMG_SIMD_AVX2
+
+/// Panel residual / SpMV over lines j in [jlo, jhi) of plane k, written
+/// contiguously to the local panel out[((j - jlo) * nx * bs + ...) * kp].
+/// f and x are full panels (row-major, stride kp), q2 the plain per-row
+/// vector.  Per (layout, storage, block size, q2) family this mirrors
+/// residual_lines (kernels/fused.hpp) for kResidual and the spmv() dispatch
+/// for !kResidual; kResidual requires f != nullptr.
+template <bool kResidual, class ST, class CT>
+void panel_lines(const PanelLineCtx<ST, CT>& ctx, const StructMat<ST>& A,
+                 const CT* SMG_RESTRICT f, const CT* SMG_RESTRICT x,
+                 const CT* SMG_RESTRICT q2, int k, int jlo, int jhi,
+                 CT* SMG_RESTRICT out, int kp) {
+  const Box& box = A.box();
+  const Stencil& st = A.stencil();
+  const int bs = A.block_size();
+  const int nd = st.ndiag();
+  const int nx = box.nx;
+  const ST* SMG_RESTRICT vals = A.data();
+  const std::int64_t lstride = static_cast<std::int64_t>(nx) * bs;
+
+  if (A.layout() == Layout::AOS) {
+    // Mirror of apply_aos' line body / residual_lines' AOS branch: the panel
+    // row doubles as the per-(cell, br) accumulator; with q2 the scaled
+    // product is stored first and subtracted in a separate pass (the
+    // intermediate store is the same rounding barrier residual() has).
+    const std::int64_t block2 = static_cast<std::int64_t>(bs) * bs;
+    SMG_CHECK(nd <= 32, "stencil wider than 3x3x3 is unsupported");
+    for (int j = jlo; j < jhi; ++j) {
+      CT* SMG_RESTRICT rl = out + (j - jlo) * lstride * kp;
+      const std::int64_t base = box.idx(0, j, k);
+      struct Valid {
+        int d;
+        int ilo, ihi;
+        std::int64_t shift;
+      };
+      Valid vd[32];
+      int nvalid = 0;
+      int lo = 0;
+      int hi = nx;
+      for (int d = 0; d < nd; ++d) {
+        const DiagRange r = diag_range(box, st.offset(d), j, k);
+        if (!r.line_valid || r.ihi <= r.ilo) {
+          continue;
+        }
+        vd[nvalid++] = {d, r.ilo, r.ihi, r.shift};
+        lo = std::max(lo, r.ilo);
+        hi = std::min(hi, r.ihi);
+      }
+      hi = std::max(hi, lo);
+      const auto cell_body = [&](int i, bool checked) {
+        const std::int64_t cell = base + i;
+        const ST* cell_vals = vals + cell * nd * block2;
+        for (int br = 0; br < bs; ++br) {
+          CT* SMG_RESTRICT accr =
+              rl + (static_cast<std::int64_t>(i) * bs + br) * kp;
+          for (int c = 0; c < kp; ++c) {
+            accr[c] = CT{0};
+          }
+          for (int v = 0; v < nvalid; ++v) {
+            if (checked && (i < vd[v].ilo || i >= vd[v].ihi)) {
+              continue;
+            }
+            const std::int64_t nbr = cell + vd[v].shift;
+            const ST* blk = cell_vals + vd[v].d * block2;
+            for (int bc = 0; bc < bs; ++bc) {
+              const CT av = widen1<CT>(blk[br * bs + bc]);
+              const CT qn = q2 != nullptr ? q2[nbr * bs + bc] : CT{0};
+              const CT* SMG_RESTRICT xr = x + (nbr * bs + bc) * kp;
+#pragma omp simd
+              for (int c = 0; c < kp; ++c) {
+                CT xv = xr[c];
+                if (q2 != nullptr) {
+                  xv *= qn;
+                }
+                accr[c] = mul_add(av, xv, accr[c]);
+              }
+            }
+          }
+          if (q2 != nullptr) {
+            const CT qc = q2[cell * bs + br];
+            for (int c = 0; c < kp; ++c) {
+              accr[c] *= qc;
+            }
+          } else if constexpr (kResidual) {
+            const CT* SMG_RESTRICT fr = f + (cell * bs + br) * kp;
+            for (int c = 0; c < kp; ++c) {
+              accr[c] = fr[c] - accr[c];
+            }
+          }
+        }
+      };
+      for (int i = 0; i < lo; ++i) {
+        cell_body(i, true);
+      }
+      for (int i = lo; i < hi; ++i) {
+        cell_body(i, false);
+      }
+      for (int i = hi; i < nx; ++i) {
+        cell_body(i, true);
+      }
+      if (q2 != nullptr && kResidual) {
+        const CT* SMG_RESTRICT fl = f + base * bs * kp;
+        for (std::int64_t q = 0; q < lstride * kp; ++q) {
+          rl[q] = fl[q] - rl[q];
+        }
+      }
+    }
+    return;
+  }
+
+  const std::int64_t ncells = A.ncells();
+  const Layout layout = A.layout();
+
+  if (bs > 1) {
+    // Mirror of apply_soa_block_lines / residual_lines' block branch: per
+    // (line, diagonal) the block coefficients are widened once, the raw
+    // matrix-vector sum accumulates into the panel row (per-(cell, br) block
+    // products fold in a private accumulator first, exactly as the
+    // single-RHS kernels), and f/q2 apply in a post pass.  The q2 .* x
+    // operand is the same single multiply of the same operands.
+    const std::int64_t block2 = static_cast<std::int64_t>(bs) * bs;
+    const std::size_t runlen =
+        static_cast<std::size_t>(nx) * static_cast<std::size_t>(block2);
+    thread_local avec<CT> coefbuf;
+    for (int j = jlo; j < jhi; ++j) {
+      CT* SMG_RESTRICT rl = out + (j - jlo) * lstride * kp;
+      const std::int64_t base = box.idx(0, j, k);
+      const std::int64_t line = j + static_cast<std::int64_t>(box.ny) * k;
+      for (std::int64_t q = 0; q < lstride * kp; ++q) {
+        rl[q] = CT{0};
+      }
+      for (int d = 0; d < nd; ++d) {
+        const DiagRange r = diag_range(box, st.offset(d), j, k);
+        if (!r.line_valid || r.ihi <= r.ilo) {
+          continue;
+        }
+        const ST* araw =
+            vals +
+            (layout == Layout::SOA
+                 ? (static_cast<std::int64_t>(d) * ncells + base) * block2
+                 : (line * nd + d) * static_cast<std::int64_t>(nx) * block2);
+        const CT* SMG_RESTRICT coef = widen_run<CT>(araw, runlen, coefbuf);
+        const std::int64_t xoff = (base + r.shift) * bs;
+        for (int i = r.ilo; i < r.ihi; ++i) {
+          const CT* blk = coef + static_cast<std::int64_t>(i) * block2;
+          const std::int64_t xrow = xoff + static_cast<std::int64_t>(i) * bs;
+          for (int br = 0; br < bs; ++br) {
+            CT* SMG_RESTRICT yr =
+                rl + (static_cast<std::int64_t>(i) * bs + br) * kp;
+#pragma omp simd
+            for (int c = 0; c < kp; ++c) {
+              CT acc{0};
+              for (int bc = 0; bc < bs; ++bc) {
+                CT xv = x[(xrow + bc) * kp + c];
+                if (q2 != nullptr) {
+                  xv = q2[xrow + bc] * xv;
+                }
+                acc = mul_add(blk[br * bs + bc], xv, acc);
+              }
+              yr[c] += acc;
+            }
+          }
+        }
+      }
+      // Post pass: apply the row q2 recovery and/or the residual form.
+      if (q2 != nullptr) {
+        const CT* SMG_RESTRICT ql = q2 + base * bs;
+        if constexpr (kResidual) {
+          const CT* SMG_RESTRICT fl = f + base * bs * kp;
+          for (std::int64_t q = 0; q < lstride; ++q) {
+            CT* SMG_RESTRICT yr = rl + q * kp;
+            const CT qc = ql[q];
+            const CT* SMG_RESTRICT fr = fl + q * kp;
+            for (int c = 0; c < kp; ++c) {
+              yr[c] = mul_add(-qc, yr[c], fr[c]);
+            }
+          }
+        } else {
+          for (std::int64_t q = 0; q < lstride; ++q) {
+            CT* SMG_RESTRICT yr = rl + q * kp;
+            const CT qc = ql[q];
+            for (int c = 0; c < kp; ++c) {
+              yr[c] *= qc;
+            }
+          }
+        }
+      } else if constexpr (kResidual) {
+        const CT* SMG_RESTRICT fl = f + base * bs * kp;
+        for (std::int64_t q = 0; q < lstride * kp; ++q) {
+          rl[q] = fl[q] - rl[q];
+        }
+      }
+    }
+    return;
+  }
+
+#if defined(SMG_SIMD_AVX2)
+  if constexpr (std::is_same_v<ST, half> && std::is_same_v<CT, float>) {
+    for (int j = jlo; j < jhi; ++j) {
+      CT* SMG_RESTRICT rl = out + (j - jlo) * lstride * kp;
+      const std::int64_t base = box.idx(0, j, k);
+      const std::int64_t line = j + static_cast<std::int64_t>(box.ny) * k;
+      std::int64_t c_aoff[32];
+      std::int64_t c_shift[32];
+      int c_ilo[32];
+      int c_ihi[32];
+      const F16LineDesc d = f16_line_desc(ctx.proto, st, box, j, k, c_aoff,
+                                          c_shift, c_ilo, c_ihi);
+      const half* am = vals + ctx.proto.abase(base, line);
+      const float* fb = kResidual ? f + base * kp : nullptr;
+      if (q2 != nullptr) {
+        panel_f16_run_line<kResidual, true>(am, x + base * kp, fb, q2 + base,
+                                            rl, nx, kp, d);
+      } else {
+        panel_f16_run_line<kResidual, false>(am, x + base * kp, fb, nullptr,
+                                             rl, nx, kp, d);
+      }
+    }
+    return;
+  }
+#endif
+  (void)ctx;
+
+  if (q2 != nullptr) {
+    // Mirror of the scaled generic path: y = A (q2 .* x) accumulated per
+    // diagonal, row rescale, then (for the residual) r = f - y — the b term
+    // must stay unscaled, so q2 cannot fold into the per-diagonal passes.
+    for (int j = jlo; j < jhi; ++j) {
+      CT* SMG_RESTRICT rl = out + (j - jlo) * lstride * kp;
+      const std::int64_t base = box.idx(0, j, k);
+      const std::int64_t line = j + static_cast<std::int64_t>(box.ny) * k;
+      for (std::int64_t q = 0; q < static_cast<std::int64_t>(nx) * kp; ++q) {
+        rl[q] = CT{0};
+      }
+      for (int d = 0; d < nd; ++d) {
+        const DiagRange r = diag_range(box, st.offset(d), j, k);
+        if (!r.line_valid || r.ihi <= r.ilo) {
+          continue;
+        }
+        const ST* a = line_diag_ptr(vals, layout, base, line, d, nd, ncells, nx);
+        const std::int64_t xoff = base + r.shift;
+        panel_diag_fma<false, true>(a + r.ilo, x + (xoff + r.ilo) * kp,
+                                    q2 + xoff + r.ilo,
+                                    rl + static_cast<std::int64_t>(r.ilo) * kp,
+                                    r.ihi - r.ilo, kp);
+      }
+      for (int i = 0; i < nx; ++i) {
+        CT* SMG_RESTRICT yr = rl + static_cast<std::int64_t>(i) * kp;
+        const CT qc = q2[base + i];
+        for (int c = 0; c < kp; ++c) {
+          yr[c] *= qc;
+        }
+      }
+      if constexpr (kResidual) {
+        const CT* SMG_RESTRICT fl = f + base * kp;
+        for (std::int64_t q = 0; q < static_cast<std::int64_t>(nx) * kp; ++q) {
+          rl[q] = fl[q] - rl[q];
+        }
+      }
+    }
+    return;
+  }
+
+  // Mirror of the unscaled generic path: init with f (residual) or zero
+  // (SpMV), then the per-diagonal passes.
+  for (int j = jlo; j < jhi; ++j) {
+    CT* SMG_RESTRICT rl = out + (j - jlo) * lstride * kp;
+    const std::int64_t base = box.idx(0, j, k);
+    const std::int64_t line = j + static_cast<std::int64_t>(box.ny) * k;
+    if constexpr (kResidual) {
+      const CT* SMG_RESTRICT fl = f + base * kp;
+      for (std::int64_t q = 0; q < static_cast<std::int64_t>(nx) * kp; ++q) {
+        rl[q] = fl[q];
+      }
+    } else {
+      for (std::int64_t q = 0; q < static_cast<std::int64_t>(nx) * kp; ++q) {
+        rl[q] = CT{0};
+      }
+    }
+    for (int d = 0; d < nd; ++d) {
+      const DiagRange r = diag_range(box, st.offset(d), j, k);
+      if (!r.line_valid || r.ihi <= r.ilo) {
+        continue;
+      }
+      const ST* a = line_diag_ptr(vals, layout, base, line, d, nd, ncells, nx);
+      const std::int64_t xoff = base + r.shift;
+      panel_diag_fma<kResidual, false>(
+          a + r.ilo, x + (xoff + r.ilo) * kp, static_cast<const CT*>(nullptr),
+          rl + static_cast<std::int64_t>(r.ilo) * kp, r.ihi - r.ilo, kp);
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Y = A X (optionally rescaled) for all columns of the panel in one sweep
+/// of the stored matrix.  Column c is bitwise identical to
+/// spmv(A, X[:,c], Y[:,c], q2).
+template <class ST, class CT>
+void spmv_many(const StructMat<ST>& A, const MultiVector<CT>& x,
+               MultiVector<CT>& y, const CT* q2 = nullptr) {
+  SMG_CHECK(x.rows() == A.nrows() && y.rows() == A.nrows() &&
+                x.padded_cols() == y.padded_cols(),
+            "spmv_many size mismatch");
+  const obs::KernelSpan span(obs::Kind::SpMV);
+  const detail::PanelLineCtx<ST, CT> ctx(A);
+  const Box& box = A.box();
+  const int bs = A.block_size();
+  const int kp = x.padded_cols();
+  const CT* xp = x.data();
+  CT* yp = y.data();
+#pragma omp parallel for schedule(static)
+  for (int k = 0; k < box.nz; ++k) {
+    detail::panel_lines<false>(ctx, A, static_cast<const CT*>(nullptr), xp,
+                               q2, k, 0, box.ny,
+                               yp + box.idx(0, 0, k) * bs * kp, kp);
+  }
+}
+
+/// R = B - A X (optionally rescaled), one matrix sweep for all columns.
+/// Column c is bitwise identical to residual(A, B[:,c], X[:,c], R[:,c], q2).
+template <class ST, class CT>
+void residual_many(const StructMat<ST>& A, const MultiVector<CT>& b,
+                   const MultiVector<CT>& x, MultiVector<CT>& r,
+                   const CT* q2 = nullptr) {
+  SMG_CHECK(x.rows() == A.nrows() && b.rows() == A.nrows() &&
+                r.rows() == A.nrows() && x.padded_cols() == r.padded_cols() &&
+                b.padded_cols() == r.padded_cols(),
+            "residual_many size mismatch");
+  const obs::KernelSpan span(obs::Kind::Residual);
+  const detail::PanelLineCtx<ST, CT> ctx(A);
+  const Box& box = A.box();
+  const int bs = A.block_size();
+  const int kp = x.padded_cols();
+  const CT* bp = b.data();
+  const CT* xp = x.data();
+  CT* rp = r.data();
+#pragma omp parallel for schedule(static)
+  for (int k = 0; k < box.nz; ++k) {
+    detail::panel_lines<true>(ctx, A, bp, xp, q2, k, 0, box.ny,
+                              rp + box.idx(0, 0, k) * bs * kp, kp);
   }
 }
 

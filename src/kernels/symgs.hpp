@@ -45,7 +45,7 @@ inline void block_apply(const CT* blk, const CT* v, CT* out, int bs) noexcept {
   for (int br = 0; br < bs; ++br) {
     CT acc{0};
     for (int bc = 0; bc < bs; ++bc) {
-      acc += blk[br * bs + bc] * v[bc];
+      acc = mul_add(blk[br * bs + bc], v[bc], acc);
     }
     out[br] = acc;
   }
@@ -136,7 +136,7 @@ void gs_sweep_scalar(const StructMat<ST>& A, std::span<const CT> f,
           if (q2 != nullptr) {
             xv *= q2[nbr * bs + bc];
           }
-          s += widen1<CT>(blk[br * bs + bc]) * xv;
+          s = mul_add(widen1<CT>(blk[br * bs + bc]), xv, s);
         }
         if (q2 != nullptr) {
           s *= q2[cell * bs + br];
@@ -250,11 +250,11 @@ void gs_sweep_soa_lines(const StructMat<ST>& A, std::span<const CT> f,
       CT s = acc[i];
       const int inbr = i + recur_dx;
       if (arec != nullptr && inbr >= 0 && inbr < box.nx) {
-        s += widen1<CT>(arec[i]) * uread[base + inbr];
+        s = mul_add(widen1<CT>(arec[i]), uread[base + inbr], s);
       }
       CT rhs = f[base + i];
       if (q2 != nullptr) {
-        rhs -= q2[base + i] * s;
+        rhs = mul_add(-q2[base + i], s, rhs);
       } else {
         rhs -= s;
       }
@@ -357,7 +357,7 @@ void gs_sweep_block_lines(const StructMat<ST>& A, std::span<const CT> f,
         for (int br = 0; br < bs; ++br) {
           CT a2{0};
           for (int bc = 0; bc < bs; ++bc) {
-            a2 += blk[br * bs + bc] * xv[bc];
+            a2 = mul_add(blk[br * bs + bc], xv[bc], a2);
           }
           av[br] += a2;
         }
@@ -382,7 +382,7 @@ void gs_sweep_block_lines(const StructMat<ST>& A, std::span<const CT> f,
         for (int br = 0; br < bs; ++br) {
           CT a2{0};
           for (int bc = 0; bc < bs; ++bc) {
-            a2 += blk[br * bs + bc] * xv[bc];
+            a2 = mul_add(blk[br * bs + bc], xv[bc], a2);
           }
           s[br] += a2;
         }
@@ -390,7 +390,7 @@ void gs_sweep_block_lines(const StructMat<ST>& A, std::span<const CT> f,
       for (int br = 0; br < bs; ++br) {
         CT rhs = f[cell * bs + br];
         if (q2 != nullptr) {
-          rhs -= q2[cell * bs + br] * s[br];
+          rhs = mul_add(-q2[cell * bs + br], s[br], rhs);
         } else {
           rhs -= s[br];
         }
@@ -410,6 +410,416 @@ void gs_sweep_block_lines(const StructMat<ST>& A, std::span<const CT> f,
 }
 
 }  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Multi-RHS (panel) sweeps: one pass over the stored matrix smooths all k
+// columns of a MultiVector.  Column c performs bitwise the same operations
+// in the same order as the single-RHS sweep of the same family — the
+// vectorized pre-pass goes through panel_diag_fma (whose per-column contract
+// matches soa_diag_fma, f16 path included), and the scalar recurrence keeps
+// the single sweep's exact source shapes (it is scalar C++ in the single
+// kernels too, for every storage type).  Mul-accumulate folds whose FP
+// contraction the optimizer would otherwise resolve per vectorization
+// context are pinned on both sides via detail::mul_add (see spmv.hpp), so
+// differently-shaped surrounding loops cannot break the per-column
+// identity.  Wavefront schedules parallelize the
+// panel sweep through the same run_lines/run_wavefront machinery, so the
+// bitwise-identity-at-any-thread-count property carries over unchanged.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+/// Panel mirror of gs_sweep_soa_lines (SOA-family, bs == 1).
+template <bool kForward, class ST, class CT>
+void panel_gs_sweep_soa_lines(const StructMat<ST>& A, const MultiVector<CT>& f,
+                              MultiVector<CT>& u, std::span<const CT> invdiag,
+                              const CT* SMG_RESTRICT q2,
+                              const WavefrontSchedule* wf) {
+  const Box& box = A.box();
+  const Stencil& st = A.stencil();
+  const int nd = st.ndiag();
+  const int center = st.center();
+  const int kp = u.padded_cols();
+  const std::int64_t ncells = A.ncells();
+  const ST* SMG_RESTRICT vals = A.data();
+  const Layout layout = A.layout();
+
+  const int recur_d = kForward ? st.find(-1, 0, 0) : st.find(+1, 0, 0);
+  const int recur_dx = kForward ? -1 : +1;
+
+  // Scaled recovery: maintain the uq = q2 .* u panel incrementally, exactly
+  // as the single-RHS sweep maintains its vector (same multiply, same
+  // operands, per column).
+  thread_local avec<CT> uqbuf;
+  const CT* SMG_RESTRICT uread = u.data();
+  CT* SMG_RESTRICT uq = nullptr;
+  if (q2 != nullptr) {
+    const std::size_t n = u.size();
+    uqbuf.resize(n);
+    CT* SMG_RESTRICT uqp = uqbuf.data();
+    const CT* SMG_RESTRICT up = u.data();
+    const std::int64_t rows = u.rows();
+#pragma omp parallel for schedule(static)
+    for (std::int64_t rrow = 0; rrow < rows; ++rrow) {
+      const CT qv = q2[rrow];
+      const CT* SMG_RESTRICT ur = up + rrow * kp;
+      CT* SMG_RESTRICT qr = uqp + rrow * kp;
+#pragma omp simd
+      for (int c = 0; c < kp; ++c) {
+        qr[c] = qv * ur[c];
+      }
+    }
+    uq = uqbuf.data();
+    uread = uq;
+  }
+
+  const auto line_body = [&](int j, int k) {
+    thread_local avec<CT> accbuf;
+    accbuf.resize(static_cast<std::size_t>(box.nx) * kp);
+    CT* SMG_RESTRICT acc = accbuf.data();
+
+    const std::int64_t base = box.idx(0, j, k);
+    const std::int64_t line = j + static_cast<std::int64_t>(box.ny) * k;
+    for (std::int64_t q = 0; q < static_cast<std::int64_t>(box.nx) * kp; ++q) {
+      acc[q] = CT{0};
+    }
+    for (int d = 0; d < nd; ++d) {
+      if (d == center || d == recur_d) {
+        continue;
+      }
+      const DiagRange r = diag_range(box, st.offset(d), j, k);
+      if (!r.line_valid || r.ihi <= r.ilo) {
+        continue;
+      }
+      const ST* a =
+          line_diag_ptr(vals, layout, base, line, d, nd, ncells, box.nx);
+      const std::int64_t xoff = base + r.shift;
+      panel_diag_fma<false, false>(
+          a + r.ilo, uread + (xoff + r.ilo) * kp,
+          static_cast<const CT*>(nullptr),
+          acc + static_cast<std::int64_t>(r.ilo) * kp, r.ihi - r.ilo, kp);
+    }
+    const ST* arec = recur_d >= 0
+                         ? line_diag_ptr(vals, layout, base, line, recur_d,
+                                         nd, ncells, box.nx)
+                         : nullptr;
+    // Widen the recurrence run once per line (exact conversion, same value
+    // as the per-row widen1): the conversion is per-row work that cannot
+    // amortize over the kp columns of the recurrence body.
+    thread_local avec<CT> recbuf;
+    const CT* SMG_RESTRICT arecw =
+        arec != nullptr
+            ? widen_run<CT>(arec, static_cast<std::size_t>(box.nx), recbuf)
+            : nullptr;
+    const CT* SMG_RESTRICT fp = f.data();
+    CT* SMG_RESTRICT up = u.data();
+    const int i0 = kForward ? 0 : box.nx - 1;
+    const int istep = kForward ? 1 : -1;
+    for (int i = i0; i >= 0 && i < box.nx; i += istep) {
+      const int inbr = i + recur_dx;
+      const bool hasrec = arec != nullptr && inbr >= 0 && inbr < box.nx;
+      const CT arecv = hasrec ? arecw[i] : CT{0};
+      const CT* SMG_RESTRICT urd =
+          hasrec ? uread + (base + inbr) * kp : nullptr;
+      const CT* SMG_RESTRICT accr = acc + static_cast<std::int64_t>(i) * kp;
+      const CT* SMG_RESTRICT fr = fp + (base + i) * kp;
+      CT* SMG_RESTRICT ur = up + (base + i) * kp;
+      CT* SMG_RESTRICT uqr = uq != nullptr ? uq + (base + i) * kp : nullptr;
+      const CT qcell = q2 != nullptr ? q2[base + i] : CT{0};
+      const CT idv = invdiag[static_cast<std::size_t>(base + i)];
+#pragma omp simd
+      for (int c = 0; c < kp; ++c) {
+        CT s = accr[c];
+        if (hasrec) {
+          s = mul_add(arecv, urd[c], s);
+        }
+        CT rhs = fr[c];
+        if (q2 != nullptr) {
+          rhs = mul_add(-qcell, s, rhs);
+        } else {
+          rhs -= s;
+        }
+        const CT unew = idv * rhs;
+        ur[c] = unew;
+        if (uqr != nullptr) {
+          uqr[c] = qcell * unew;
+        }
+      }
+    }
+  };
+
+  run_lines<kForward>(box, wf, line_body);
+}
+
+/// Panel mirror of gs_sweep_block_lines (SOA-family, bs > 1).
+template <bool kForward, class ST, class CT>
+void panel_gs_sweep_block_lines(const StructMat<ST>& A,
+                                const MultiVector<CT>& f, MultiVector<CT>& u,
+                                std::span<const CT> invdiag,
+                                const CT* SMG_RESTRICT q2,
+                                const WavefrontSchedule* wf) {
+  const Box& box = A.box();
+  const Stencil& st = A.stencil();
+  const int bs = A.block_size();
+  const int nd = st.ndiag();
+  const int nx = box.nx;
+  const int center = st.center();
+  const int kp = u.padded_cols();
+  const std::int64_t ncells = A.ncells();
+  const std::int64_t block2 = static_cast<std::int64_t>(bs) * bs;
+  const ST* SMG_RESTRICT vals = A.data();
+  const Layout layout = A.layout();
+  const std::size_t runlen =
+      static_cast<std::size_t>(nx) * static_cast<std::size_t>(block2);
+  SMG_CHECK(bs <= 8, "block size > 8 unsupported");
+
+  const int recur_d = kForward ? st.find(-1, 0, 0) : st.find(+1, 0, 0);
+  const int recur_dx = kForward ? -1 : +1;
+
+  thread_local avec<CT> uqbuf;
+  const CT* SMG_RESTRICT uread = u.data();
+  CT* SMG_RESTRICT uq = nullptr;
+  if (q2 != nullptr) {
+    const std::size_t n = u.size();
+    uqbuf.resize(n);
+    CT* SMG_RESTRICT uqp = uqbuf.data();
+    const CT* SMG_RESTRICT up = u.data();
+    const std::int64_t rows = u.rows();
+#pragma omp parallel for schedule(static)
+    for (std::int64_t rrow = 0; rrow < rows; ++rrow) {
+      const CT qv = q2[rrow];
+      const CT* SMG_RESTRICT ur = up + rrow * kp;
+      CT* SMG_RESTRICT qr = uqp + rrow * kp;
+#pragma omp simd
+      for (int c = 0; c < kp; ++c) {
+        qr[c] = qv * ur[c];
+      }
+    }
+    uq = uqbuf.data();
+    uread = uq;
+  }
+
+  const auto run_ptr = [&](std::int64_t base, std::int64_t line, int d) {
+    return vals + (layout == Layout::SOA
+                       ? (static_cast<std::int64_t>(d) * ncells + base) *
+                             block2
+                       : (line * nd + d) * static_cast<std::int64_t>(nx) *
+                             block2);
+  };
+
+  const auto line_body = [&](int j, int k) {
+    thread_local avec<CT> accbuf;
+    thread_local avec<CT> coefbuf;
+    thread_local avec<CT> recurbuf;
+    accbuf.resize(static_cast<std::size_t>(nx) * bs * kp);
+    CT* SMG_RESTRICT acc = accbuf.data();
+    CT s[8];
+    CT upd[8];
+
+    const std::int64_t base = box.idx(0, j, k);
+    const std::int64_t line = j + static_cast<std::int64_t>(box.ny) * k;
+    for (std::int64_t q = 0;
+         q < static_cast<std::int64_t>(nx) * bs * kp; ++q) {
+      acc[q] = CT{0};
+    }
+    for (int d = 0; d < nd; ++d) {
+      if (d == center || d == recur_d) {
+        continue;
+      }
+      const DiagRange r = diag_range(box, st.offset(d), j, k);
+      if (!r.line_valid || r.ihi <= r.ilo) {
+        continue;
+      }
+      const CT* coef = widen_run<CT>(run_ptr(base, line, d), runlen, coefbuf);
+      const std::int64_t xoff = (base + r.shift) * bs;
+      for (int i = r.ilo; i < r.ihi; ++i) {
+        const CT* blk = coef + static_cast<std::int64_t>(i) * block2;
+        const std::int64_t xrow = xoff + static_cast<std::int64_t>(i) * bs;
+        for (int br = 0; br < bs; ++br) {
+          CT* SMG_RESTRICT av =
+              acc + (static_cast<std::int64_t>(i) * bs + br) * kp;
+#pragma omp simd
+          for (int c = 0; c < kp; ++c) {
+            CT a2{0};
+            for (int bc = 0; bc < bs; ++bc) {
+              a2 = mul_add(blk[br * bs + bc], uread[(xrow + bc) * kp + c],
+                           a2);
+            }
+            av[c] += a2;
+          }
+        }
+      }
+    }
+    const CT* rec = recur_d >= 0 ? widen_run<CT>(run_ptr(base, line, recur_d),
+                                                 runlen, recurbuf)
+                                 : nullptr;
+    const CT* SMG_RESTRICT fp = f.data();
+    CT* SMG_RESTRICT up = u.data();
+    const int i0 = kForward ? 0 : nx - 1;
+    const int istep = kForward ? 1 : -1;
+    for (int i = i0; i >= 0 && i < nx; i += istep) {
+      const std::int64_t cell = base + i;
+      const int inbr = i + recur_dx;
+      const bool hasrec = rec != nullptr && inbr >= 0 && inbr < nx;
+      const CT* blkrec =
+          hasrec ? rec + static_cast<std::int64_t>(i) * block2 : nullptr;
+      for (int c = 0; c < kp; ++c) {
+        for (int br = 0; br < bs; ++br) {
+          s[br] = acc[(static_cast<std::int64_t>(i) * bs + br) * kp + c];
+        }
+        if (hasrec) {
+          for (int br = 0; br < bs; ++br) {
+            CT a2{0};
+            for (int bc = 0; bc < bs; ++bc) {
+              a2 = mul_add(blkrec[br * bs + bc],
+                           uread[((base + inbr) * bs + bc) * kp + c], a2);
+            }
+            s[br] += a2;
+          }
+        }
+        for (int br = 0; br < bs; ++br) {
+          CT rhs = fp[(cell * bs + br) * kp + c];
+          if (q2 != nullptr) {
+            rhs = mul_add(-q2[cell * bs + br], s[br], rhs);
+          } else {
+            rhs -= s[br];
+          }
+          s[br] = rhs;
+        }
+        block_apply(invdiag.data() + cell * block2, s, upd, bs);
+        for (int br = 0; br < bs; ++br) {
+          up[(cell * bs + br) * kp + c] = upd[br];
+          if (uq != nullptr) {
+            uq[(cell * bs + br) * kp + c] = q2[cell * bs + br] * upd[br];
+          }
+        }
+      }
+    }
+  };
+
+  run_lines<kForward>(box, wf, line_body);
+}
+
+/// Panel mirror of gs_sweep_scalar (AOS; per-column scalar cell bodies,
+/// parallelized at cell granularity by a Cell wavefront schedule).
+template <bool kForward, class ST, class CT>
+void panel_gs_sweep_scalar(const StructMat<ST>& A, const MultiVector<CT>& f,
+                           MultiVector<CT>& u, std::span<const CT> invdiag,
+                           const CT* SMG_RESTRICT q2,
+                           const WavefrontSchedule* wf) {
+  const Box& box = A.box();
+  const Stencil& st = A.stencil();
+  const int bs = A.block_size();
+  const int nd = st.ndiag();
+  const int center = st.center();
+  const int kp = u.padded_cols();
+  SMG_CHECK(center >= 0, "GS sweep needs a diagonal entry");
+  SMG_CHECK(bs <= 8, "block size > 8 unsupported");
+  const std::int64_t block2 = static_cast<std::int64_t>(bs) * bs;
+  const CT* SMG_RESTRICT fp = f.data();
+  CT* SMG_RESTRICT up = u.data();
+
+  const auto cell_body = [&](int i, int j, int k) {
+    CT acc[8];
+    CT upd[8];
+    const std::int64_t cell = box.idx(i, j, k);
+    for (int c = 0; c < kp; ++c) {
+      for (int br = 0; br < bs; ++br) {
+        acc[br] = fp[(cell * bs + br) * kp + c];
+      }
+      for (int d = 0; d < nd; ++d) {
+        if (d == center) {
+          continue;
+        }
+        const Offset& o = st.offset(d);
+        if (!box.contains(i + o.dx, j + o.dy, k + o.dz)) {
+          continue;
+        }
+        const std::int64_t nbr = box.idx(i + o.dx, j + o.dy, k + o.dz);
+        const ST* blk = A.data() + A.block_index(cell, d);
+        for (int br = 0; br < bs; ++br) {
+          CT s{0};
+          for (int bc = 0; bc < bs; ++bc) {
+            CT xv = up[(nbr * bs + bc) * kp + c];
+            if (q2 != nullptr) {
+              xv *= q2[nbr * bs + bc];
+            }
+            s = mul_add(widen1<CT>(blk[br * bs + bc]), xv, s);
+          }
+          if (q2 != nullptr) {
+            s *= q2[cell * bs + br];
+          }
+          acc[br] -= s;
+        }
+      }
+      block_apply(invdiag.data() + cell * block2, acc, upd, bs);
+      for (int br = 0; br < bs; ++br) {
+        up[(cell * bs + br) * kp + c] = upd[br];
+      }
+    }
+  };
+
+  if (wf_usable(wf, WfGranularity::Cell)) {
+    const std::int64_t nxy = static_cast<std::int64_t>(box.nx) * box.ny;
+    run_wavefront<kForward>(*wf, [&](std::int32_t cell) {
+      const int k = static_cast<int>(cell / nxy);
+      const int rem = static_cast<int>(cell % nxy);
+      cell_body(rem % box.nx, rem / box.nx, k);
+    });
+    return;
+  }
+
+  const int k0 = kForward ? 0 : box.nz - 1;
+  const int kstep = kForward ? 1 : -1;
+  for (int k = k0; k >= 0 && k < box.nz; k += kstep) {
+    const int j0 = kForward ? 0 : box.ny - 1;
+    for (int j = j0; j >= 0 && j < box.ny; j += kstep) {
+      const int i0 = kForward ? 0 : box.nx - 1;
+      for (int i = i0; i >= 0 && i < box.nx; i += kstep) {
+        cell_body(i, j, k);
+      }
+    }
+  }
+}
+
+}  // namespace detail
+
+/// One forward Gauss-Seidel panel sweep over all columns of the MultiVector;
+/// column c is bitwise identical to gs_forward on that column.
+template <class ST, class CT>
+void gs_forward_many(const StructMat<ST>& A, const MultiVector<CT>& f,
+                     MultiVector<CT>& u, std::span<const CT> invdiag,
+                     const CT* q2 = nullptr,
+                     const WavefrontSchedule* wf = nullptr) {
+  const obs::KernelSpan span(obs::Kind::SymGS);
+  if (A.layout() != Layout::AOS) {
+    if (A.block_size() == 1) {
+      detail::panel_gs_sweep_soa_lines<true>(A, f, u, invdiag, q2, wf);
+    } else {
+      detail::panel_gs_sweep_block_lines<true>(A, f, u, invdiag, q2, wf);
+    }
+  } else {
+    detail::panel_gs_sweep_scalar<true>(A, f, u, invdiag, q2, wf);
+  }
+}
+
+/// One backward Gauss-Seidel panel sweep; column-wise mirror of gs_backward.
+template <class ST, class CT>
+void gs_backward_many(const StructMat<ST>& A, const MultiVector<CT>& f,
+                      MultiVector<CT>& u, std::span<const CT> invdiag,
+                      const CT* q2 = nullptr,
+                      const WavefrontSchedule* wf = nullptr) {
+  const obs::KernelSpan span(obs::Kind::SymGS);
+  if (A.layout() != Layout::AOS) {
+    if (A.block_size() == 1) {
+      detail::panel_gs_sweep_soa_lines<false>(A, f, u, invdiag, q2, wf);
+    } else {
+      detail::panel_gs_sweep_block_lines<false>(A, f, u, invdiag, q2, wf);
+    }
+  } else {
+    detail::panel_gs_sweep_scalar<false>(A, f, u, invdiag, q2, wf);
+  }
+}
 
 /// One forward Gauss-Seidel sweep: u <- (D + L)^{-1} (f - U u).
 /// For lower-triangular-pattern matrices this *is* SpTRSV.

@@ -92,6 +92,9 @@ SolverReport build_report(const Telemetry& t, const MGHierarchy& h,
   r.iterations = t.total(Kind::Iteration).calls;
   r.precond_seconds = t.apply_seconds();
   r.precond_calls = t.apply_calls();
+  r.panel_applies = t.panel_applies();
+  r.panel_columns = t.panel_columns();
+  r.max_panel_width = static_cast<std::uint64_t>(t.max_panel_width());
   r.reference_gbs = reference_gbs;
   r.dropped = t.dropped();
   for (int l = -1; l < h.nlevels(); ++l) {
@@ -138,6 +141,15 @@ void print_report(const SolverReport& r, std::ostream& os) {
                 r.precond_seconds,
                 static_cast<unsigned long long>(r.precond_calls));
   os << line;
+  if (r.panel_applies > 0) {
+    std::snprintf(line, sizeof(line),
+                  "  throughput mode: %llu panel apply call(s) carrying %llu "
+                  "column(s) (max width %llu)\n",
+                  static_cast<unsigned long long>(r.panel_applies),
+                  static_cast<unsigned long long>(r.panel_columns),
+                  static_cast<unsigned long long>(r.max_panel_width));
+    os << line;
+  }
   if (r.reference_gbs > 0.0) {
     std::snprintf(line, sizeof(line), "  bandwidth reference: %.2f GB/s\n",
                   r.reference_gbs);
@@ -215,7 +227,10 @@ std::string to_json(const SolverReport& r) {
   out += "\"solve\":{\"seconds\":" + num(r.solve_seconds);
   out += ",\"iterations\":" + num(r.iterations);
   out += ",\"precond_seconds\":" + num(r.precond_seconds);
-  out += ",\"precond_calls\":" + num(r.precond_calls) + "},";
+  out += ",\"precond_calls\":" + num(r.precond_calls);
+  out += ",\"panel_applies\":" + num(r.panel_applies);
+  out += ",\"panel_columns\":" + num(r.panel_columns);
+  out += ",\"max_panel_width\":" + num(r.max_panel_width) + "},";
   out += "\"reference_gbs\":" + num(r.reference_gbs) + ",";
   out += "\"dropped\":" + num(r.dropped) + ",";
   out += "\"kernels\":[";

@@ -35,6 +35,11 @@ struct SolverReport {
   std::uint64_t iterations = 0;
   double precond_seconds = 0.0;
   std::uint64_t precond_calls = 0;
+  /// Panel (multi-RHS) preconditioner applications and the columns they
+  /// carried; 0 outside throughput mode (solve_many).
+  std::uint64_t panel_applies = 0;
+  std::uint64_t panel_columns = 0;
+  std::uint64_t max_panel_width = 0;
   /// Achievable-bandwidth reference (e.g. measured STREAM triad GB/s);
   /// 0 disables the efficiency column.
   double reference_gbs = 0.0;

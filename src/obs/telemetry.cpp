@@ -96,6 +96,12 @@ void Telemetry::record_apply(double t0, double t1) noexcept {
   }
 }
 
+void Telemetry::record_panel_apply(int k) noexcept {
+  ++panel_applies_;
+  panel_columns_ += static_cast<std::uint64_t>(k);
+  max_panel_width_ = std::max(max_panel_width_, k);
+}
+
 void Telemetry::reset() noexcept {
   for (Slab& s : slabs_) {
     for (auto& per_level : s.stats) {
@@ -107,6 +113,9 @@ void Telemetry::reset() noexcept {
   }
   apply_seconds_ = 0.0;
   apply_calls_ = 0;
+  panel_applies_ = 0;
+  panel_columns_ = 0;
+  max_panel_width_ = 0;
   dropped_.store(0, std::memory_order_relaxed);
 }
 

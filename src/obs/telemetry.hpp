@@ -164,6 +164,14 @@ class Telemetry {
   double apply_seconds() const noexcept { return apply_seconds_; }
   std::uint64_t apply_calls() const noexcept { return apply_calls_; }
 
+  /// Panel (multi-RHS) preconditioner applies: one call per apply_many with
+  /// its column count, so throughput ledgers can report the amortization
+  /// (columns per matrix pass).  Always on, like record_apply.
+  void record_panel_apply(int k) noexcept;
+  std::uint64_t panel_applies() const noexcept { return panel_applies_; }
+  std::uint64_t panel_columns() const noexcept { return panel_columns_; }
+  int max_panel_width() const noexcept { return max_panel_width_; }
+
   /// Vector-precision conversions (KT<->CT truncate/recover) per apply;
   /// set once by the adapter, 0 when the Krylov and compute types match.
   void set_vec_conversions_per_apply(std::uint64_t n) noexcept {
@@ -206,6 +214,9 @@ class Telemetry {
   std::vector<Slab> slabs_;  ///< empty when Off
   double apply_seconds_ = 0.0;
   std::uint64_t apply_calls_ = 0;
+  std::uint64_t panel_applies_ = 0;
+  std::uint64_t panel_columns_ = 0;
+  int max_panel_width_ = 0;
   std::uint64_t vec_conversions_per_apply_ = 0;
   std::atomic<std::uint64_t> dropped_{0};
 };

@@ -70,4 +70,51 @@ double residual_restrict_bytes(double nnz, double m_fine, double m_coarse,
 double downstroke_bytes(double nnz, double m_fine, double m_coarse, Prec mat,
                         Prec vec, bool scaled, bool fused) noexcept;
 
+// --- multi-RHS (panel) traffic ---------------------------------------------
+//
+// The k-column kernels stream the stored matrix (and the shared per-row
+// operands: q2, inv_diag) ONCE for all k right-hand sides; only the
+// per-column vector streams scale with k.  Each model below reduces exactly
+// to its single-RHS formula at k = 1 (asserted in tests/perfmodel) — the
+// amortization ratio spmv_bytes(...) * k / spmv_many_bytes(..., k) is the
+// matrix-traffic bound fig_many_rhs gates against.
+
+/// y[c] = A x[c] for k columns: matrix once, k reads of x, k writes of y,
+/// one shared q2 read.
+double spmv_many_bytes(double nnz, double m, Prec mat, Prec vec, bool scaled,
+                       int k) noexcept;
+
+/// One panel Gauss-Seidel sweep: matrix and inv_diag once, k reads of f,
+/// k read-modify-writes of u, one shared q2 read.
+double symgs_sweep_many_bytes(double nnz, double m, Prec mat, Prec vec,
+                              bool scaled, int k) noexcept;
+
+/// One fused panel weighted-Jacobi sweep: same streams as a panel GS sweep.
+double jacobi_sweep_many_bytes(double nnz, double m, Prec mat, Prec vec,
+                               bool scaled, int k) noexcept;
+
+/// r[c] = f[c] - A u[c]: matrix once, k reads of u and f, k writes of r,
+/// one shared q2 read.
+double residual_many_bytes(double nnz, double m, Prec mat, Prec vec,
+                           bool scaled, int k) noexcept;
+
+/// f_c[c] = R r_f[c]: k fine reads, k coarse writes.
+double restrict_many_bytes(double m_fine, double m_coarse, Prec vec,
+                           int k) noexcept;
+
+/// u_f[c] += P e_c[c]: k coarse reads, k fine read-modify-writes.
+double prolong_many_bytes(double m_fine, double m_coarse, Prec vec,
+                          int k) noexcept;
+
+/// Fused panel downstroke f_c[c] = R (f[c] - A u[c]): residual + restriction
+/// minus the eliminated k residual-panel stores and loads.
+double residual_restrict_many_bytes(double nnz, double m_fine, double m_coarse,
+                                    Prec mat, Prec vec, bool scaled,
+                                    int k) noexcept;
+
+/// One level's k-column downstroke traffic on either path.
+double downstroke_many_bytes(double nnz, double m_fine, double m_coarse,
+                             Prec mat, Prec vec, bool scaled, bool fused,
+                             int k) noexcept;
+
 }  // namespace smg

@@ -7,8 +7,10 @@
 
 #include <span>
 #include <string_view>
+#include <vector>
 
 #include "util/common.hpp"
+#include "util/multivector.hpp"
 
 namespace smg::obs {
 class Telemetry;
@@ -40,6 +42,24 @@ class PrecondBase {
 
   /// e = M^{-1} r.
   virtual void apply(std::span<const KT> r, std::span<KT> e) = 0;
+
+  /// E[c] = M^{-1} R[c] for every column of a panel (throughput mode).
+  /// The default peels the panel into columns and runs the single-vector
+  /// apply per column — always correct, no amortization.  MGPrecondAdapter
+  /// overrides it with the k-column V-cycle that streams each level's
+  /// stored matrix once for all columns.  Implementations keep every
+  /// column bitwise identical to a single-vector apply of that column.
+  virtual void apply_many(const MultiVector<KT>& r, MultiVector<KT>& e) {
+    SMG_CHECK(r.rows() == e.rows() && r.cols() == e.cols(),
+              "precond apply_many shape mismatch");
+    const std::size_t n = static_cast<std::size_t>(r.rows());
+    std::vector<KT> rc(n), ec(n);
+    for (int c = 0; c < r.cols(); ++c) {
+      r.extract_col(c, {rc.data(), n});
+      apply({rc.data(), n}, {ec.data(), n});
+      e.insert_col(c, {ec.data(), n});
+    }
+  }
 
   /// Cumulative seconds spent inside apply() (preconditioner phase timing
   /// for the Fig. 8/9 breakdown).

@@ -1,0 +1,117 @@
+// Setup/apply split tests: hierarchy fingerprinting and the LRU cache.
+#include <gtest/gtest.h>
+
+#include "core/hierarchy_cache.hpp"
+#include "problems/problem.hpp"
+
+namespace smg {
+namespace {
+
+TEST(HierarchyFingerprint, SensitiveToEverySetupInput) {
+  auto p = make_laplace27(Box{8, 8, 8});
+  const MGConfig cfg = config_d16_setup_scale();
+  const std::uint64_t base = hierarchy_fingerprint(p.A, cfg);
+  EXPECT_EQ(base, hierarchy_fingerprint(p.A, cfg));  // deterministic
+
+  // A different box.
+  auto p2 = make_laplace27(Box{8, 8, 9});
+  EXPECT_NE(hierarchy_fingerprint(p2.A, cfg), base);
+
+  // One perturbed matrix value.
+  auto p3 = make_laplace27(Box{8, 8, 8});
+  p3.A.data()[0] += 1e-13;
+  EXPECT_NE(hierarchy_fingerprint(p3.A, cfg), base);
+
+  // Config fields that change the setup...
+  MGConfig c2 = cfg;
+  c2.nu1 = 2;
+  EXPECT_NE(hierarchy_fingerprint(p.A, c2), base);
+  MGConfig c3 = cfg;
+  c3.storage = Prec::BF16;
+  EXPECT_NE(hierarchy_fingerprint(p.A, c3), base);
+  MGConfig c4 = cfg;
+  c4.scale_safety *= 2.0;
+  EXPECT_NE(hierarchy_fingerprint(p.A, c4), base);
+  // ...and fields that "only" change runtime behavior must not alias
+  // either (a cached hierarchy carries its config).
+  MGConfig c5 = cfg;
+  c5.smoother_parallel = SmootherParallel::Sequential;
+  EXPECT_NE(hierarchy_fingerprint(p.A, c5), base);
+  MGConfig c6 = cfg;
+  c6.layout = Layout::AOS;
+  EXPECT_NE(hierarchy_fingerprint(p.A, c6), base);
+}
+
+TEST(HierarchyCache, HitsReuseTheSameSetup) {
+  auto p = make_laplace27(Box{8, 8, 8});
+  const MGConfig cfg = config_d16_setup_scale();
+  HierarchyCache cache(4);
+  const auto h1 = cache.get_or_build(p.A, cfg);
+  const auto h2 = cache.get_or_build(p.A, cfg);
+  EXPECT_EQ(h1.get(), h2.get());  // the very same setup, not a rebuild
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_GE(h1->nlevels(), 2);
+}
+
+TEST(HierarchyCache, EvictsLeastRecentlyUsed) {
+  const MGConfig cfg = config_d16_setup_scale();
+  HierarchyCache cache(2);
+  auto pa = make_laplace27(Box{6, 6, 6});
+  auto pb = make_laplace27(Box{7, 7, 7});
+  auto pc = make_laplace27(Box{8, 8, 8});
+  const auto ha = cache.get_or_build(pa.A, cfg);
+  const auto hb = cache.get_or_build(pb.A, cfg);
+  // Touch A so B becomes the LRU entry, then insert C.
+  (void)cache.get_or_build(pa.A, cfg);
+  const auto hc = cache.get_or_build(pc.A, cfg);
+  EXPECT_EQ(cache.size(), 2u);
+  // A is still cached, B was evicted and rebuilds fresh.
+  EXPECT_EQ(cache.get_or_build(pa.A, cfg).get(), ha.get());
+  EXPECT_NE(cache.get_or_build(pb.A, cfg).get(), hb.get());
+}
+
+TEST(HierarchyCache, CapacityZeroDisablesCaching) {
+  auto p = make_laplace27(Box{6, 6, 6});
+  const MGConfig cfg = config_d16_setup_scale();
+  HierarchyCache cache(0);
+  const auto h1 = cache.get_or_build(p.A, cfg);
+  const auto h2 = cache.get_or_build(p.A, cfg);
+  EXPECT_NE(h1.get(), h2.get());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(HierarchyCache, ClearDropsEntriesAndCounters) {
+  auto p = make_laplace27(Box{6, 6, 6});
+  const MGConfig cfg = config_d16_setup_scale();
+  HierarchyCache cache(4);
+  (void)cache.get_or_build(p.A, cfg);
+  (void)cache.get_or_build(p.A, cfg);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(HierarchyCache, GlobalIsACacheWithDefaultOrEnvCapacity) {
+  // The global cache is sized once from SMG_HIERARCHY_CACHE on first use;
+  // within one test process we can only assert it exists and behaves like
+  // a cache (capacity is whatever the environment said at first touch).
+  HierarchyCache& g = HierarchyCache::global();
+  EXPECT_EQ(&g, &HierarchyCache::global());
+  if (g.capacity() > 0) {
+    auto p = make_laplace27(Box{6, 6, 6});
+    const MGConfig cfg = config_d16_setup_scale();
+    g.clear();
+    const auto h1 = g.get_or_build(p.A, cfg);
+    const auto h2 = g.get_or_build(p.A, cfg);
+    EXPECT_EQ(h1.get(), h2.get());
+    g.clear();
+  }
+}
+
+}  // namespace
+}  // namespace smg

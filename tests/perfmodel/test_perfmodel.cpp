@@ -81,6 +81,79 @@ TEST(Bytes, FusedDownstrokeSavesExactlyTheResidualWriteAndRead) {
   EXPECT_DOUBLE_EQ(prolong_bytes(mf, mc, Prec::FP32), 4.0 * (2.0 * mf + mc));
 }
 
+TEST(Bytes, ManyRhsModelsReduceToSingleAtKOne) {
+  // Satellite contract: every *_many model at k = 1 is EXACTLY (bitwise)
+  // its single-RHS counterpart — the panel path may not re-derive the
+  // baseline accounting.
+  const double mf = 33.0 * 33.0 * 33.0;
+  const double mc = 17.0 * 17.0 * 17.0;
+  const double nnz = mf * stencil_nnz_per_row(Pattern::P3d27, 1);
+  for (Prec mat : {Prec::FP64, Prec::FP32, Prec::FP16}) {
+    for (Prec vec : {Prec::FP64, Prec::FP32}) {
+      for (bool scaled : {false, true}) {
+        EXPECT_EQ(spmv_many_bytes(nnz, mf, mat, vec, scaled, 1),
+                  spmv_bytes(nnz, mf, mat, vec, scaled));
+        EXPECT_EQ(symgs_sweep_many_bytes(nnz, mf, mat, vec, scaled, 1),
+                  symgs_sweep_bytes(nnz, mf, mat, vec, scaled));
+        EXPECT_EQ(jacobi_sweep_many_bytes(nnz, mf, mat, vec, scaled, 1),
+                  jacobi_sweep_bytes(nnz, mf, mat, vec, scaled));
+        EXPECT_EQ(residual_many_bytes(nnz, mf, mat, vec, scaled, 1),
+                  residual_bytes(nnz, mf, mat, vec, scaled));
+        EXPECT_EQ(residual_restrict_many_bytes(nnz, mf, mc, mat, vec, scaled,
+                                               1),
+                  residual_restrict_bytes(nnz, mf, mc, mat, vec, scaled));
+        for (bool fused : {false, true}) {
+          EXPECT_EQ(downstroke_many_bytes(nnz, mf, mc, mat, vec, scaled,
+                                          fused, 1),
+                    downstroke_bytes(nnz, mf, mc, mat, vec, scaled, fused));
+        }
+      }
+    }
+  }
+  for (Prec vec : {Prec::FP64, Prec::FP32}) {
+    EXPECT_EQ(restrict_many_bytes(mf, mc, vec, 1), restrict_bytes(mf, mc, vec));
+    EXPECT_EQ(prolong_many_bytes(mf, mc, vec, 1), prolong_bytes(mf, mc, vec));
+  }
+}
+
+TEST(Bytes, ManyRhsAmortizesMatrixTraffic) {
+  // k solves through the panel kernels move strictly fewer bytes than k
+  // single-RHS passes — the saving is exactly (k-1) matrix (+q2/inv_diag)
+  // streams — and the per-solve traffic decreases monotonically in k,
+  // approaching the vector-only floor.
+  const double mf = 33.0 * 33.0 * 33.0;
+  const double mc = 17.0 * 17.0 * 17.0;
+  const double nnz = mf * stencil_nnz_per_row(Pattern::P3d27, 1);
+  const double matbytes = nnz * static_cast<double>(bytes_of(Prec::FP16));
+  for (int k : {2, 4, 8, 16}) {
+    // spmv: saving is exactly (k-1) matrix streams (unscaled case).
+    EXPECT_DOUBLE_EQ(
+        k * spmv_bytes(nnz, mf, Prec::FP16, Prec::FP64, false) -
+            spmv_many_bytes(nnz, mf, Prec::FP16, Prec::FP64, false, k),
+        (k - 1) * matbytes);
+    // GS sweep: matrix + inv_diag amortize.
+    EXPECT_DOUBLE_EQ(
+        k * symgs_sweep_bytes(nnz, mf, Prec::FP16, Prec::FP64, false) -
+            symgs_sweep_many_bytes(nnz, mf, Prec::FP16, Prec::FP64, false, k),
+        (k - 1) * (matbytes + mf * 8.0));
+    // Transfers are pure vector streams: no amortization, linear in k.
+    EXPECT_DOUBLE_EQ(restrict_many_bytes(mf, mc, Prec::FP32, k),
+                     k * restrict_bytes(mf, mc, Prec::FP32));
+    EXPECT_DOUBLE_EQ(prolong_many_bytes(mf, mc, Prec::FP32, k),
+                     k * prolong_bytes(mf, mc, Prec::FP32));
+  }
+  // Per-solve downstroke traffic strictly decreases with k.
+  double prev = downstroke_bytes(nnz, mf, mc, Prec::FP16, Prec::FP64, true,
+                                 true);
+  for (int k : {2, 4, 8, 16}) {
+    const double per = downstroke_many_bytes(nnz, mf, mc, Prec::FP16,
+                                             Prec::FP64, true, true, k) /
+                       k;
+    EXPECT_LT(per, prev) << k;
+    prev = per;
+  }
+}
+
 TEST(Stream, MeasuresPlausibleBandwidth) {
   const StreamResult r = measure_stream(std::size_t{1} << 20, 3);
   EXPECT_GT(r.triad_gbs, 0.5);    // anything slower than 0.5 GB/s is broken

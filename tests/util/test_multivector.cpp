@@ -1,0 +1,106 @@
+// MultiVector panel container: padding geometry, cache-line alignment,
+// zero-initialisation, and column extract/insert round-trips.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "util/multivector.hpp"
+#include "util/rng.hpp"
+
+namespace smg {
+namespace {
+
+TEST(MultiVector, PaddedColsIsNextPowerOfTwo) {
+  for (int k = 1; k <= 64; ++k) {
+    const int p = detail::panel_padded_cols(k);
+    EXPECT_GE(p, k);
+    EXPECT_EQ(p & (p - 1), 0) << "k=" << k;   // power of two
+    EXPECT_LT(p / 2, k) << "k=" << k;         // minimal such power
+  }
+}
+
+template <class T>
+void check_alignment(std::int64_t rows, int k) {
+  MultiVector<T> mv(rows, k);
+  const auto base = reinterpret_cast<std::uintptr_t>(mv.data());
+  ASSERT_EQ(base % MultiVector<T>::kAlign, 0u)
+      << "base not 64B-aligned, k=" << k;
+  const std::size_t rowbytes =
+      static_cast<std::size_t>(mv.padded_cols()) * sizeof(T);
+  // The contract the panel kernels rely on: a row run of <= 64 bytes never
+  // splits a cache line; longer runs start exactly on a line boundary.
+  for (std::int64_t r = 0; r < rows; r += (rows / 7) + 1) {
+    const auto p = reinterpret_cast<std::uintptr_t>(mv.row(r));
+    if (rowbytes <= 64) {
+      EXPECT_LE(p % 64 + rowbytes, 64u) << "row " << r << " splits a line";
+    } else {
+      EXPECT_EQ(p % 64, 0u) << "row " << r << " not line-aligned";
+    }
+  }
+}
+
+TEST(MultiVector, RowsNeverSplitCacheLines) {
+  for (int k : {1, 2, 3, 4, 5, 8, 9, 16}) {
+    check_alignment<double>(1000, k);
+    check_alignment<float>(1000, k);
+  }
+}
+
+TEST(MultiVector, ResizeZeroFillsIncludingPadding) {
+  MultiVector<double> mv(100, 3);
+  EXPECT_EQ(mv.rows(), 100);
+  EXPECT_EQ(mv.cols(), 3);
+  EXPECT_EQ(mv.padded_cols(), 4);
+  EXPECT_EQ(mv.size(), 400u);
+  for (std::int64_t r = 0; r < mv.rows(); ++r) {
+    for (int c = 0; c < mv.padded_cols(); ++c) {
+      const double v = mv.data()[r * mv.padded_cols() + c];
+      EXPECT_EQ(v, 0.0);
+      EXPECT_FALSE(std::signbit(v));
+    }
+  }
+  // Dirty it, then resize: everything must be zero again.
+  mv.fill(7.5);
+  mv.resize(60, 5);
+  EXPECT_EQ(mv.padded_cols(), 8);
+  for (std::size_t i = 0; i < mv.size(); ++i) {
+    EXPECT_EQ(mv.data()[i], 0.0);
+  }
+}
+
+TEST(MultiVector, ExtractInsertRoundTrip) {
+  const std::int64_t n = 257;  // odd: no accidental alignment help
+  const int k = 5;
+  MultiVector<float> mv(n, k);
+  Rng rng(7);
+  std::vector<std::vector<float>> cols(k);
+  for (int c = 0; c < k; ++c) {
+    cols[c].resize(static_cast<std::size_t>(n));
+    for (auto& v : cols[c]) {
+      v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    }
+    mv.insert_col(c, {cols[c].data(), cols[c].size()});
+  }
+  std::vector<float> out(static_cast<std::size_t>(n));
+  for (int c = 0; c < k; ++c) {
+    mv.extract_col(c, {out.data(), out.size()});
+    EXPECT_EQ(0, std::memcmp(out.data(), cols[c].data(),
+                             out.size() * sizeof(float)))
+        << "c=" << c;
+  }
+  // Inserting real columns must not disturb the zero padding columns.
+  for (std::int64_t r = 0; r < n; ++r) {
+    for (int c = k; c < mv.padded_cols(); ++c) {
+      EXPECT_EQ(mv.at(r, c), 0.0f);
+    }
+  }
+  // at() agrees with the documented addressing.
+  EXPECT_EQ(&mv.at(10, 2), mv.data() + 10 * mv.padded_cols() + 2);
+  EXPECT_EQ(mv.row(10), mv.data() + 10 * mv.padded_cols());
+}
+
+}  // namespace
+}  // namespace smg
