@@ -11,6 +11,7 @@
 //    degrading for the small problems (SIMD starvation + conversion cost).
 #include "bench_common.hpp"
 #include "harness/harness.hpp"
+#include "perfmodel/halo.hpp"
 #include "perfmodel/scaling_sim.hpp"
 
 using namespace smg;
@@ -67,6 +68,15 @@ SMG_BENCH(fig10_strong_scaling, "Figure 10 (a)-(h)",
               pts.back().time_full / pts.back().time_mix, "x",
               bench::Better::Higher, /*gate=*/true);
     ctx.value(name + "/model_rel_efficiency", rel_eff, "frac",
+              bench::Better::Higher, /*gate=*/true);
+    // Decomposed-engine path (DESIGN.md §11): intra-node speedup of the
+    // 8-box sharded hierarchy on 8 workers, from the same calibrated model
+    // the fig_weak_scaling bench validates against measured halo bytes.
+    const double s1 = model_decomp_apply_seconds(hf, {1, 1, 1}, 512, 1,
+                                                 sizeof(double), machine);
+    const double s8 = model_decomp_apply_seconds(hf, {2, 2, 2}, 512, 8,
+                                                 sizeof(double), machine);
+    ctx.value(name + "/model_decomp_speedup_8box", s1 / s8, "x",
               bench::Better::Higher, /*gate=*/true);
     eff.row({name, std::to_string(rf.solve.iters),
              std::to_string(rm.solve.iters),

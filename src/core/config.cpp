@@ -1,6 +1,40 @@
 #include "core/config.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
 namespace smg {
+
+std::array<int, 3> effective_decomp(const MGConfig& cfg) noexcept {
+  const char* env = std::getenv("SMG_DECOMP");
+  if (env == nullptr || *env == '\0') {
+    return cfg.decomp;
+  }
+  // Accept "2x2x2", "2,2,1", or "2 2 1".
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s", env);
+  for (char* p = buf; *p != '\0'; ++p) {
+    if (*p == 'x' || *p == 'X' || *p == ',') {
+      *p = ' ';
+    }
+  }
+  std::array<int, 3> d{1, 1, 1};
+  if (std::sscanf(buf, "%d %d %d", &d[0], &d[1], &d[2]) != 3 || d[0] < 1 ||
+      d[1] < 1 || d[2] < 1) {
+    return cfg.decomp;
+  }
+  return d;
+}
+
+bool effective_halo_fp16(const MGConfig& cfg) noexcept {
+  const char* env = std::getenv("SMG_HALO_FP16");
+  if (env == nullptr || *env == '\0') {
+    return cfg.halo_fp16;
+  }
+  return !(std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+           std::strcmp(env, "OFF") == 0 || std::strcmp(env, "false") == 0);
+}
 
 std::string MGConfig::tag() const {
   std::string s = "P";

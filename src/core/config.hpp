@@ -11,6 +11,7 @@
 // accumulated along the triple-matrix-product chain.
 #pragma once
 
+#include <array>
 #include <climits>
 #include <cstdint>
 #include <string>
@@ -168,6 +169,24 @@ struct MGConfig {
   // Fig. 7/8 "(opt)" numbers use.
   Layout layout = Layout::SOAL;
 
+  // --- box decomposition (DESIGN.md §11) ---
+  /// Sub-box grid of the sharded hierarchy: each MG level is split into
+  /// decomp[0] x decomp[1] x decomp[2] boxes with halo exchange between
+  /// them, run one-box-per-worker on the persistent pool.  {1,1,1} (the
+  /// default) bypasses the decomposed engine entirely — every kernel runs
+  /// the exact pre-existing single-box path, bitwise identical.  The
+  /// SMG_DECOMP env var ("NxNxN") overrides this (effective_decomp).
+  std::array<int, 3> decomp{1, 1, 1};
+  /// Agglomeration threshold: a level whose smallest sub-box interior would
+  /// drop below this many cells is run as a single box instead (coarse
+  /// levels collapse onto one box, HPGMG-style).
+  std::int64_t decomp_min_box = 512;
+  /// FP16-packed halo wire format: halves the exchanged bytes but rounds
+  /// each ghost value to half precision (<= 2^-11 relative), so decomposed
+  /// cycles are no longer bitwise identical to raw-wire ones.  Off by
+  /// default; SMG_HALO_FP16 overrides (effective_halo_fp16).
+  bool halo_fp16 = false;
+
   /// Storage precision actually used on `level` (applies shift_levid).
   Prec storage_at(int level) const noexcept {
     return level < shift_levid ? storage : compute;
@@ -176,6 +195,12 @@ struct MGConfig {
   /// Human-readable "P32D16-setup-scale"-style tag for experiment tables.
   std::string tag() const;
 };
+
+/// Box-decomposition knobs actually in effect: the SMG_DECOMP env var
+/// ("2x2x2", "2,2,1" or "2 2 1") overrides cfg.decomp when parseable, and
+/// SMG_HALO_FP16 ("1"/"on") overrides cfg.halo_fp16.
+std::array<int, 3> effective_decomp(const MGConfig& cfg) noexcept;
+bool effective_halo_fp16(const MGConfig& cfg) noexcept;
 
 /// Canonical configurations used across benches (Fig. 6 legend names).
 MGConfig config_full64();                ///< compute FP64, storage FP64

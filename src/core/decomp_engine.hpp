@@ -1,0 +1,123 @@
+// Sharded (box-decomposed) V/W-cycle engine (DESIGN.md §11).
+//
+// Mirrors MGPrecond<CT>::cycle over a hierarchy whose levels are split into
+// sub-boxes with ghost rings (grid/box_decomp.hpp): per-box copies of each
+// level's stored matrix and vectors, halo exchanges (grid/halo.hpp) before
+// every ghost-reading kernel, one persistent pool worker per box
+// (util/thread_pool.hpp) with NUMA first-touch placement of per-box storage
+// — each box's matrix and vectors are allocated and filled inside its
+// owning worker's task, so first-touch puts the pages on that worker's node.
+//
+// The per-box kernels are the *unmodified* single-box kernels, made correct
+// on interior+ghost extents by the ghost-identity-row construction:
+//   * ghost rows of the local matrix are identity (diag 1, offdiag 0 —
+//     exactly representable in every storage precision),
+//   * local invdiag has identity blocks and local q2 is 1 at ghost cells,
+//   * before each sweep the local rhs is refreshed with f_ghost := u_ghost.
+// A GS or Jacobi update of a ghost row then reproduces u_ghost bitwise, so
+// sweeping the whole local box leaves ghosts at their exchanged values and
+// interior rows see exactly the coupling they would in the global sweep.
+//
+// Identity contracts (tested in tests/core/test_decomp_engine.cpp):
+//   * decomp {1,1,1} never constructs this engine — MGPrecond runs its
+//     pre-existing path, bitwise identical by construction;
+//   * with the Jacobi smoother and raw (compute-precision) halos, the
+//     decomposed cycle is bitwise identical to the undecomposed one at any
+//     box count: Jacobi, residual, and the transfers are pointwise/gather
+//     kernels whose per-dof arithmetic order the per-box loops replicate;
+//   * decomposed SymGS is block-Jacobi between boxes (per-box sequential
+//     sweeps, Jacobi-style coupling at box boundaries via the exchanged
+//     halos) — legitimately different iterates, same asymptotic rate.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/mg_hierarchy.hpp"
+#include "grid/box_decomp.hpp"
+#include "grid/halo.hpp"
+#include "util/aligned.hpp"
+#include "util/thread_pool.hpp"
+
+namespace smg {
+
+template <class CT>
+class DecompEngine {
+ public:
+  /// `nb` is the finest-level box grid (coarser levels derive from it, see
+  /// perfmodel/halo.hpp decomp_chain); `halo_fp16` selects the FP16-packed
+  /// wire format.  The engine is only worth constructing when the finest
+  /// level actually decomposes — check with `active()`.
+  DecompEngine(const MGHierarchy* h, std::array<int, 3> nb, bool halo_fp16);
+
+  /// True when at least the finest level runs boxed.
+  bool active() const noexcept {
+    return !levels_.empty() && levels_.front().boxed;
+  }
+
+  /// e = MG(r), same contract as MGPrecond::apply (including the
+  /// finest-wrapped Q^{-1/2} handling).
+  void apply(std::span<const CT> r, std::span<CT> e);
+
+  /// Rebuild level l's per-box matrix/invdiag/q2 copies after the autopilot
+  /// rescaled or promoted the hierarchy level.
+  void refresh_level(int l);
+
+  const BoxDecomp& decomp(int l) const noexcept {
+    return levels_[static_cast<std::size_t>(l)].decomp;
+  }
+
+ private:
+  /// Per-box level state.  All vectors are local-dof indexed
+  /// (interior + ghosts); built inside the owning pool worker.
+  struct BoxData {
+    AnyMat A;          ///< local matrix, ghost rows identity
+    avec<CT> u, f, r;  ///< iterate, rhs, residual/Jacobi buffer
+    avec<CT> invdiag;  ///< identity blocks at ghost cells
+    avec<CT> q2;       ///< empty unless the level is scaled (1 at ghosts)
+  };
+
+  struct DLevel {
+    BoxDecomp decomp;
+    bool boxed = false;
+    HaloPlan plan;                ///< empty when !boxed
+    HaloExchange hx;              ///< shared by the u and r exchanges
+    std::vector<BoxData> boxes;   ///< empty when !boxed
+    /// Global-vector storage: the working set of an unboxed level, and the
+    /// gather scratch for transfers across the agglomeration boundary.
+    avec<CT> u, f, r;
+    avec<CT> q2, invdiag;  ///< global copies (unboxed levels / gather path)
+  };
+
+  void build_level(int l);
+  /// (Re)build one box's local matrix/invdiag/q2 — runs on the owning pool
+  /// worker so first-touch places the storage on its NUMA node.
+  void build_box(int l, int b);
+  /// Refresh an unboxed level's global q2/invdiag copies (MGPrecond-style).
+  void refresh_global(int l);
+  void cycle(int lev, bool zero_guess);
+  void smooth_boxed(int lev, bool forward);
+  void smooth_global(int lev, bool forward);
+  /// Exchange every box's `u` (or `r`) halo on level `lev`, recording the
+  /// pack/unpack spans and the level's halo-byte telemetry.
+  void exchange(int lev, bool residual_field);
+  /// f_ghost := u_ghost on one box (the identity-row rhs refresh).
+  void refresh_ghost_rhs(int lev, int b);
+  void scatter_to_boxes(int lev, std::span<const CT> src);
+  void gather_interiors(int lev, const avec<CT> BoxData::*field,
+                        std::span<CT> dst);
+
+  const MGHierarchy* h_;
+  ThreadPool* pool_;
+  MemcpyExchanger ex_;  ///< in-process transport backend
+  std::vector<DLevel> levels_;
+  std::size_t wire_bytes_ = sizeof(CT);
+  avec<CT> wrap_q2_;  ///< finest Q^{1/2} when hierarchy.finest_wrapped()
+};
+
+extern template class DecompEngine<float>;
+extern template class DecompEngine<double>;
+
+}  // namespace smg

@@ -35,10 +35,21 @@ MGPrecond<CT>::MGPrecond(const MGHierarchy* h) : h_(h) {
     copy_convert<CT, double>({q2.data(), q2.size()},
                              {wrap_q2_.data(), wrap_q2_.size()});
   }
+  const std::array<int, 3> nb = effective_decomp(h_->config());
+  if (nb != std::array<int, 3>{1, 1, 1}) {
+    auto engine = std::make_unique<DecompEngine<CT>>(
+        h_, nb, effective_halo_fp16(h_->config()));
+    if (engine->active()) {
+      engine_ = std::move(engine);
+    }
+  }
 }
 
 template <class CT>
 void MGPrecond<CT>::refresh_level(int l) {
+  if (engine_ != nullptr) {
+    engine_->refresh_level(l);
+  }
   const Level& hl = h_->level(l);
   LevelData& L = lv_[static_cast<std::size_t>(l)];
   if (hl.scaled) {
@@ -267,6 +278,21 @@ void MGPrecond<CT>::cycle_many(int lev, bool zero_guess) {
 
 template <class CT>
 void MGPrecond<CT>::apply_many(const MultiVector<CT>& r, MultiVector<CT>& e) {
+  if (engine_ != nullptr) {
+    // The decomposed engine is single-vector: peel the panel column-wise
+    // (box parallelism replaces panel amortization when sharding is on).
+    SMG_CHECK(r.rows() == e.rows() && r.cols() == e.cols(),
+              "MG apply_many size mismatch");
+    const std::size_t n = static_cast<std::size_t>(r.rows());
+    colbuf_f_.resize(n);
+    colbuf_u_.resize(n);
+    for (int c = 0; c < r.cols(); ++c) {
+      r.extract_col(c, {colbuf_f_.data(), n});
+      engine_->apply({colbuf_f_.data(), n}, {colbuf_u_.data(), n});
+      e.insert_col(c, {colbuf_u_.data(), n});
+    }
+    return;
+  }
   ensure_panels(r.cols());
   PanelData& P0 = pv_.front();
   SMG_CHECK(r.rows() == P0.f.rows() && e.rows() == P0.u.rows() &&
@@ -308,6 +334,10 @@ void MGPrecond<CT>::apply_many(const MultiVector<CT>& r, MultiVector<CT>& e) {
 
 template <class CT>
 void MGPrecond<CT>::apply(std::span<const CT> r, std::span<CT> e) {
+  if (engine_ != nullptr) {
+    engine_->apply(r, e);
+    return;
+  }
   LevelData& L0 = lv_.front();
   SMG_CHECK(r.size() == L0.f.size() && e.size() == L0.u.size(),
             "MG apply size mismatch");

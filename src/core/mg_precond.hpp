@@ -7,6 +7,7 @@
 #include <span>
 #include <vector>
 
+#include "core/decomp_engine.hpp"
 #include "core/mg_hierarchy.hpp"
 #include "obs/telemetry.hpp"
 #include "solvers/precond.hpp"
@@ -67,6 +68,11 @@ class MGPrecond {
   std::vector<PanelData> pv_;  ///< sized by ensure_panels (apply_many only)
   avec<CT> colbuf_f_, colbuf_u_;  ///< per-column coarse-solve scratch
   avec<CT> wrap_q2_;  ///< finest Q^{1/2} when hierarchy.finest_wrapped()
+  /// Sharded (box-decomposed) cycle engine; constructed only when the
+  /// effective decomposition (MGConfig::decomp / SMG_DECOMP) splits the
+  /// finest level into more than one box.  apply() delegates to it;
+  /// apply_many peels panel columns through it.
+  std::unique_ptr<DecompEngine<CT>> engine_;
 };
 
 /// Adapts MGPrecond<CT> to the Krylov-facing PrecondBase<KT>: truncates the

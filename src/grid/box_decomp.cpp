@@ -1,0 +1,137 @@
+#include "grid/box_decomp.hpp"
+
+#include <algorithm>
+
+#include "core/transfer.hpp"
+
+namespace smg {
+
+namespace {
+
+std::vector<int> balanced_cuts(int n, int nb) {
+  std::vector<int> cuts(static_cast<std::size_t>(nb) + 1);
+  for (int b = 0; b <= nb; ++b) {
+    // round(b * n / nb) keeps every box within one cell of n/nb.
+    cuts[static_cast<std::size_t>(b)] =
+        static_cast<int>((static_cast<std::int64_t>(b) * n + nb / 2) / nb);
+  }
+  cuts.front() = 0;
+  cuts.back() = n;
+  return cuts;
+}
+
+}  // namespace
+
+void BoxDecomp::build_boxes() {
+  boxes_.clear();
+  boxes_.reserve(static_cast<std::size_t>(nb_[0]) * nb_[1] * nb_[2]);
+  const int gdim[3] = {global_.nx, global_.ny, global_.nz};
+  for (int bz = 0; bz < nb_[2]; ++bz) {
+    for (int by = 0; by < nb_[1]; ++by) {
+      for (int bx = 0; bx < nb_[0]; ++bx) {
+        SubBox s;
+        s.id = {bx, by, bz};
+        const int bid[3] = {bx, by, bz};
+        for (int d = 0; d < 3; ++d) {
+          const auto& c = cuts_[static_cast<std::size_t>(d)];
+          const int lo = c[static_cast<std::size_t>(bid[d])];
+          const int hi = c[static_cast<std::size_t>(bid[d]) + 1];
+          s.lo[static_cast<std::size_t>(d)] = lo;
+          s.n[static_cast<std::size_t>(d)] = hi - lo;
+          // Ghosts exist only toward in-domain neighbors: clip at the
+          // global boundary (HPGMG-style).
+          s.glo[static_cast<std::size_t>(d)] = std::min(ghost_, lo);
+          s.ghi[static_cast<std::size_t>(d)] =
+              std::min(ghost_, gdim[d] - hi);
+        }
+        boxes_.push_back(s);
+      }
+    }
+  }
+}
+
+BoxDecomp BoxDecomp::make(const Box& global, std::array<int, 3> nb,
+                          int ghost) {
+  SMG_CHECK(nb[0] >= 1 && nb[1] >= 1 && nb[2] >= 1,
+            "box decomposition counts must be positive");
+  SMG_CHECK(ghost >= 0, "ghost width must be non-negative");
+  BoxDecomp d;
+  d.global_ = global;
+  d.nb_ = nb;
+  d.ghost_ = ghost;
+  d.cuts_[0] = balanced_cuts(global.nx, nb[0]);
+  d.cuts_[1] = balanced_cuts(global.ny, nb[1]);
+  d.cuts_[2] = balanced_cuts(global.nz, nb[2]);
+  d.build_boxes();
+  return d;
+}
+
+BoxDecomp BoxDecomp::coarsened(const Coarsening& c, int ghost) const {
+  SMG_CHECK(c.fine == global_, "coarsened: decomposition box != fine box");
+  BoxDecomp d;
+  d.global_ = c.coarse;
+  d.nb_ = nb_;
+  d.ghost_ = ghost;
+  for (int dim = 0; dim < 3; ++dim) {
+    const auto& fc = cuts_[static_cast<std::size_t>(dim)];
+    auto& cc = d.cuts_[static_cast<std::size_t>(dim)];
+    cc.resize(fc.size());
+    for (std::size_t i = 0; i < fc.size(); ++i) {
+      // ceil(cut / 2) on coarsened dims: the fine children 2I-1..2I+1 of
+      // every coarse interior cell then stay within the matching fine
+      // sub-box's interior plus a 1-wide ghost (see header).
+      cc[i] = c.mask[static_cast<std::size_t>(dim)] ? (fc[i] + 1) / 2 : fc[i];
+    }
+  }
+  d.build_boxes();
+  return d;
+}
+
+std::int64_t BoxDecomp::min_box_cells() const noexcept {
+  std::int64_t m = global_.size();
+  for (const SubBox& s : boxes_) {
+    m = std::min(m, s.interior_cells());
+  }
+  return m;
+}
+
+bool BoxDecomp::all_nonempty() const noexcept {
+  return std::none_of(boxes_.begin(), boxes_.end(),
+                      [](const SubBox& s) { return s.empty(); });
+}
+
+bool needs_agglomeration(const BoxDecomp& d, std::int64_t min_box_cells) {
+  if (d.nboxes() <= 1) {
+    return false;
+  }
+  if (!d.all_nonempty() || d.min_box_cells() < min_box_cells) {
+    return true;
+  }
+  for (int dim = 0; dim < 3; ++dim) {
+    if (d.nb()[static_cast<std::size_t>(dim)] <= 1) {
+      continue;
+    }
+    for (const SubBox& s : d.boxes()) {
+      if (s.n[static_cast<std::size_t>(dim)] < d.ghost()) {
+        return true;  // ghost ring would span past the adjacent box
+      }
+    }
+  }
+  return false;
+}
+
+BoxDecomp agglomerate_if_needed(BoxDecomp d, std::int64_t min_box_cells) {
+  if (needs_agglomeration(d, min_box_cells)) {
+    // Agglomerate: a level this small is swept as one box (no ghosts).
+    return BoxDecomp::make(d.global(), {1, 1, 1}, 0);
+  }
+  return d;
+}
+
+BoxDecomp decompose_level(const Box& global, std::array<int, 3> nb, int ghost,
+                          std::int64_t min_box_cells) {
+  return agglomerate_if_needed(BoxDecomp::make(global, nb, ghost),
+                               min_box_cells);
+}
+
+}  // namespace smg

@@ -1,0 +1,136 @@
+// HPGMG-style box decomposition of one MG level.
+//
+// A level's global Box is partitioned into a regular nbx x nby x nbz grid of
+// sub-boxes; each sub-box stores its interior cells plus a ghost ring wide
+// enough for the level's stencil radius (1 for every 3dXX pattern and for
+// the trilinear transfers).  Ghosts exist only toward an in-domain neighbor:
+// a sub-box touching the global boundary is clipped there, exactly as HPGMG
+// clips its 128^3 blocks.  Cut points per dimension are balanced
+// (round(b * n / nb)), and the coarse level's decomposition is *derived*
+// from the fine one through the Coarsening so that the fine children of
+// every coarse interior cell land inside the fine sub-box's interior+ghost
+// region — the invariant that keeps per-box restriction and prolongation
+// local to one box plus one exchanged halo (see DESIGN.md §11).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "grid/box.hpp"
+#include "util/common.hpp"
+
+namespace smg {
+
+struct Coarsening;  // core/transfer.hpp
+
+/// One sub-box: interior extents in global coordinates plus the per-side
+/// ghost widths actually materialized (0 at the global boundary).
+struct SubBox {
+  std::array<int, 3> lo{};     ///< global coordinate of first interior cell
+  std::array<int, 3> n{};      ///< interior extents
+  std::array<int, 3> glo{};    ///< ghost width on the low side, per dim
+  std::array<int, 3> ghi{};    ///< ghost width on the high side, per dim
+  std::array<int, 3> id{};     ///< (bx, by, bz) position in the box grid
+
+  /// Local storage box: interior + materialized ghosts.
+  Box local() const noexcept {
+    return Box{n[0] + glo[0] + ghi[0], n[1] + glo[1] + ghi[1],
+               n[2] + glo[2] + ghi[2]};
+  }
+
+  std::int64_t interior_cells() const noexcept {
+    return static_cast<std::int64_t>(n[0]) * n[1] * n[2];
+  }
+
+  /// Local cell index of *interior* coordinate (ii, ij, ik) in [0, n).
+  std::int64_t local_idx(int ii, int ij, int ik) const noexcept {
+    return local().idx(ii + glo[0], ij + glo[1], ik + glo[2]);
+  }
+
+  /// Global -> local coordinate shift per dimension: local = global - off.
+  int off(int d) const noexcept { return lo[d] - glo[d]; }
+
+  bool empty() const noexcept { return n[0] == 0 || n[1] == 0 || n[2] == 0; }
+};
+
+/// Regular partition of a global Box with per-box ghost regions.
+class BoxDecomp {
+ public:
+  BoxDecomp() = default;
+
+  /// Partition `global` into nb[0] x nb[1] x nb[2] sub-boxes with balanced
+  /// cut points and ghost width `ghost` (clipped at the domain boundary).
+  static BoxDecomp make(const Box& global, std::array<int, 3> nb, int ghost);
+
+  /// Derive the coarse decomposition matching this one through `c` (same
+  /// box grid; cut point mapping cut -> ceil(cut / 2) on coarsened dims,
+  /// identity on uncoarsened ones).
+  BoxDecomp coarsened(const Coarsening& c, int ghost) const;
+
+  const Box& global() const noexcept { return global_; }
+  const std::array<int, 3>& nb() const noexcept { return nb_; }
+  int ghost() const noexcept { return ghost_; }
+  int nboxes() const noexcept { return static_cast<int>(boxes_.size()); }
+  bool decomposed() const noexcept { return nboxes() > 1; }
+
+  const SubBox& box(int b) const noexcept {
+    return boxes_[static_cast<std::size_t>(b)];
+  }
+  const std::vector<SubBox>& boxes() const noexcept { return boxes_; }
+
+  /// Box id at grid position (bx, by, bz); -1 when outside the box grid.
+  int box_at(int bx, int by, int bz) const noexcept {
+    if (bx < 0 || bx >= nb_[0] || by < 0 || by >= nb_[1] || bz < 0 ||
+        bz >= nb_[2]) {
+      return -1;
+    }
+    return bx + nb_[0] * (by + nb_[1] * bz);
+  }
+
+  /// Neighbor of box b in direction (dx, dy, dz) in {-1,0,1}^3; -1 if none.
+  int neighbor(int b, int dx, int dy, int dz) const noexcept {
+    const SubBox& s = boxes_[static_cast<std::size_t>(b)];
+    return box_at(s.id[0] + dx, s.id[1] + dy, s.id[2] + dz);
+  }
+
+  /// Smallest sub-box interior cell count (agglomeration heuristic input).
+  std::int64_t min_box_cells() const noexcept;
+  /// True when every sub-box has a nonempty interior.
+  bool all_nonempty() const noexcept;
+
+  /// Cut points of one dimension: nb+1 ascending values, first 0, last n.
+  const std::vector<int>& cuts(int dim) const noexcept {
+    return cuts_[static_cast<std::size_t>(dim)];
+  }
+
+ private:
+  void build_boxes();
+
+  Box global_{};
+  std::array<int, 3> nb_{1, 1, 1};
+  int ghost_ = 1;
+  std::array<std::vector<int>, 3> cuts_;
+  std::vector<SubBox> boxes_;
+};
+
+/// True when `d` must collapse to a single box: some sub-box is empty, the
+/// smallest interior is below `min_box_cells`, or a split dimension has a
+/// sub-box thinner than the ghost width (a ghost ring may only ever source
+/// from the directly adjacent box — the halo plan asserts this).
+bool needs_agglomeration(const BoxDecomp& d, std::int64_t min_box_cells);
+
+/// `d` itself, or the {1,1,1} zero-ghost decomposition of its global box
+/// when needs_agglomeration says so.  Applied to both the finest level's
+/// requested grid and every derived (coarsened) one, so agglomeration is
+/// monotone down the hierarchy.
+BoxDecomp agglomerate_if_needed(BoxDecomp d, std::int64_t min_box_cells);
+
+/// Decomposition policy: the requested box grid, agglomerated to {1,1,1}
+/// once the level is too small to pay for ghosts and synchronization
+/// (HPGMG agglomerates the same way: coarse levels collapse onto fewer and
+/// finally one block).
+BoxDecomp decompose_level(const Box& global, std::array<int, 3> nb, int ghost,
+                          std::int64_t min_box_cells);
+
+}  // namespace smg

@@ -1,0 +1,161 @@
+#include "grid/halo.hpp"
+
+namespace smg {
+
+namespace {
+
+/// Global-coordinate ghost rectangle of box `s` on side `dir`; returns false
+/// when the rectangle is empty (clipped at the domain boundary).
+bool ghost_rect(const SubBox& s, const std::array<int, 3>& dir,
+                std::array<int, 3>& lo, std::array<int, 3>& n) {
+  for (int d = 0; d < 3; ++d) {
+    switch (dir[static_cast<std::size_t>(d)]) {
+      case -1:
+        lo[static_cast<std::size_t>(d)] =
+            s.lo[static_cast<std::size_t>(d)] - s.glo[static_cast<std::size_t>(d)];
+        n[static_cast<std::size_t>(d)] = s.glo[static_cast<std::size_t>(d)];
+        break;
+      case 1:
+        lo[static_cast<std::size_t>(d)] =
+            s.lo[static_cast<std::size_t>(d)] + s.n[static_cast<std::size_t>(d)];
+        n[static_cast<std::size_t>(d)] = s.ghi[static_cast<std::size_t>(d)];
+        break;
+      default:
+        lo[static_cast<std::size_t>(d)] = s.lo[static_cast<std::size_t>(d)];
+        n[static_cast<std::size_t>(d)] = s.n[static_cast<std::size_t>(d)];
+        break;
+    }
+    if (n[static_cast<std::size_t>(d)] <= 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::int64_t rect_cells(const std::array<int, 3>& n) {
+  return static_cast<std::int64_t>(n[0]) * n[1] * n[2];
+}
+
+}  // namespace
+
+HaloPlan::HaloPlan(const BoxDecomp& d, int block_size) {
+  bs_ = block_size;
+  boxes_.resize(static_cast<std::size_t>(d.nboxes()));
+  // Message list per box, recv-centric: one message per nonempty ghost side.
+  for (int b = 0; b < d.nboxes(); ++b) {
+    const SubBox& s = d.box(b);
+    BoxMsgs& bm = boxes_[static_cast<std::size_t>(b)];
+    bm.local = s.local();
+    for (int dz = -1; dz <= 1; ++dz) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          if (dx == 0 && dy == 0 && dz == 0) {
+            continue;
+          }
+          const std::array<int, 3> dir{dx, dy, dz};
+          std::array<int, 3> glo{};
+          std::array<int, 3> gn{};
+          if (!ghost_rect(s, dir, glo, gn)) {
+            continue;
+          }
+          const int peer = d.neighbor(b, dx, dy, dz);
+          SMG_CHECK(peer >= 0, "halo plan: ghost region without a neighbor");
+          const SubBox& p = d.box(peer);
+          // The received rectangle must sit inside the peer's interior: the
+          // ghost width never exceeds the adjacent box's extent (enforced by
+          // the agglomeration policy in decompose_level).
+          for (int e = 0; e < 3; ++e) {
+            SMG_CHECK(glo[static_cast<std::size_t>(e)] >=
+                              p.lo[static_cast<std::size_t>(e)] &&
+                          glo[static_cast<std::size_t>(e)] +
+                                  gn[static_cast<std::size_t>(e)] <=
+                              p.lo[static_cast<std::size_t>(e)] +
+                                  p.n[static_cast<std::size_t>(e)],
+                      "halo plan: ghost region spans a non-adjacent box");
+          }
+          HaloMsg m;
+          m.dir = dir;
+          m.peer = peer;
+          for (int e = 0; e < 3; ++e) {
+            m.recv_lo[static_cast<std::size_t>(e)] =
+                glo[static_cast<std::size_t>(e)] - s.off(e);
+            m.recv_n[static_cast<std::size_t>(e)] =
+                gn[static_cast<std::size_t>(e)];
+          }
+          m.recv_values = rect_cells(gn) * bs_;
+          // The matching send rectangle is the peer's ghost region on the
+          // mirrored side — it lies in *this* box's interior and is packed
+          // here for the peer's mirror message.
+          std::array<int, 3> slo{};
+          std::array<int, 3> sn{};
+          const std::array<int, 3> mdir{-dx, -dy, -dz};
+          const bool has = ghost_rect(p, mdir, slo, sn);
+          SMG_CHECK(has, "halo plan: mirror ghost region empty");
+          for (int e = 0; e < 3; ++e) {
+            m.send_lo[static_cast<std::size_t>(e)] =
+                slo[static_cast<std::size_t>(e)] - s.off(e);
+            m.send_n[static_cast<std::size_t>(e)] =
+                sn[static_cast<std::size_t>(e)];
+          }
+          m.send_values = rect_cells(sn) * bs_;
+          m.recv_off = bm.recv_values;
+          m.send_off = bm.send_values;
+          bm.recv_values += m.recv_values;
+          bm.send_values += m.send_values;
+          bm.msgs.push_back(m);
+        }
+      }
+    }
+    total_recv_ += bm.recv_values;
+  }
+  // Resolve each message's offset into its peer's send pool: the peer packs
+  // our ghost rectangle in its mirror message (dir == -dir).
+  for (auto& bm : boxes_) {
+    for (HaloMsg& m : bm.msgs) {
+      const BoxMsgs& pm = boxes_[static_cast<std::size_t>(m.peer)];
+      bool found = false;
+      for (const HaloMsg& q : pm.msgs) {
+        if (q.dir[0] == -m.dir[0] && q.dir[1] == -m.dir[1] &&
+            q.dir[2] == -m.dir[2]) {
+          SMG_CHECK(q.send_values == m.recv_values,
+                    "halo plan: mismatched mirror message size");
+          m.peer_send_off = q.send_off;
+          found = true;
+          break;
+        }
+      }
+      SMG_CHECK(found, "halo plan: missing mirror message");
+    }
+  }
+}
+
+void HaloExchange::init(const HaloPlan* plan, std::size_t wire_bytes) {
+  SMG_CHECK(plan != nullptr, "HaloExchange::init: null plan");
+  plan_ = plan;
+  wire_bytes_ = wire_bytes;
+  const int nb = plan->nboxes();
+  send_.assign(static_cast<std::size_t>(nb), {});
+  recv_.assign(static_cast<std::size_t>(nb), {});
+  for (int b = 0; b < nb; ++b) {
+    send_[static_cast<std::size_t>(b)].resize(
+        static_cast<std::size_t>(plan->send_pool_values(b)) * wire_bytes);
+    recv_[static_cast<std::size_t>(b)].resize(
+        static_cast<std::size_t>(plan->recv_pool_values(b)) * wire_bytes);
+  }
+  // Pool pointers are stable from here on: precompute the transport list.
+  transfers_.clear();
+  for (int b = 0; b < nb; ++b) {
+    for (const HaloMsg& m : plan->msgs(b)) {
+      Exchanger::Transfer t;
+      t.dst = recv_[static_cast<std::size_t>(b)].data() +
+              static_cast<std::size_t>(m.recv_off) * wire_bytes;
+      t.src = send_[static_cast<std::size_t>(m.peer)].data() +
+              static_cast<std::size_t>(m.peer_send_off) * wire_bytes;
+      t.bytes = static_cast<std::size_t>(m.recv_values) * wire_bytes;
+      transfers_.push_back(t);
+    }
+  }
+  reset_ledger();
+}
+
+}  // namespace smg

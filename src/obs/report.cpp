@@ -1,9 +1,11 @@
 #include "obs/report.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <limits>
 
 #include "obs/json.hpp"
 #include "perfmodel/bytes.hpp"
@@ -18,6 +20,7 @@ constexpr Kind kKernelKinds[] = {
     Kind::SymGS,    Kind::Jacobi,   Kind::SpMV,
     Kind::Residual, Kind::ResidualRestrict, Kind::Restrict,
     Kind::Prolong,  Kind::CoarseSolve,      Kind::Blas1,
+    Kind::HaloPack, Kind::HaloUnpack,
 };
 
 /// Modeled compulsory bytes of one call of `k` on level `l` (0 = no model).
@@ -72,6 +75,15 @@ double model_bytes(Kind k, int l, const MGHierarchy& h, Prec krylov) {
 }
 
 std::string num(double v) {
+  // JSON has no inf/nan literals (headroom is inf on FP64 levels, where the
+  // value range is unbounded for practical purposes); clamp to the largest
+  // finite double so every document stays parsable.
+  if (std::isnan(v)) {
+    return "0";
+  }
+  if (std::isinf(v)) {
+    v = std::copysign(std::numeric_limits<double>::max(), v);
+  }
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.17g", v);
   return buf;
@@ -120,6 +132,18 @@ SolverReport build_report(const Telemetry& t, const MGHierarchy& h,
     }
   }
   r.levels = collect_precision_counters(h);
+  for (int l = 0; l < h.nlevels(); ++l) {
+    if (t.halo_exchanges(l) == 0) {
+      continue;
+    }
+    HaloLevelStat hs;
+    hs.level = l;
+    hs.bytes = t.halo_bytes(l);
+    hs.exchanges = t.halo_exchanges(l);
+    hs.pack_seconds = t.stat(Kind::HaloPack, l).seconds;
+    hs.unpack_seconds = t.stat(Kind::HaloUnpack, l).seconds;
+    r.halo.push_back(hs);
+  }
   r.policy = h.policy();
   r.autopilot = h.autopilot_log();
   return r;
@@ -179,6 +203,17 @@ void print_report(const SolverReport& r, std::ostream& os) {
   t.print(os);
   os << "\n";
   print_precision_counters(r.levels, os);
+  if (!r.halo.empty()) {
+    os << "\nper-level halo traffic (decomposed engine)\n";
+    Table ht({"level", "exchanges", "wire MB", "pack ms", "unpack ms"});
+    for (const HaloLevelStat& hl : r.halo) {
+      ht.row({std::to_string(hl.level), std::to_string(hl.exchanges),
+              Table::fmt(static_cast<double>(hl.bytes) / (1024.0 * 1024.0), 3),
+              Table::fmt(hl.pack_seconds * 1e3, 3),
+              Table::fmt(hl.unpack_seconds * 1e3, 3)});
+    }
+    ht.print(os);
+  }
   if (!r.autopilot.empty()) {
     os << "\nprecision autopilot decisions (policy: "
        << std::string(to_string(r.policy)) << ")\n";
@@ -272,6 +307,18 @@ std::string to_json(const SolverReport& r) {
     out += ",\"rescales\":" + std::to_string(l.rescales);
     out += ",\"promotions\":" + std::to_string(l.promotions);
     out += "}";
+  }
+  out += "],\"halo\":[";
+  for (std::size_t i = 0; i < r.halo.size(); ++i) {
+    const HaloLevelStat& hl = r.halo[i];
+    if (i > 0) {
+      out += ",";
+    }
+    out += "{\"level\":" + std::to_string(hl.level);
+    out += ",\"bytes\":" + num(hl.bytes);
+    out += ",\"exchanges\":" + num(hl.exchanges);
+    out += ",\"pack_seconds\":" + num(hl.pack_seconds);
+    out += ",\"unpack_seconds\":" + num(hl.unpack_seconds) + "}";
   }
   out += "],\"autopilot\":[";
   for (std::size_t i = 0; i < r.autopilot.size(); ++i) {

@@ -30,6 +30,16 @@ struct KernelRow {
   double efficiency = 0.0;    ///< achieved_gbs / reference_gbs (0 if no ref)
 };
 
+/// Per-level halo traffic of the decomposed engine (empty when the level
+/// ran undecomposed): measured wire bytes and the pack/unpack span times.
+struct HaloLevelStat {
+  int level = 0;
+  std::uint64_t bytes = 0;      ///< wire bytes received, summed over exchanges
+  std::uint64_t exchanges = 0;  ///< full exchanges performed
+  double pack_seconds = 0.0;    ///< pack + transport span time
+  double unpack_seconds = 0.0;  ///< unpack span time
+};
+
 struct SolverReport {
   double solve_seconds = 0.0;
   std::uint64_t iterations = 0;
@@ -46,6 +56,7 @@ struct SolverReport {
   std::uint64_t dropped = 0;
   std::vector<KernelRow> kernels;  ///< rows with calls > 0, level-major
   std::vector<LevelPrecisionCounters> levels;
+  std::vector<HaloLevelStat> halo;  ///< levels with halo traffic only
   /// Precision-autopilot state (core/autopilot.hpp): the resolved policy and
   /// every decision the planner/governor took, in order.  Empty under
   /// PrecisionPolicy::Fixed.
@@ -74,7 +85,8 @@ void print_precision_counters(const std::vector<LevelPrecisionCounters>& c,
 void print_precision_counters(const std::vector<LevelPrecisionCounters>& c);
 
 /// Machine-readable report, schema "smg-telemetry-v2" (v2 added
-/// "precision_policy", "autopilot" and the per-level repair counters).
+/// "precision_policy", "autopilot", the per-level repair counters, and the
+/// per-level "halo" traffic rows of the decomposed engine).
 std::string to_json(const SolverReport& r);
 
 /// Chrome trace-event document ({"traceEvents":[...]}, ph "X", µs units);

@@ -1,0 +1,150 @@
+#include "perfmodel/halo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "grid/halo.hpp"
+#include "perfmodel/bytes.hpp"
+
+namespace smg {
+
+namespace {
+
+/// Visits of level l per preconditioner apply: 1 in a V-cycle, 2^l in a W.
+std::int64_t visits(CycleType cycle, int l) noexcept {
+  if (cycle != CycleType::W) {
+    return 1;
+  }
+  return std::int64_t{1} << std::min(l, 30);
+}
+
+}  // namespace
+
+int stencil_ghost(const Stencil& st) noexcept {
+  int g = 1;
+  for (int d = 0; d < st.ndiag(); ++d) {
+    const auto& o = st.offset(d);
+    g = std::max({g, std::abs(o.dx), std::abs(o.dy), std::abs(o.dz)});
+  }
+  return g;
+}
+
+std::vector<BoxDecomp> decomp_chain(const MGHierarchy& h,
+                                    std::array<int, 3> nb,
+                                    std::int64_t min_box_cells) {
+  std::vector<BoxDecomp> chain(static_cast<std::size_t>(h.nlevels()));
+  for (int l = 0; l < h.nlevels(); ++l) {
+    const Level& L = h.level(l);
+    const Box& g = L.A_full.box();
+    const int ghost = stencil_ghost(L.A_full.stencil());
+    if (l == h.nlevels() - 1) {
+      // The coarsest level is solved directly on one global box.
+      chain[static_cast<std::size_t>(l)] = BoxDecomp::make(g, {1, 1, 1}, 0);
+    } else if (l == 0) {
+      chain[0] = decompose_level(g, nb, ghost, min_box_cells);
+    } else if (chain[static_cast<std::size_t>(l - 1)].decomposed()) {
+      chain[static_cast<std::size_t>(l)] = agglomerate_if_needed(
+          chain[static_cast<std::size_t>(l - 1)].coarsened(
+              h.level(l - 1).to_coarse, ghost),
+          min_box_cells);
+    } else {
+      // Monotone: below the agglomeration boundary everything is one box.
+      chain[static_cast<std::size_t>(l)] = BoxDecomp::make(g, {1, 1, 1}, 0);
+    }
+  }
+  return chain;
+}
+
+std::vector<HaloLevelModel> model_halo(const MGHierarchy& h,
+                                       std::array<int, 3> nb,
+                                       std::int64_t min_box_cells) {
+  const MGConfig& cfg = h.config();
+  const std::vector<BoxDecomp> chain = decomp_chain(h, nb, min_box_cells);
+  std::vector<HaloLevelModel> out(static_cast<std::size_t>(h.nlevels()));
+  for (int l = 0; l < h.nlevels(); ++l) {
+    const BoxDecomp& d = chain[static_cast<std::size_t>(l)];
+    HaloLevelModel& m = out[static_cast<std::size_t>(l)];
+    m.level = l;
+    m.boxed = d.decomposed();
+    m.nb = d.nb();
+    if (!m.boxed) {
+      continue;
+    }
+    const HaloPlan plan(d, h.level(l).A_full.block_size());
+    m.values_per_exchange = plan.values_per_exchange();
+    const std::int64_t v = visits(cfg.cycle, l);
+    // Per visit: one u-exchange before each of the nu1 + nu2 smoother
+    // sweeps and one before the downstroke residual.  The exchange before
+    // the parent prolongs from this level happens once per *parent* visit
+    // (a W-cycle recurses twice but prolongs once), so it scales with the
+    // parent's visit count, not this level's.
+    m.u_exchanges = static_cast<int>(
+        v * (cfg.nu1 + cfg.nu2 + 1) + (l > 0 ? visits(cfg.cycle, l - 1) : 0));
+    // The residual halo is exchanged only when the coarse level is boxed
+    // too (per-box restriction needs the fine residual's ghosts).
+    const bool coarse_boxed =
+        l + 1 < h.nlevels() &&
+        chain[static_cast<std::size_t>(l + 1)].decomposed();
+    m.r_exchanges = static_cast<int>(coarse_boxed ? v : 0);
+  }
+  return out;
+}
+
+std::int64_t model_halo_bytes_per_apply(const std::vector<HaloLevelModel>& m,
+                                        std::size_t wire_bytes) noexcept {
+  std::int64_t sum = 0;
+  for (const HaloLevelModel& lm : m) {
+    sum += lm.bytes_per_apply(wire_bytes);
+  }
+  return sum;
+}
+
+double model_decomp_apply_seconds(const MGHierarchy& h, std::array<int, 3> nb,
+                                  std::int64_t min_box_cells, int threads,
+                                  std::size_t halo_wire_bytes,
+                                  const MachineModel& mm) {
+  const MGConfig& cfg = h.config();
+  const std::vector<BoxDecomp> chain = decomp_chain(h, nb, min_box_cells);
+  const std::vector<HaloLevelModel> halo = model_halo(h, nb, min_box_cells);
+  const double bw = mm.core_bw_gbs * 1e9;
+  double total = 0.0;
+  for (int l = 0; l < h.nlevels(); ++l) {
+    const Level& L = h.level(l);
+    const int bs = L.A_full.block_size();
+    const double m = static_cast<double>(L.A_full.nrows());
+    const double nnz = static_cast<double>(L.A_full.ncells()) *
+                       L.A_full.stencil().ndiag() * bs * bs;
+    const Prec mat = L.storage;
+    const Prec vec = cfg.compute;
+    const BoxDecomp& d = chain[static_cast<std::size_t>(l)];
+    const double v = static_cast<double>(visits(cfg.cycle, l));
+
+    const double sweep = cfg.smoother == SmootherType::SymGS
+                             ? symgs_sweep_bytes(nnz, m, mat, vec, L.scaled)
+                             : jacobi_sweep_bytes(nnz, m, mat, vec, L.scaled);
+    double work = (cfg.nu1 + cfg.nu2) * sweep;
+    if (l + 1 < h.nlevels()) {
+      const double mc =
+          static_cast<double>(L.to_coarse.coarse.size()) * bs;
+      // The decomposed downstroke materializes the residual (the fused
+      // kernel needs whole-box access); one-box levels keep the fused path.
+      work += downstroke_bytes(nnz, m, mc, mat, vec, L.scaled,
+                               /*fused=*/!d.decomposed()) +
+              prolong_bytes(m, mc, vec);
+    }
+    const int workers = d.decomposed() ? std::min(d.nboxes(), threads) : 1;
+    total += v * work / (static_cast<double>(workers) * bw);
+
+    const HaloLevelModel& hm = halo[static_cast<std::size_t>(l)];
+    if (hm.boxed) {
+      // Halo traffic is serialized through the transport plus roughly three
+      // pool barriers per exchange (pack, unpack, the kernel it precedes).
+      total +=
+          static_cast<double>(hm.bytes_per_apply(halo_wire_bytes)) / bw +
+          static_cast<double>(hm.exchanges()) * 3.0 * mm.net_latency_s;
+    }
+  }
+  return total;
+}
+
+}  // namespace smg

@@ -1,0 +1,82 @@
+// Halo-traffic model of the decomposed (sharded) hierarchy.
+//
+// The decomposed engine's exchange schedule is deterministic: on a boxed
+// level each smoother sweep is preceded by one u-exchange, the downstroke
+// residual by one more, the residual is exchanged once iff the coarse level
+// is also boxed, and a boxed level's u is exchanged once per visit before
+// the parent prolongs from it.  Bytes per exchange follow exactly from the
+// BoxDecomp geometry (sum of ghost-region volumes) times the wire width, so
+// the model prediction must match the engine's measured telemetry counters
+// *exactly* — fig_weak_scaling gates measured == model.
+//
+// The same geometry feeds a bandwidth-saturation time model (the
+// scaling_sim idiom: this host has one core, so parallel speedup is
+// predicted, not measured): per-cycle level traffic split across
+// min(boxes, threads) workers plus the serial halo term.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/mg_hierarchy.hpp"
+#include "grid/box_decomp.hpp"
+#include "perfmodel/scaling_sim.hpp"
+
+namespace smg {
+
+/// Ghost width a level matrix needs: the largest stencil offset magnitude
+/// over all diagonals and dimensions (1 for every 3dXX pattern), and never
+/// less than 1 so the trilinear transfers stay box-local too.
+int stencil_ghost(const Stencil& st) noexcept;
+
+/// The per-level decompositions the engine will use for this hierarchy:
+/// level 0 from the requested box grid, coarser levels derived through each
+/// Coarsening (same box grid, cuts mapped ceil(c/2) on coarsened dims),
+/// agglomerated to one box below `min_box_cells` — monotone: once a level
+/// is one box, all deeper levels are, and the coarsest always is.
+std::vector<BoxDecomp> decomp_chain(const MGHierarchy& h,
+                                    std::array<int, 3> nb,
+                                    std::int64_t min_box_cells);
+
+/// Exchange schedule and volume of one level, per preconditioner apply.
+struct HaloLevelModel {
+  int level = 0;
+  bool boxed = false;               ///< more than one box on this level
+  std::array<int, 3> nb{1, 1, 1};   ///< effective box grid
+  std::int64_t values_per_exchange = 0;  ///< recv cells * block_size
+  int u_exchanges = 0;              ///< u-halo exchanges per apply
+  int r_exchanges = 0;              ///< residual-halo exchanges per apply
+
+  std::int64_t exchanges() const noexcept {
+    return static_cast<std::int64_t>(u_exchanges) + r_exchanges;
+  }
+  std::int64_t bytes_per_apply(std::size_t wire_bytes) const noexcept {
+    return exchanges() * values_per_exchange *
+           static_cast<std::int64_t>(wire_bytes);
+  }
+};
+
+/// Model the full hierarchy's halo traffic for one preconditioner apply
+/// (honors cfg.nu1/nu2 and V/W cycle visit counts).
+std::vector<HaloLevelModel> model_halo(const MGHierarchy& h,
+                                       std::array<int, 3> nb,
+                                       std::int64_t min_box_cells);
+
+/// Total wire bytes of one apply over all levels.
+std::int64_t model_halo_bytes_per_apply(const std::vector<HaloLevelModel>& m,
+                                        std::size_t wire_bytes) noexcept;
+
+/// Predicted seconds of one preconditioner apply when the hierarchy is
+/// decomposed into `nb` boxes executed by `threads` pool workers: per-level
+/// kernel traffic (the bytes.hpp models) split across min(boxes, threads)
+/// concurrent workers, plus the halo traffic and a per-exchange
+/// synchronization latency.  With nb = {1,1,1} this degenerates to the
+/// serial single-box prediction, so speedup ratios are machine-independent
+/// (the bandwidth constant cancels to first order).
+double model_decomp_apply_seconds(const MGHierarchy& h, std::array<int, 3> nb,
+                                  std::int64_t min_box_cells, int threads,
+                                  std::size_t halo_wire_bytes,
+                                  const MachineModel& mm);
+
+}  // namespace smg

@@ -1,0 +1,147 @@
+#include "util/thread_pool.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "util/common.hpp"
+
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace smg {
+
+namespace {
+
+bool numa_pinning_enabled() {
+  const char* env = std::getenv("SMG_NUMA");
+  if (env == nullptr) {
+    return true;
+  }
+  const std::string v(env);
+  return !(v == "0" || v == "off" || v == "OFF" || v == "false");
+}
+
+void pin_to_cpu([[maybe_unused]] int w) {
+#if defined(__linux__)
+  const unsigned ncpu = std::thread::hardware_concurrency();
+  if (ncpu == 0) {
+    return;
+  }
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(w) % ncpu, &set);
+  // Best effort: a denied affinity call (restricted cpuset) is not fatal.
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#endif
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int nthreads) {
+  if (nthreads <= 0) {
+    nthreads = static_cast<int>(std::thread::hardware_concurrency());
+    if (nthreads <= 0) {
+      nthreads = 1;
+    }
+  }
+  done_.resize(static_cast<std::size_t>(nthreads));
+  workers_.reserve(static_cast<std::size_t>(nthreads));
+  for (int w = 0; w < nthreads; ++w) {
+    workers_.emplace_back([this, w] { worker_main(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : workers_) {
+    t.join();
+  }
+}
+
+void ThreadPool::worker_main(int w) {
+#if defined(_OPENMP)
+  // OpenMP pragmas inside per-box kernels must not fork a fresh team per
+  // worker (each non-OpenMP thread is its own initial thread): box-level
+  // parallelism IS the parallelism.
+  omp_set_num_threads(1);
+#endif
+  if (numa_pinning_enabled()) {
+    pin_to_cpu(w);
+  }
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* fn = nullptr;
+    int ntasks = 0;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_work_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) {
+        return;
+      }
+      seen = epoch_;
+      fn = fn_;
+      ntasks = ntasks_;
+    }
+    const int nw = nthreads();
+    for (int t = w; t < ntasks; t += nw) {
+      (*fn)(t);
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      done_[static_cast<std::size_t>(w)].done_epoch = seen;
+    }
+    cv_done_.notify_one();
+  }
+}
+
+void ThreadPool::run(int ntasks, const std::function<void(int)>& fn) {
+  if (ntasks <= 0) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    SMG_CHECK(!stop_, "ThreadPool::run after shutdown");
+    fn_ = &fn;
+    ntasks_ = ntasks;
+    ++epoch_;
+  }
+  cv_work_.notify_all();
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [&] {
+      for (const WorkerSlot& s : done_) {
+        if (s.done_epoch != epoch_) {
+          return false;
+        }
+      }
+      return true;
+    });
+    fn_ = nullptr;
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool([] {
+    const char* env = std::getenv("SMG_DECOMP_THREADS");
+    if (env != nullptr) {
+      const int n = std::atoi(env);
+      if (n > 0) {
+        return n;
+      }
+    }
+    return 0;  // hardware_concurrency
+  }());
+  return pool;
+}
+
+}  // namespace smg

@@ -1,0 +1,64 @@
+// Persistent worker pool driving per-box kernels (grid/box_decomp.hpp).
+//
+// The decomposed MG engine runs one worker *team* per sub-box (team size 1
+// here: box-level parallelism replaces loop-level parallelism, exactly the
+// HPGMG execution model).  Workers are long-lived so per-box data allocated
+// and first-touched from its owning worker stays on that worker's NUMA node
+// (first-touch placement); every worker pins its OpenMP ICV to one thread so
+// kernels invoked from a worker never fork nested OpenMP teams on top of the
+// box parallelism.
+//
+// SMG_NUMA (EXPERIMENTS.md): "0"/"off" disables worker->CPU pinning;
+// anything else (default) pins worker w to CPU w % ncpu on Linux, making the
+// first-touch placement deterministic across runs.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace smg {
+
+class ThreadPool {
+ public:
+  /// Spawn `nthreads` workers (>= 1); 0 picks hardware_concurrency.
+  explicit ThreadPool(int nthreads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int nthreads() const noexcept { return static_cast<int>(workers_.size()); }
+
+  /// Run fn(task) for task in [0, ntasks) across the workers and wait for
+  /// all of them.  Task t always lands on worker t % nthreads(), so a box's
+  /// tasks revisit the worker that first-touched its storage.  Exceptions
+  /// escaping fn are fatal (kernels do not throw).
+  void run(int ntasks, const std::function<void(int)>& fn);
+
+  /// The lazily constructed process-wide pool used by the decomposed MG
+  /// engine; sized by SMG_DECOMP_THREADS, else hardware_concurrency.
+  static ThreadPool& global();
+
+ private:
+  void worker_main(int w);
+
+  struct alignas(64) WorkerSlot {
+    std::uint64_t done_epoch = 0;
+  };
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::vector<std::thread> workers_;
+  std::vector<WorkerSlot> done_;  ///< per-worker epoch acks
+  const std::function<void(int)>* fn_ = nullptr;
+  int ntasks_ = 0;
+  std::uint64_t epoch_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace smg

@@ -1,0 +1,164 @@
+// Box decomposition: partition coverage, ghost clipping, coarse-cut
+// alignment, agglomeration policy, and the Box degenerate-extent helpers.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/transfer.hpp"
+#include "grid/box_decomp.hpp"
+
+namespace smg {
+namespace {
+
+TEST(Box, InteriorSizeDegenerateExtents) {
+  // 1- and 2-cell extents have no interior; the product clamps at 0 per
+  // dimension instead of going negative.
+  EXPECT_EQ((Box{1, 8, 8}.interior_size()), 0);
+  EXPECT_EQ((Box{2, 8, 8}.interior_size()), 0);
+  EXPECT_EQ((Box{8, 1, 1}.interior_size()), 0);
+  EXPECT_EQ((Box{2, 2, 2}.interior_size()), 0);
+  EXPECT_EQ((Box{3, 3, 3}.interior_size()), 1);
+  EXPECT_EQ((Box{8, 8, 8}.interior_size()), 6 * 6 * 6);
+}
+
+TEST(Box, GhostGrownGrowsAndClamps) {
+  EXPECT_EQ((Box{4, 5, 6}.ghost_grown(1)), (Box{6, 7, 8}));
+  EXPECT_EQ((Box{4, 5, 6}.ghost_grown(0)), (Box{4, 5, 6}));
+  // Negative growth shrinks, clamping degenerate extents at 0.
+  EXPECT_EQ((Box{4, 5, 6}.ghost_grown(-2)), (Box{0, 1, 2}));
+  EXPECT_EQ((Box{1, 1, 1}.ghost_grown(-1)), (Box{0, 0, 0}));
+}
+
+TEST(BoxDecomp, PartitionCoversGlobalExactlyOnce) {
+  const Box g{17, 13, 11};
+  const BoxDecomp d = BoxDecomp::make(g, {3, 2, 2}, 1);
+  ASSERT_EQ(d.nboxes(), 12);
+  std::set<std::int64_t> seen;
+  for (const SubBox& s : d.boxes()) {
+    for (int k = 0; k < s.n[2]; ++k) {
+      for (int j = 0; j < s.n[1]; ++j) {
+        for (int i = 0; i < s.n[0]; ++i) {
+          const std::int64_t cell =
+              g.idx(s.lo[0] + i, s.lo[1] + j, s.lo[2] + k);
+          EXPECT_TRUE(seen.insert(cell).second) << "cell owned twice";
+        }
+      }
+    }
+  }
+  EXPECT_EQ(static_cast<std::int64_t>(seen.size()), g.size());
+}
+
+TEST(BoxDecomp, CutsAreBalancedAndMonotone) {
+  const BoxDecomp d = BoxDecomp::make(Box{17, 17, 17}, {2, 2, 2}, 1);
+  for (int dim = 0; dim < 3; ++dim) {
+    const auto& c = d.cuts(dim);
+    ASSERT_EQ(c.size(), 3u);
+    EXPECT_EQ(c.front(), 0);
+    EXPECT_EQ(c.back(), 17);
+    for (std::size_t i = 1; i < c.size(); ++i) {
+      EXPECT_LT(c[i - 1], c[i]);
+    }
+  }
+  // Balanced: 17 -> 9 + 8.
+  EXPECT_EQ(d.cuts(0)[1], 9);
+}
+
+TEST(BoxDecomp, GhostsClipAtGlobalBoundary) {
+  const BoxDecomp d = BoxDecomp::make(Box{16, 16, 16}, {2, 1, 1}, 2);
+  const SubBox& lo = d.box(0);
+  const SubBox& hi = d.box(1);
+  // Low box: no ghost on the global low side, 2 toward its neighbor.
+  EXPECT_EQ(lo.glo[0], 0);
+  EXPECT_EQ(lo.ghi[0], 2);
+  EXPECT_EQ(hi.glo[0], 2);
+  EXPECT_EQ(hi.ghi[0], 0);
+  // Unsplit dims still clip at the domain (no neighbor, no ghost needed
+  // beyond the domain): min(ghost, 0) == 0 at both ends.
+  EXPECT_EQ(lo.glo[1], 0);
+  EXPECT_EQ(lo.ghi[1], 0);
+  // local() == interior + materialized ghosts.
+  EXPECT_EQ(lo.local(), (Box{10, 16, 16}));
+}
+
+TEST(BoxDecomp, CoarsenedCutsAreCeilHalfOnCoarsenedDims) {
+  const Box fine{17, 17, 9};
+  const BoxDecomp df = BoxDecomp::make(fine, {2, 2, 2}, 1);
+  Coarsening c;
+  c.fine = fine;
+  c.coarse = Box{9, 9, 9};
+  c.mask = {true, true, false};  // z left uncoarsened
+  const BoxDecomp dc = df.coarsened(c, 1);
+  EXPECT_EQ(dc.global(), (Box{9, 9, 9}));
+  EXPECT_EQ(dc.nb(), df.nb());
+  // Coarsened dims: cut 9 -> ceil(9/2) = 5; uncoarsened: identical.
+  EXPECT_EQ(dc.cuts(0)[1], 5);
+  EXPECT_EQ(dc.cuts(1)[1], 5);
+  EXPECT_EQ(dc.cuts(2)[1], df.cuts(2)[1]);
+}
+
+TEST(BoxDecomp, CoarseChildAlignmentInvariant) {
+  // Every coarse interior cell's fine children must land inside the
+  // matching fine sub-box's interior + 1-wide ghost — the invariant that
+  // keeps per-box restriction local.
+  const Box fine{21, 17, 13};
+  const BoxDecomp df = BoxDecomp::make(fine, {2, 2, 2}, 1);
+  Coarsening c;
+  c.fine = fine;
+  c.coarse = Box{11, 9, 7};
+  c.mask = {true, true, true};
+  const BoxDecomp dc = df.coarsened(c, 1);
+  for (int b = 0; b < dc.nboxes(); ++b) {
+    const SubBox& cs = dc.box(b);
+    const SubBox& fs = df.box(b);
+    for (int dim = 0; dim < 3; ++dim) {
+      for (int I = cs.lo[dim]; I < cs.lo[dim] + cs.n[dim]; ++I) {
+        for (int t = -1; t <= 1; ++t) {
+          const int child = 2 * I + t;
+          if (child < 0 || child >= (dim == 0 ? fine.nx
+                                     : dim == 1 ? fine.ny
+                                                : fine.nz)) {
+            continue;
+          }
+          EXPECT_GE(child, fs.lo[dim] - fs.glo[dim]);
+          EXPECT_LT(child, fs.lo[dim] + fs.n[dim] + fs.ghi[dim]);
+        }
+      }
+    }
+  }
+}
+
+TEST(BoxDecomp, AgglomeratesWhenBoxesTooSmall) {
+  // 8^3 split 2x2x2 -> 4^3 = 64-cell boxes; threshold 100 collapses it.
+  const BoxDecomp d =
+      decompose_level(Box{8, 8, 8}, {2, 2, 2}, 1, /*min_box_cells=*/100);
+  EXPECT_FALSE(d.decomposed());
+  EXPECT_EQ(d.ghost(), 0);
+  // Threshold 64 keeps it decomposed.
+  const BoxDecomp d2 = decompose_level(Box{8, 8, 8}, {2, 2, 2}, 1, 64);
+  EXPECT_TRUE(d2.decomposed());
+}
+
+TEST(BoxDecomp, AgglomeratesEmptyAndThinBoxes) {
+  // 3 cells split 4 ways: some box is empty.
+  EXPECT_FALSE(decompose_level(Box{3, 8, 8}, {4, 1, 1}, 1, 1).decomposed());
+  // Split-dim extent thinner than the ghost width: a ghost ring would span
+  // past the adjacent box.
+  const BoxDecomp thin = BoxDecomp::make(Box{4, 8, 8}, {3, 1, 1}, 2);
+  EXPECT_TRUE(needs_agglomeration(thin, 1));
+  // Same shape with ghost 1 is fine.
+  const BoxDecomp ok = BoxDecomp::make(Box{4, 8, 8}, {3, 1, 1}, 1);
+  EXPECT_FALSE(needs_agglomeration(ok, 1));
+}
+
+TEST(BoxDecomp, NeighborLookup) {
+  const BoxDecomp d = BoxDecomp::make(Box{12, 12, 12}, {2, 2, 2}, 1);
+  EXPECT_EQ(d.neighbor(0, 1, 0, 0), 1);
+  EXPECT_EQ(d.neighbor(0, 0, 1, 0), 2);
+  EXPECT_EQ(d.neighbor(0, 0, 0, 1), 4);
+  EXPECT_EQ(d.neighbor(0, -1, 0, 0), -1);
+  EXPECT_EQ(d.neighbor(7, 1, 0, 0), -1);
+  EXPECT_EQ(d.neighbor(0, 1, 1, 1), 7);
+}
+
+}  // namespace
+}  // namespace smg

@@ -1,0 +1,174 @@
+// Halo exchange: pack/unpack round-trip over all 26 neighbor directions,
+// the FP16 wire's tolerance contract, and the measured-bytes ledger.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "fp/half.hpp"
+#include "grid/halo.hpp"
+#include "util/thread_pool.hpp"
+
+namespace smg {
+namespace {
+
+/// Unique, FP32-exact value per (global cell, block component), kept inside
+/// FP16 range (< 65504) so the half-wire test measures rounding, not
+/// overflow.
+double cell_value(int gi, int gj, int gk, int c) {
+  return 0.5 + gi + 16.0 * gj + 256.0 * gk + 0.25 * c;
+}
+
+struct Fixture {
+  BoxDecomp d;
+  HaloPlan plan;
+  int bs;
+  std::vector<std::vector<double>> fields;  // per-box local dof arrays
+
+  Fixture(const Box& g, std::array<int, 3> nb, int ghost, int bs_in)
+      : d(BoxDecomp::make(g, nb, ghost)), plan(d, bs_in), bs(bs_in) {
+    fields.resize(static_cast<std::size_t>(d.nboxes()));
+    for (int b = 0; b < d.nboxes(); ++b) {
+      const SubBox& s = d.box(b);
+      const Box lb = s.local();
+      auto& f = fields[static_cast<std::size_t>(b)];
+      f.assign(static_cast<std::size_t>(lb.size()) * bs, -1.0);
+      for (int k = 0; k < s.n[2]; ++k) {
+        for (int j = 0; j < s.n[1]; ++j) {
+          for (int i = 0; i < s.n[0]; ++i) {
+            for (int c = 0; c < bs; ++c) {
+              f[static_cast<std::size_t>(s.local_idx(i, j, k) * bs + c)] =
+                  cell_value(s.lo[0] + i, s.lo[1] + j, s.lo[2] + k, c);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  std::function<double*(int)> field() {
+    return [this](int b) -> double* {
+      return fields[static_cast<std::size_t>(b)].data();
+    };
+  }
+
+  /// Check every materialized ghost cell of every box against the global
+  /// function, within `rel` relative tolerance (0 = exact).
+  void check_ghosts(double rel) const {
+    for (int b = 0; b < d.nboxes(); ++b) {
+      const SubBox& s = d.box(b);
+      const Box lb = s.local();
+      const auto& f = fields[static_cast<std::size_t>(b)];
+      for (int k = 0; k < lb.nz; ++k) {
+        for (int j = 0; j < lb.ny; ++j) {
+          for (int i = 0; i < lb.nx; ++i) {
+            const bool interior = i >= s.glo[0] && i < s.glo[0] + s.n[0] &&
+                                  j >= s.glo[1] && j < s.glo[1] + s.n[1] &&
+                                  k >= s.glo[2] && k < s.glo[2] + s.n[2];
+            if (interior) {
+              continue;
+            }
+            for (int c = 0; c < bs; ++c) {
+              const double want = cell_value(i + s.off(0), j + s.off(1),
+                                             k + s.off(2), c);
+              const double got =
+                  f[static_cast<std::size_t>(lb.idx(i, j, k) * bs + c)];
+              if (rel == 0.0) {
+                EXPECT_EQ(got, want)
+                    << "box " << b << " ghost (" << i << "," << j << ","
+                    << k << ") comp " << c;
+              } else {
+                EXPECT_LE(std::abs(got - want), rel * std::abs(want))
+                    << "box " << b << " ghost (" << i << "," << j << ","
+                    << k << ")";
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+};
+
+TEST(HaloPlan, CenterBoxHasAll26Directions) {
+  const Fixture fx(Box{9, 9, 9}, {3, 3, 3}, 1, 1);
+  // Box 13 = (1,1,1) is fully surrounded.
+  EXPECT_EQ(fx.plan.msgs(13).size(), 26u);
+  // A corner box sees 7 neighbors.
+  EXPECT_EQ(fx.plan.msgs(0).size(), 7u);
+  EXPECT_GT(fx.plan.values_per_exchange(), 0);
+}
+
+TEST(HaloExchange, RawWireRoundTripIsExactAllDirections) {
+  Fixture fx(Box{9, 9, 9}, {3, 3, 3}, 1, 1);
+  ThreadPool pool(3);
+  MemcpyExchanger ex;
+  HaloExchange hx;
+  hx.init(&fx.plan, sizeof(double));
+  hx.exchange<double>(fx.field(), pool, ex);
+  fx.check_ghosts(0.0);
+}
+
+TEST(HaloExchange, BlockDofsRoundTrip) {
+  Fixture fx(Box{8, 6, 6}, {2, 2, 1}, 1, 3);
+  ThreadPool pool(2);
+  MemcpyExchanger ex;
+  HaloExchange hx;
+  hx.init(&fx.plan, sizeof(double));
+  hx.exchange<double>(fx.field(), pool, ex);
+  fx.check_ghosts(0.0);
+}
+
+TEST(HaloExchange, Fp16WireMeetsToleranceContract) {
+  Fixture fx(Box{9, 9, 9}, {3, 3, 3}, 1, 1);
+  ThreadPool pool(2);
+  MemcpyExchanger ex;
+  HaloExchange hx;
+  hx.init(&fx.plan, sizeof(half));
+  hx.exchange<double>(fx.field(), pool, ex);
+  // FP16 rounding: <= 2^-11 relative per value (plus the double->float
+  // step, absorbed by the same bound at these magnitudes).
+  fx.check_ghosts(std::ldexp(1.0, -11));
+}
+
+TEST(HaloExchange, LedgerMatchesPlanBytes) {
+  Fixture fx(Box{9, 9, 9}, {3, 3, 3}, 1, 2);
+  ThreadPool pool(2);
+  MemcpyExchanger ex;
+  HaloExchange hx;
+  hx.init(&fx.plan, sizeof(double));
+  const std::uint64_t per =
+      static_cast<std::uint64_t>(fx.plan.values_per_exchange()) *
+      sizeof(double);
+  EXPECT_EQ(hx.bytes_per_exchange(), per);
+  EXPECT_EQ(hx.bytes_exchanged(), 0u);
+  hx.exchange<double>(fx.field(), pool, ex);
+  hx.exchange<double>(fx.field(), pool, ex);
+  EXPECT_EQ(hx.exchanges(), 2u);
+  EXPECT_EQ(hx.bytes_exchanged(), 2 * per);
+  hx.reset_ledger();
+  EXPECT_EQ(hx.bytes_exchanged(), 0u);
+  // The FP16 wire halves the bytes of the FP32 wire exactly.
+  HaloExchange hx16;
+  hx16.init(&fx.plan, sizeof(half));
+  HaloExchange hx32;
+  hx32.init(&fx.plan, sizeof(float));
+  EXPECT_EQ(2 * hx16.bytes_per_exchange(), hx32.bytes_per_exchange());
+}
+
+TEST(HaloExchange, ClippedBoundaryBoxesExchangeOnlyInDomainGhosts) {
+  // 2x1x1: each box has ghosts only toward its one neighbor.
+  Fixture fx(Box{10, 5, 5}, {2, 1, 1}, 1, 1);
+  EXPECT_EQ(fx.plan.msgs(0).size(), 1u);
+  EXPECT_EQ(fx.plan.msgs(1).size(), 1u);
+  ThreadPool pool(2);
+  MemcpyExchanger ex;
+  HaloExchange hx;
+  hx.init(&fx.plan, sizeof(double));
+  hx.exchange<double>(fx.field(), pool, ex);
+  fx.check_ghosts(0.0);
+}
+
+}  // namespace
+}  // namespace smg
