@@ -7,6 +7,7 @@
 #include <exception>
 
 #include "bench_common.hpp"
+#include "obs/exposition.hpp"
 #include "perfmodel/stream.hpp"
 #include "util/timer.hpp"
 
@@ -276,6 +277,10 @@ obs::JsonValue make_document(const std::string& suite_name,
     benches.push_back(std::move(b));
   }
   doc.set("benchmarks", benches);
+  // Service-metrics registry snapshot (docs/METRICS.md): counters and
+  // histograms accumulated across every bench in this document — the
+  // "what did the process do" companion to the per-bench samples.
+  doc.set("service_metrics", obs::metrics_to_json(obs::snapshot_metrics()));
   return doc;
 }
 
@@ -340,6 +345,17 @@ std::vector<std::string> validate_bench_document(const obs::JsonValue& doc) {
     }
     require(errors, is_bool(protocol->find("smoke")),
             "protocol.smoke must be a bool");
+  }
+
+  const obs::JsonValue* sm = doc.find("service_metrics");
+  if (sm == nullptr || !sm->is_object()) {
+    errors.push_back("service_metrics must be an object");
+  } else {
+    require(errors, is_bool(sm->find("enabled")),
+            "service_metrics.enabled must be a bool");
+    const obs::JsonValue* series = sm->find("series");
+    require(errors, series != nullptr && series->is_array(),
+            "service_metrics.series must be an array");
   }
 
   const obs::JsonValue* benches = doc.find("benchmarks");

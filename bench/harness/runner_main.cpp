@@ -8,10 +8,13 @@
 // Exit code: 0 on success, 1 when any bench failed a self-check, 2 on
 // usage/IO errors.
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "harness/cli.hpp"
 #include "harness/harness.hpp"
+#include "obs/exposition.hpp"
+#include "obs/metrics.hpp"
 #include "obs/report.hpp"
 
 int main(int argc, char** argv) {
@@ -25,6 +28,8 @@ int main(int argc, char** argv) {
               {"suite", true, "NAME", "suite to run: smoke | paper"},
               {"bench", true, "NAME",
                "run a single registered bench (overrides --suite)"},
+              {"smoke", false, "",
+               "use smoke (halved) problem sizes with --bench"},
               {"json", true, "PATH", "write the smg-bench-v1 document here"},
               {"list", false, "", "list registered benches and exit"},
               {"repeats", true, "N", "samples per timed metric (default 5)"},
@@ -66,12 +71,23 @@ int main(int argc, char** argv) {
   }
 
   RunOptions opts = options_from_env();
-  opts.smoke = only.empty() ? suite == "smoke" : false;
+  opts.smoke = only.empty() ? suite == "smoke" : cli.has("smoke");
   opts.repeats = static_cast<int>(cli.value_or("repeats", opts.repeats));
   opts.warmup = static_cast<int>(cli.value_or("warmup", opts.warmup));
   if (cli.has("no-stream")) {
     opts.stream_n = 0;
   }
+
+  // Service metrics are on for bench runs unless SMG_METRICS=off: the
+  // emitted document carries a registry snapshot ("service_metrics"), and
+  // SMG_METRICS_FILE (+ optional SMG_METRICS_PERIOD) gets an OpenMetrics
+  // exposition of the same counters.
+  if (smg::obs::effective_metrics(smg::obs::MetricsLevel::On) ==
+      smg::obs::MetricsLevel::On) {
+    smg::obs::enable_metrics(true);
+  }
+  const std::unique_ptr<smg::obs::MetricsFlusher> flusher =
+      smg::obs::MetricsFlusher::start_from_env();
 
   std::vector<BenchRun> runs;
   bool all_ok = true;
@@ -121,6 +137,9 @@ int main(int argc, char** argv) {
     }
     std::printf("\nwrote %s (%s, %zu benchmark(s))\n", json_path.c_str(),
                 kBenchSchema, runs.size());
+  }
+  if (flusher == nullptr) {
+    smg::obs::emit_metrics_from_env();
   }
   return all_ok ? 0 : 1;
 }

@@ -12,6 +12,7 @@
 
 #include "core/mg_precond.hpp"
 #include "kernels/spmv.hpp"
+#include "obs/exposition.hpp"
 #include "obs/report.hpp"
 #include "problems/problem.hpp"
 #include "solvers/cg.hpp"
@@ -21,6 +22,11 @@ using namespace smg;
 int main(int argc, char** argv) {
   const int n = argc > 1 ? std::atoi(argv[1]) : 48;
   std::printf("== StructMG-FP16 quickstart: %d^3 Poisson (27-point) ==\n", n);
+
+  // Optional service metrics: SMG_METRICS=on counts solves/cache/halo
+  // traffic (docs/METRICS.md); SMG_METRICS_FILE=path exports OpenMetrics
+  // text, with SMG_METRICS_PERIOD=seconds flushing it in the background.
+  const auto flusher = obs::MetricsFlusher::start_from_env();
 
   // 1. The problem: A x = b in FP64 (your application's precision).
   Problem p = make_laplace27(Box{n, n, n});
@@ -72,6 +78,9 @@ int main(int argc, char** argv) {
                           Prec::FP64);
     obs::print_report(report);
     obs::emit_from_env(report, *M->telemetry());
+  }
+  if (flusher == nullptr) {
+    obs::emit_metrics_from_env();
   }
   return res.converged ? 0 : 1;
 }

@@ -6,6 +6,7 @@
 #include <string_view>
 
 #include "core/mg_hierarchy.hpp"
+#include "obs/metrics.hpp"
 
 namespace smg {
 
@@ -196,12 +197,15 @@ std::vector<int> PrecisionGovernor::on_event(HealthEvent e) {
   const AutopilotTrigger trig = e == HealthEvent::NonFinite
                                     ? AutopilotTrigger::NonFinite
                                     : AutopilotTrigger::Stagnation;
+  obs::record_autopilot_event(e == HealthEvent::NonFinite ? "non_finite"
+                                                          : "stagnation");
 
   const auto execute = [&](int l, RepairKind k) {
     if (repairs_ >= t.max_repairs) {
       return false;
     }
     bool ok = false;
+    bool promoted = false;
     if (k == RepairKind::Rescale) {
       ok = h_->rescale_level(l, t.repair_safety, trig);
       if (ok) {
@@ -209,13 +213,16 @@ std::vector<int> PrecisionGovernor::on_event(HealthEvent e) {
       } else {
         // No retained setup matrix to rescale from: fall through the ladder.
         ok = h_->promote_level(l, h_->config().compute, trig);
+        promoted = ok;
       }
     } else if (k == RepairKind::Promote) {
       ok = h_->promote_level(l, h_->config().compute, trig);
+      promoted = ok;
     }
     if (ok) {
       ++repairs_;
       repaired.push_back(l);
+      obs::record_autopilot_repair(promoted ? "promote" : "rescale");
     }
     return ok;
   };

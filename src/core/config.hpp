@@ -17,6 +17,7 @@
 #include <string>
 
 #include "fp/precision.hpp"
+#include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 #include "sgdia/struct_matrix.hpp"
 
@@ -162,6 +163,12 @@ struct MGConfig {
   /// build; the SMG_TELEMETRY env var overrides this at runtime
   /// (obs::effective_level).
   obs::TelemetryLevel telemetry = obs::TelemetryLevel::Off;
+  /// Service metrics (src/obs/metrics.hpp): On flips the process-global
+  /// registry switch when a preconditioner is built on this config, so
+  /// solves feed latency histograms and cache/halo/autopilot counters.
+  /// Off solves are bitwise identical to pre-metrics builds; SMG_METRICS
+  /// overrides at runtime (obs::effective_metrics).
+  obs::MetricsLevel metrics = obs::MetricsLevel::Off;
 
   // --- kernel implementation ---
   // SOAL (line-blocked SOA) keeps the SOA SIMD structure while giving the

@@ -9,6 +9,7 @@
 #include "kernels/symgs.hpp"
 #include "obs/telemetry.hpp"
 #include "perfmodel/halo.hpp"
+#include "util/timer.hpp"
 
 namespace smg {
 
@@ -156,6 +157,25 @@ DecompEngine<CT>::DecompEngine(const MGHierarchy* h, std::array<int, 3> nb,
   for (int l = 0; l < h_->nlevels(); ++l) {
     build_level(l);
   }
+  // Service metrics: register the boxed levels' halo series once (cold
+  // path) and pin the perfmodel's exact bytes-per-exchange prediction next
+  // to the measured counters, so a scrape can check achieved == model.
+  if (obs::metrics_enabled()) {
+    const std::vector<HaloLevelModel> model =
+        model_halo(*h_, nb, h_->config().decomp_min_box);
+    for (std::size_t l = 0; l < levels_.size(); ++l) {
+      if (!levels_[l].boxed) {
+        continue;
+      }
+      levels_[l].metrics = obs::halo_level_metrics(static_cast<int>(l));
+      if (l < model.size() &&
+          levels_[l].metrics.model_bytes_per_exchange != nullptr) {
+        levels_[l].metrics.model_bytes_per_exchange->set(
+            static_cast<double>(model[l].values_per_exchange) *
+            static_cast<double>(wire_bytes_));
+      }
+    }
+  }
   if (h_->finest_wrapped()) {
     const auto& q2 = h_->finest_q2();
     wrap_q2_.resize(q2.size());
@@ -284,16 +304,35 @@ void DecompEngine<CT>::exchange(int lev, bool residual_field) {
     BoxData& bd = boxes[static_cast<std::size_t>(b)];
     return residual_field ? bd.r.data() : bd.u.data();
   };
+  const bool metered =
+      D.metrics.wire_bytes != nullptr && obs::metrics_enabled();
+  double pack_seconds = 0.0;
+  double unpack_seconds = 0.0;
   {
     const obs::KernelSpan span(obs::Kind::HaloPack);
+    const Timer t;
     D.hx.template pack_and_transport<CT>(field, *pool_, ex_);
+    if (metered) {
+      pack_seconds = t.seconds();
+    }
   }
   {
     const obs::KernelSpan span(obs::Kind::HaloUnpack);
+    const Timer t;
     D.hx.template unpack<CT>(field, *pool_);
+    if (metered) {
+      unpack_seconds = t.seconds();
+    }
   }
   if (obs::Telemetry* t = obs::current()) {
     t->record_halo(lev, D.hx.bytes_per_exchange());
+  }
+  if (metered) {
+    D.metrics.wire_bytes->add(
+        static_cast<double>(D.hx.bytes_per_exchange()));
+    D.metrics.exchanges->inc();
+    D.metrics.pack_seconds->add(pack_seconds);
+    D.metrics.unpack_seconds->add(unpack_seconds);
   }
 }
 

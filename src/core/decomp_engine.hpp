@@ -38,6 +38,7 @@
 #include "core/mg_hierarchy.hpp"
 #include "grid/box_decomp.hpp"
 #include "grid/halo.hpp"
+#include "obs/metrics.hpp"
 #include "util/aligned.hpp"
 #include "util/thread_pool.hpp"
 
@@ -85,6 +86,10 @@ class DecompEngine {
     HaloPlan plan;                ///< empty when !boxed
     HaloExchange hx;              ///< shared by the u and r exchanges
     std::vector<BoxData> boxes;   ///< empty when !boxed
+    /// Cached service-metrics handles (null when metrics were off at
+    /// construction): per-exchange updates must not take the registry
+    /// lock.  The model gauge is set once from the perfmodel halo ledger.
+    obs::HaloLevelMetrics metrics;
     /// Global-vector storage: the working set of an unboxed level, and the
     /// gather scratch for transfers across the agglomeration boundary.
     avec<CT> u, f, r;

@@ -2,6 +2,10 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "util/timer.hpp"
 
 namespace smg {
 
@@ -79,6 +83,7 @@ std::uint64_t hierarchy_fingerprint(const StructMat<double>& A,
   f.enumval(cfg.precision_policy);
   f.value(cfg.truncate_smoother);
   f.enumval(cfg.telemetry);
+  f.enumval(cfg.metrics);
   f.enumval(cfg.layout);
   return f.h;
 }
@@ -92,23 +97,46 @@ std::shared_ptr<MGHierarchy> HierarchyCache::get_or_build(
       if (it->key == key) {
         lru_.splice(lru_.begin(), lru_, it);  // bump to MRU
         ++hits_;
+        obs::record_cache_hit();
         return lru_.front().hierarchy;
       }
     }
     ++misses_;
+    obs::record_cache_miss();
   }
   // Build outside the lock: setups are expensive and concurrent misses on
   // different problems should not serialize.
+  Timer setup_timer;
   StructMat<double> copy = A;
   auto built = std::make_shared<MGHierarchy>(std::move(copy), cfg);
+  obs::record_cache_setup(setup_timer.seconds());
+  // Evicted fingerprints are collected under the lock but reported after
+  // it drops, so the hook may re-enter the cache without deadlocking.
+  std::vector<std::uint64_t> evicted;
+  EvictionHook hook;
   if (capacity_ > 0) {
     std::lock_guard<std::mutex> lock(mu_);
     lru_.push_front(Entry{key, built});
     while (lru_.size() > capacity_) {
+      evicted.push_back(lru_.back().key);
       lru_.pop_back();
+      ++evictions_;
+    }
+    obs::set_cache_entries(lru_.size());
+    hook = eviction_hook_;
+  }
+  for (std::uint64_t evicted_key : evicted) {
+    obs::record_cache_eviction();
+    if (hook) {
+      hook(evicted_key);
     }
   }
   return built;
+}
+
+void HierarchyCache::set_eviction_hook(EvictionHook hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  eviction_hook_ = std::move(hook);
 }
 
 std::size_t HierarchyCache::size() const {
@@ -121,6 +149,7 @@ void HierarchyCache::clear() {
   lru_.clear();
   hits_ = 0;
   misses_ = 0;
+  evictions_ = 0;
 }
 
 HierarchyCache& HierarchyCache::global() {

@@ -27,9 +27,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
+#include <vector>
 
 #include "core/mg_hierarchy.hpp"
 
@@ -55,7 +57,15 @@ class HierarchyCache {
   std::size_t size() const;
   std::uint64_t hits() const noexcept { return hits_; }
   std::uint64_t misses() const noexcept { return misses_; }
+  std::uint64_t evictions() const noexcept { return evictions_; }
   void clear();
+
+  /// Observer of LRU evictions: called once per evicted entry with its
+  /// fingerprint, in eviction order (least recently used first), AFTER
+  /// the cache releases its lock — the hook may call back into the cache.
+  /// One hook per cache; replace with nullptr to remove.
+  using EvictionHook = std::function<void(std::uint64_t key)>;
+  void set_eviction_hook(EvictionHook hook);
 
   /// Process-global cache, sized once from SMG_HIERARCHY_CACHE on first
   /// use (default capacity 4; "0" disables).
@@ -72,6 +82,8 @@ class HierarchyCache {
   std::list<Entry> lru_;  ///< front = most recently used
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  EvictionHook eviction_hook_;
 };
 
 }  // namespace smg

@@ -52,6 +52,12 @@ MGHierarchy::MGHierarchy(StructMat<double> A0, MGConfig cfg)
     : cfg_(std::move(cfg)) {
   Timer timer;
 
+  // Flip the sticky process-wide metrics switch before anything built on
+  // this hierarchy (DecompEngine, adapters) registers its series.
+  if (obs::effective_metrics(cfg_.metrics) == obs::MetricsLevel::On) {
+    obs::enable_metrics(true);
+  }
+
   cfg_.precision_policy = effective_policy(cfg_.precision_policy);
   if (cfg_.precision_policy != PrecisionPolicy::Fixed) {
     th_ = AutopilotThresholds::from_env();

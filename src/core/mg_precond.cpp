@@ -7,6 +7,7 @@
 #include "kernels/fused.hpp"
 #include "kernels/spmv.hpp"
 #include "kernels/symgs.hpp"
+#include "obs/metrics.hpp"
 
 namespace smg {
 
@@ -364,6 +365,11 @@ MGPrecondAdapter<KT, CT>::MGPrecondAdapter(MGHierarchy* h)
       telemetry_(obs::effective_level(h->config().telemetry), h->nlevels()),
       governor_(h),
       guarded_(h->policy() == PrecisionPolicy::Guarded) {
+  // Service metrics are a sticky process-wide switch; any adapter whose
+  // effective config asks for them turns recording on for good.
+  if (obs::effective_metrics(h->config().metrics) == obs::MetricsLevel::On) {
+    obs::enable_metrics(true);
+  }
   const std::size_t n =
       static_cast<std::size_t>(h->level(0).A_full.nrows());
   rbuf_.assign(n, CT{0});
@@ -412,7 +418,9 @@ void MGPrecondAdapter<KT, CT>::apply(std::span<const KT> r,
     }
   }
   copy_convert<KT, CT>({ebuf_.data(), ebuf_.size()}, e);
-  telemetry_.record_apply(t0, telemetry_.now());
+  const double t1 = telemetry_.now();
+  telemetry_.record_apply(t0, t1);
+  obs::record_precond_apply(t1 - t0);
 }
 
 template <class KT, class CT>
@@ -447,8 +455,11 @@ void MGPrecondAdapter<KT, CT>::apply_many(const MultiVector<KT>& r,
   }
   copy_convert<KT, CT>({epanel_.data(), epanel_.size()},
                        {e.data(), e.size()});
-  telemetry_.record_apply(t0, telemetry_.now());
+  const double t1 = telemetry_.now();
+  telemetry_.record_apply(t0, t1);
   telemetry_.record_panel_apply(r.cols());
+  obs::record_precond_apply(t1 - t0);
+  obs::record_precond_panel(r.cols());
 }
 
 template <class KT, class CT>
@@ -464,6 +475,11 @@ bool MGPrecondAdapter<KT, CT>::heal(HealthEvent e) {
   const std::vector<int> repaired = governor_.on_event(e);
   for (const int l : repaired) {
     mg_.refresh_level(l);
+  }
+  if (!repaired.empty()) {
+    // Each successful repair triggers exactly one retry: the probe
+    // re-applies the cycle, or the solver restarts its recurrence.
+    obs::record_autopilot_repair("retry");
   }
   return !repaired.empty();
 }

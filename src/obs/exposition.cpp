@@ -1,0 +1,325 @@
+#include "obs/exposition.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+namespace smg::obs {
+
+namespace {
+
+/// Prometheus sample value: unlike JSON, the text format has +Inf/-Inf/NaN
+/// literals, so values render faithfully.
+std::string prom_num(double v) {
+  if (std::isnan(v)) {
+    return "NaN";
+  }
+  if (std::isinf(v)) {
+    return v > 0 ? "+Inf" : "-Inf";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string prom_num(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// `{k="v",...}` rendered label block; empty string when no labels.
+/// `extra` appends one more pair (the histogram `le` label).
+std::string label_block(const MetricLabels& labels,
+                        const std::string& extra_key = {},
+                        const std::string& extra_val = {}) {
+  std::string out;
+  auto append = [&out](const std::string& k, const std::string& v) {
+    out += out.empty() ? "{" : ",";
+    out += k;
+    out += "=\"";
+    out += openmetrics_escape_label(v);
+    out += '"';
+  };
+  for (const auto& [k, v] : labels) {
+    append(k, v);
+  }
+  if (!extra_key.empty()) {
+    append(extra_key, extra_val);
+  }
+  if (!out.empty()) {
+    out += '}';
+  }
+  return out;
+}
+
+/// Bucket upper bound rendered for the `le` label (shortest round-trip).
+std::string le_value(double bound) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", bound);
+  return buf;
+}
+
+/// `# HELP`/`# TYPE` comments are per family; consecutive snapshot entries
+/// share them when the name repeats (snapshot preserves registration
+/// order, and families registered together stay contiguous).
+void family_header(std::string& out, std::string* last_family,
+                   const MetricSnapshot& m, std::string_view type) {
+  if (*last_family == m.name) {
+    return;
+  }
+  *last_family = m.name;
+  out += "# HELP ";
+  out += m.name;
+  out += ' ';
+  out += m.help;
+  out += "\n# TYPE ";
+  out += m.name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string openmetrics_escape_label(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string to_openmetrics(const MetricsSnapshot& snap) {
+  std::string out;
+  std::string last_family;
+  // The text format requires all samples of a family to be contiguous
+  // under one # TYPE line, but registration order interleaves families
+  // (e.g. the per-solver series register latency+iterations per solver).
+  // Group by family: first-appearance order, registration order within.
+  std::vector<const MetricSnapshot*> ordered;
+  ordered.reserve(snap.series.size());
+  {
+    std::vector<char> used(snap.series.size(), 0);
+    for (std::size_t i = 0; i < snap.series.size(); ++i) {
+      if (used[i] != 0) {
+        continue;
+      }
+      for (std::size_t j = i; j < snap.series.size(); ++j) {
+        if (used[j] == 0 && snap.series[j].name == snap.series[i].name) {
+          used[j] = 1;
+          ordered.push_back(&snap.series[j]);
+        }
+      }
+    }
+  }
+  // Percentile gauges are their own families (<name>_p50/_p90/_p99);
+  // buffer per suffix so they emit grouped, after the main pass.
+  struct PctBuffer {
+    std::string out;
+    std::string last_family;
+  };
+  std::array<PctBuffer, 3> pct_buffers;
+  for (const MetricSnapshot* mp : ordered) {
+    const MetricSnapshot& m = *mp;
+    switch (m.type) {
+      case MetricType::Counter:
+      case MetricType::Gauge: {
+        family_header(out, &last_family, m, to_string(m.type));
+        out += m.name;
+        out += label_block(m.labels);
+        out += ' ';
+        out += prom_num(m.value);
+        out += '\n';
+        break;
+      }
+      case MetricType::Histogram: {
+        family_header(out, &last_family, m, "histogram");
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i < m.buckets.size(); ++i) {
+          cum += m.buckets[i];
+          const std::string le =
+              i < m.le.size() ? le_value(m.le[i]) : std::string("+Inf");
+          out += m.name;
+          out += "_bucket";
+          out += label_block(m.labels, "le", le);
+          out += ' ';
+          out += prom_num(cum);
+          out += '\n';
+        }
+        out += m.name;
+        out += "_count";
+        out += label_block(m.labels);
+        out += ' ';
+        out += prom_num(m.count);
+        out += '\n';
+        out += m.name;
+        out += "_sum";
+        out += label_block(m.labels);
+        out += ' ';
+        out += prom_num(m.sum);
+        out += '\n';
+        const std::pair<const char*, double> pct[] = {
+            {"_p50", m.p50}, {"_p90", m.p90}, {"_p99", m.p99}};
+        for (std::size_t p = 0; p < 3; ++p) {
+          PctBuffer& buf = pct_buffers[p];
+          MetricSnapshot g;
+          g.name = m.name + pct[p].first;
+          g.help = m.help + " (merged-bucket percentile)";
+          family_header(buf.out, &buf.last_family, g, "gauge");
+          buf.out += g.name;
+          buf.out += label_block(m.labels);
+          buf.out += ' ';
+          buf.out += prom_num(pct[p].second);
+          buf.out += '\n';
+        }
+        break;
+      }
+    }
+  }
+  for (const PctBuffer& buf : pct_buffers) {
+    out += buf.out;
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+JsonValue metrics_to_json(const MetricsSnapshot& snap) {
+  JsonValue root = JsonValue::object();
+  root.set("enabled", JsonValue(snap.enabled));
+  JsonValue series = JsonValue::array();
+  for (const MetricSnapshot& m : snap.series) {
+    JsonValue s = JsonValue::object();
+    s.set("name", JsonValue(m.name));
+    s.set("type", JsonValue(std::string(to_string(m.type))));
+    // Pre-formatted label string so the JSON key set is fixed regardless
+    // of label names (the schema-docs round-trip test depends on that).
+    std::string labels;
+    for (const auto& [k, v] : m.labels) {
+      if (!labels.empty()) {
+        labels += ',';
+      }
+      labels += k;
+      labels += "=\"";
+      labels += openmetrics_escape_label(v);
+      labels += '"';
+    }
+    s.set("labels", JsonValue(std::move(labels)));
+    if (m.type == MetricType::Histogram) {
+      JsonValue le = JsonValue::array();
+      for (double bound : m.le) {
+        le.push_back(JsonValue(bound));
+      }
+      s.set("le", std::move(le));
+      JsonValue buckets = JsonValue::array();
+      for (std::uint64_t c : m.buckets) {
+        buckets.push_back(JsonValue(static_cast<double>(c)));
+      }
+      s.set("buckets", std::move(buckets));
+      s.set("count", JsonValue(static_cast<double>(m.count)));
+      s.set("sum", JsonValue(m.sum));
+      s.set("p50", JsonValue(m.p50));
+      s.set("p90", JsonValue(m.p90));
+      s.set("p99", JsonValue(m.p99));
+    } else {
+      s.set("value", JsonValue(m.value));
+    }
+    series.push_back(std::move(s));
+  }
+  root.set("series", std::move(series));
+  return root;
+}
+
+bool write_metrics_file(const std::string& path, const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f.good()) {
+      return false;
+    }
+    f << text;
+    if (!f.good()) {
+      return false;
+    }
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+bool emit_metrics_from_env() {
+  const char* path = std::getenv("SMG_METRICS_FILE");
+  if (path == nullptr || *path == '\0' || !metrics_enabled()) {
+    return false;
+  }
+  return write_metrics_file(path, to_openmetrics(snapshot_metrics()));
+}
+
+MetricsFlusher::MetricsFlusher(std::string path, double period_seconds)
+    : path_(std::move(path)), period_(period_seconds) {
+  write_metrics_file(path_, to_openmetrics(snapshot_metrics()));
+  thread_ = std::thread([this] { run(); });
+}
+
+MetricsFlusher::~MetricsFlusher() { stop(); }
+
+void MetricsFlusher::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) {
+      return;
+    }
+    stopping_ = true;
+    stopped_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  // Final flush so the file holds the end-of-run counts even when the
+  // last period never elapsed.
+  write_metrics_file(path_, to_openmetrics(snapshot_metrics()));
+}
+
+void MetricsFlusher::run() {
+  const auto period = std::chrono::duration<double>(period_);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    if (cv_.wait_for(lock, period, [this] { return stopping_; })) {
+      return;
+    }
+    lock.unlock();
+    write_metrics_file(path_, to_openmetrics(snapshot_metrics()));
+    lock.lock();
+  }
+}
+
+std::unique_ptr<MetricsFlusher> MetricsFlusher::start_from_env() {
+  const char* path = std::getenv("SMG_METRICS_FILE");
+  const char* period = std::getenv("SMG_METRICS_PERIOD");
+  if (path == nullptr || *path == '\0' || period == nullptr ||
+      !metrics_enabled()) {
+    return nullptr;
+  }
+  char* end = nullptr;
+  const double seconds = std::strtod(period, &end);
+  if (end == period || !(seconds > 0.0)) {
+    return nullptr;
+  }
+  return std::make_unique<MetricsFlusher>(path, seconds);
+}
+
+}  // namespace smg::obs

@@ -1,0 +1,95 @@
+// Metrics exposition: Prometheus/OpenMetrics text and JSON snapshots.
+//
+// Three ways to get the registry out of the process:
+//   * to_openmetrics(snapshot_metrics()) — on-demand scrape to a string
+//     (Prometheus text format with a final "# EOF" terminator; histogram
+//     families emit cumulative _bucket{le=...} series plus _count/_sum and
+//     companion _p50/_p90/_p99 gauges extracted from the merged buckets).
+//   * emit_metrics_from_env() — one-shot write to $SMG_METRICS_FILE, the
+//     "SIGUSR-style request" for batch tools: call it at a natural flush
+//     point (end of run, end of solve loop).
+//   * MetricsFlusher — a background thread rewriting $SMG_METRICS_FILE
+//     every $SMG_METRICS_PERIOD seconds (and once on stop), for
+//     long-running services scraped via node-exporter-style file
+//     collection.
+//
+// metrics_to_json() renders the same snapshot as a JSON value for the
+// telemetry v3 report ("metrics" section) and the bench documents
+// ("service_metrics" section).  Label values are escaped in both formats;
+// numbers go through the shared obs/json helpers (JSON) or Prometheus
+// literals (+Inf/-Inf/NaN allowed in text exposition).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace smg::obs {
+
+/// Escape a label value for text exposition: backslash, double-quote, and
+/// newline escape per the Prometheus/OpenMetrics text format.
+std::string openmetrics_escape_label(std::string_view v);
+
+/// Render one snapshot as Prometheus text format ("# HELP"/"# TYPE"
+/// comments, one line per sample, "# EOF" terminator).
+std::string to_openmetrics(const MetricsSnapshot& snap);
+
+/// Render one snapshot as a JSON object:
+///   {"enabled": bool, "series": [{"name", "type", "labels", "value"} |
+///    {"name", "type", "labels", "le", "buckets", "count", "sum",
+///     "p50", "p90", "p99"}]}
+/// Labels render as one pre-formatted string (`k="v",...`) so the key set
+/// is fixed regardless of label names.
+JsonValue metrics_to_json(const MetricsSnapshot& snap);
+
+/// Write `text` to `path` (atomic enough for scrapes: write to a temp file
+/// in the same directory, then rename).  Returns false on I/O failure.
+bool write_metrics_file(const std::string& path, const std::string& text);
+
+/// One-shot exposition driven by the environment: when SMG_METRICS_FILE
+/// is set and metrics are enabled, scrape the global registry and write
+/// the OpenMetrics text there.  Returns true when a file was written.
+bool emit_metrics_from_env();
+
+/// Background flush thread: rewrites `path` with a fresh scrape every
+/// `period_seconds`, plus once at start and once on stop(), so the file
+/// always exists while the flusher runs and always holds the final counts
+/// after it.  Stops (and flushes) on destruction.
+class MetricsFlusher {
+ public:
+  MetricsFlusher(std::string path, double period_seconds);
+  ~MetricsFlusher();
+
+  MetricsFlusher(const MetricsFlusher&) = delete;
+  MetricsFlusher& operator=(const MetricsFlusher&) = delete;
+
+  void stop();
+
+  const std::string& path() const noexcept { return path_; }
+  double period_seconds() const noexcept { return period_; }
+
+  /// Start a flusher from SMG_METRICS_FILE + SMG_METRICS_PERIOD (seconds,
+  /// > 0).  Null when either variable is missing/invalid or metrics are
+  /// disabled — callers hold the pointer and let RAII flush at exit.
+  static std::unique_ptr<MetricsFlusher> start_from_env();
+
+ private:
+  void run();
+
+  std::string path_;
+  double period_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace smg::obs

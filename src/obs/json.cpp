@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 
 namespace smg::obs {
 
@@ -415,6 +416,24 @@ std::string json_escape(std::string_view s) {
     }
   }
   return out;
+}
+
+std::string json_num(double v) {
+  if (std::isnan(v)) {
+    return "0";
+  }
+  if (std::isinf(v)) {
+    v = std::copysign(std::numeric_limits<double>::max(), v);
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string json_num(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
 }
 
 }  // namespace smg::obs

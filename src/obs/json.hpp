@@ -1,7 +1,7 @@
 // Minimal JSON value tree, parser, and writer.
 //
 // Just enough JSON for the machine-readable exports: the telemetry report
-// writer (smg-telemetry-v2), the benchmark harness (smg-bench-v1), and
+// writer (smg-telemetry-v3), the benchmark harness (smg-bench-v1), and
 // Chrome trace-event timelines all emit through here, and tests round-trip
 // those files through this parser to validate the schemas without an
 // external dependency.  Not a general-purpose library: numbers parse via
@@ -9,6 +9,7 @@
 // escapes (including surrogate pairs) decode to UTF-8 on parse.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
@@ -88,5 +89,14 @@ std::string json_escape(std::string_view s);
 /// >= 0 pretty-prints with that many spaces per nesting level.  Numbers
 /// that hold exact integers print without a fractional part.
 std::string json_write(const JsonValue& v, int indent = -1);
+
+/// Render a number as a JSON literal that every parser accepts: JSON has
+/// no inf/nan tokens (headroom is inf on FP64 levels, where the value
+/// range is unbounded for practical purposes), so NaN renders as "0" and
+/// infinities clamp to the largest finite double.  Finite values print
+/// with %.17g (round-trip exact).  Both the telemetry report writer and
+/// the metrics exposition emit numbers through here.
+std::string json_num(double v);
+std::string json_num(std::uint64_t v);
 
 }  // namespace smg::obs

@@ -7,6 +7,7 @@
 #include <iostream>
 #include <limits>
 
+#include "obs/exposition.hpp"
 #include "obs/json.hpp"
 #include "perfmodel/bytes.hpp"
 #include "util/table.hpp"
@@ -74,27 +75,6 @@ double model_bytes(Kind k, int l, const MGHierarchy& h, Prec krylov) {
   }
 }
 
-std::string num(double v) {
-  // JSON has no inf/nan literals (headroom is inf on FP64 levels, where the
-  // value range is unbounded for practical purposes); clamp to the largest
-  // finite double so every document stays parsable.
-  if (std::isnan(v)) {
-    return "0";
-  }
-  if (std::isinf(v)) {
-    v = std::copysign(std::numeric_limits<double>::max(), v);
-  }
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
-}
-
-std::string num(std::uint64_t v) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
-  return buf;
-}
-
 }  // namespace
 
 SolverReport build_report(const Telemetry& t, const MGHierarchy& h,
@@ -146,6 +126,10 @@ SolverReport build_report(const Telemetry& t, const MGHierarchy& h,
   }
   r.policy = h.policy();
   r.autopilot = h.autopilot_log();
+  r.request_first = t.request_first();
+  r.request_last = t.request_last();
+  r.request_count = t.request_count();
+  r.metrics = snapshot_metrics();
   return r;
 }
 
@@ -257,17 +241,20 @@ void print_precision_counters(const std::vector<LevelPrecisionCounters>& c) {
 std::string to_json(const SolverReport& r) {
   std::string out;
   out.reserve(4096);
-  out += "{\"schema\":\"smg-telemetry-v2\",";
+  out += "{\"schema\":\"smg-telemetry-v3\",";
   out += "\"precision_policy\":\"" + std::string(to_string(r.policy)) + "\",";
-  out += "\"solve\":{\"seconds\":" + num(r.solve_seconds);
-  out += ",\"iterations\":" + num(r.iterations);
-  out += ",\"precond_seconds\":" + num(r.precond_seconds);
-  out += ",\"precond_calls\":" + num(r.precond_calls);
-  out += ",\"panel_applies\":" + num(r.panel_applies);
-  out += ",\"panel_columns\":" + num(r.panel_columns);
-  out += ",\"max_panel_width\":" + num(r.max_panel_width) + "},";
-  out += "\"reference_gbs\":" + num(r.reference_gbs) + ",";
-  out += "\"dropped\":" + num(r.dropped) + ",";
+  out += "\"requests\":{\"first\":" + json_num(r.request_first);
+  out += ",\"last\":" + json_num(r.request_last);
+  out += ",\"count\":" + json_num(r.request_count) + "},";
+  out += "\"solve\":{\"seconds\":" + json_num(r.solve_seconds);
+  out += ",\"iterations\":" + json_num(r.iterations);
+  out += ",\"precond_seconds\":" + json_num(r.precond_seconds);
+  out += ",\"precond_calls\":" + json_num(r.precond_calls);
+  out += ",\"panel_applies\":" + json_num(r.panel_applies);
+  out += ",\"panel_columns\":" + json_num(r.panel_columns);
+  out += ",\"max_panel_width\":" + json_num(r.max_panel_width) + "},";
+  out += "\"reference_gbs\":" + json_num(r.reference_gbs) + ",";
+  out += "\"dropped\":" + json_num(r.dropped) + ",";
   out += "\"kernels\":[";
   for (std::size_t i = 0; i < r.kernels.size(); ++i) {
     const KernelRow& k = r.kernels[i];
@@ -276,11 +263,11 @@ std::string to_json(const SolverReport& r) {
     }
     out += "{\"kind\":\"" + std::string(to_string(k.kind)) + "\"";
     out += ",\"level\":" + std::to_string(k.level);
-    out += ",\"seconds\":" + num(k.seconds);
-    out += ",\"calls\":" + num(k.calls);
-    out += ",\"model_bytes_per_call\":" + num(k.model_bytes_per_call);
-    out += ",\"achieved_gbs\":" + num(k.achieved_gbs);
-    out += ",\"efficiency\":" + num(k.efficiency) + "}";
+    out += ",\"seconds\":" + json_num(k.seconds);
+    out += ",\"calls\":" + json_num(k.calls);
+    out += ",\"model_bytes_per_call\":" + json_num(k.model_bytes_per_call);
+    out += ",\"achieved_gbs\":" + json_num(k.achieved_gbs);
+    out += ",\"efficiency\":" + json_num(k.efficiency) + "}";
   }
   out += "],\"levels\":[";
   for (std::size_t i = 0; i < r.levels.size(); ++i) {
@@ -290,20 +277,20 @@ std::string to_json(const SolverReport& r) {
     }
     out += "{\"level\":" + std::to_string(l.level);
     out += ",\"rows\":" + std::to_string(l.rows);
-    out += ",\"stored_values\":" + num(l.stored_values);
-    out += ",\"matrix_bytes\":" + num(l.matrix_bytes);
+    out += ",\"stored_values\":" + json_num(l.stored_values);
+    out += ",\"matrix_bytes\":" + json_num(l.matrix_bytes);
     out += ",\"storage\":\"" + std::string(to_string(l.storage)) + "\"";
     out += std::string(",\"shifted\":") + (l.shifted ? "true" : "false");
     out += std::string(",\"scaled\":") + (l.scaled ? "true" : "false");
-    out += ",\"g\":" + num(l.g);
-    out += ",\"gmax\":" + num(l.gmax);
-    out += ",\"headroom\":" + num(l.headroom);
-    out += ",\"min_abs\":" + num(l.min_abs);
-    out += ",\"max_abs\":" + num(l.max_abs);
-    out += ",\"overflowed\":" + num(l.overflowed);
-    out += ",\"flushed_to_zero\":" + num(l.flushed_to_zero);
-    out += ",\"subnormal\":" + num(l.subnormal);
-    out += ",\"conversions_per_apply\":" + num(l.conversions_per_apply);
+    out += ",\"g\":" + json_num(l.g);
+    out += ",\"gmax\":" + json_num(l.gmax);
+    out += ",\"headroom\":" + json_num(l.headroom);
+    out += ",\"min_abs\":" + json_num(l.min_abs);
+    out += ",\"max_abs\":" + json_num(l.max_abs);
+    out += ",\"overflowed\":" + json_num(l.overflowed);
+    out += ",\"flushed_to_zero\":" + json_num(l.flushed_to_zero);
+    out += ",\"subnormal\":" + json_num(l.subnormal);
+    out += ",\"conversions_per_apply\":" + json_num(l.conversions_per_apply);
     out += ",\"rescales\":" + std::to_string(l.rescales);
     out += ",\"promotions\":" + std::to_string(l.promotions);
     out += "}";
@@ -315,10 +302,10 @@ std::string to_json(const SolverReport& r) {
       out += ",";
     }
     out += "{\"level\":" + std::to_string(hl.level);
-    out += ",\"bytes\":" + num(hl.bytes);
-    out += ",\"exchanges\":" + num(hl.exchanges);
-    out += ",\"pack_seconds\":" + num(hl.pack_seconds);
-    out += ",\"unpack_seconds\":" + num(hl.unpack_seconds) + "}";
+    out += ",\"bytes\":" + json_num(hl.bytes);
+    out += ",\"exchanges\":" + json_num(hl.exchanges);
+    out += ",\"pack_seconds\":" + json_num(hl.pack_seconds);
+    out += ",\"unpack_seconds\":" + json_num(hl.unpack_seconds) + "}";
   }
   out += "],\"autopilot\":[";
   for (std::size_t i = 0; i < r.autopilot.size(); ++i) {
@@ -331,10 +318,12 @@ std::string to_json(const SolverReport& r) {
     out += ",\"action\":\"" + std::string(to_string(d.action)) + "\"";
     out += ",\"from\":\"" + std::string(to_string(d.from)) + "\"";
     out += ",\"to\":\"" + std::string(to_string(d.to)) + "\"";
-    out += ",\"safety\":" + num(d.safety);
+    out += ",\"safety\":" + json_num(d.safety);
     out += ",\"reason\":\"" + json_escape(d.reason) + "\"}";
   }
-  out += "]}";
+  out += "],\"metrics\":";
+  out += json_write(metrics_to_json(r.metrics));
+  out += "}";
   return out;
 }
 
@@ -349,9 +338,11 @@ std::string to_chrome_trace(const Telemetry& t) {
     char buf[256];
     std::snprintf(buf, sizeof(buf),
                   "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
-                  "\"pid\":0,\"tid\":%d,\"args\":{\"mg_level\":%d}}",
+                  "\"pid\":0,\"tid\":%d,\"args\":{\"mg_level\":%d,"
+                  "\"req\":%llu}}",
                   std::string(to_string(e.kind)).c_str(), e.t0 * 1e6,
-                  (e.t1 - e.t0) * 1e6, e.tid, e.level);
+                  (e.t1 - e.t0) * 1e6, e.tid, e.level,
+                  static_cast<unsigned long long>(e.req));
     out += buf;
   }
   out += "]}";

@@ -3,7 +3,7 @@
 // Z% of the bandwidth model" — the per-level ledger Figs. 7-8 of the paper
 // report.  Three outputs:
 //   * print_report  — fixed-width tables on a stream (util/table.hpp),
-//   * to_json       — machine-readable document, schema "smg-telemetry-v2",
+//   * to_json       — machine-readable document, schema "smg-telemetry-v3",
 //   * to_chrome_trace — trace-event JSON loadable in chrome://tracing or
 //                       Perfetto (one complete "X" event per recorded span).
 #pragma once
@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "obs/counters.hpp"
+#include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 
 namespace smg::obs {
@@ -62,6 +63,16 @@ struct SolverReport {
   /// PrecisionPolicy::Fixed.
   PrecisionPolicy policy = PrecisionPolicy::Fixed;
   std::vector<AutopilotDecision> autopilot;
+  /// Request-ID window seen by the telemetry sink: the smallest and largest
+  /// solve request IDs recorded and how many solves reported one.  All zero
+  /// when no solve ran under this sink.
+  std::uint64_t request_first = 0;
+  std::uint64_t request_last = 0;
+  std::uint64_t request_count = 0;
+  /// Service-metrics registry snapshot (obs/metrics.hpp) taken at report
+  /// build time; `enabled` false (and `series` empty) when the metrics
+  /// switch is off.
+  MetricsSnapshot metrics;
 };
 
 /// Join the telemetry ledger with the hierarchy's byte model.  Uses the
@@ -84,9 +95,10 @@ void print_precision_counters(const std::vector<LevelPrecisionCounters>& c,
                               std::ostream& os);
 void print_precision_counters(const std::vector<LevelPrecisionCounters>& c);
 
-/// Machine-readable report, schema "smg-telemetry-v2" (v2 added
+/// Machine-readable report, schema "smg-telemetry-v3" (v2 added
 /// "precision_policy", "autopilot", the per-level repair counters, and the
-/// per-level "halo" traffic rows of the decomposed engine).
+/// per-level "halo" traffic rows of the decomposed engine; v3 added the
+/// "requests" ID window and the "metrics" registry snapshot).
 std::string to_json(const SolverReport& r);
 
 /// Chrome trace-event document ({"traceEvents":[...]}, ph "X", µs units);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "obs/metrics.hpp"
+
 namespace smg::obs {
 
 namespace {
@@ -84,7 +86,7 @@ void Telemetry::record(Kind k, int level, double t0, double t1) noexcept {
     if (s.events.capacity() == 0) {
       s.events.reserve(4096);
     }
-    s.events.push_back(TraceEvent{k, level, slot, t0, t1});
+    s.events.push_back(TraceEvent{k, level, slot, t0, t1, current_request()});
   }
 }
 
@@ -94,6 +96,23 @@ void Telemetry::record_apply(double t0, double t1) noexcept {
   if (enabled()) {
     record(Kind::PrecondApply, -1, t0, t1);
   }
+}
+
+void Telemetry::note_request(std::uint64_t id) noexcept {
+  if (id == 0) {
+    return;
+  }
+  // Lock-free min/max over concurrent solves (solve_many_async).
+  std::uint64_t first = request_first_.load(std::memory_order_relaxed);
+  while ((first == 0 || id < first) &&
+         !request_first_.compare_exchange_weak(first, id,
+                                               std::memory_order_relaxed)) {
+  }
+  std::uint64_t last = request_last_.load(std::memory_order_relaxed);
+  while (id > last && !request_last_.compare_exchange_weak(
+                          last, id, std::memory_order_relaxed)) {
+  }
+  request_count_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Telemetry::record_panel_apply(int k) noexcept {
@@ -154,6 +173,9 @@ void Telemetry::reset() noexcept {
   for (std::uint64_t& n : halo_exchanges_) {
     n = 0;
   }
+  request_first_.store(0, std::memory_order_relaxed);
+  request_last_.store(0, std::memory_order_relaxed);
+  request_count_.store(0, std::memory_order_relaxed);
   dropped_.store(0, std::memory_order_relaxed);
 }
 

@@ -135,7 +135,8 @@ struct TraceEvent {
   int level = -1;  ///< MG level, -1 = outside the V-cycle
   int tid = 0;     ///< recording thread's slab slot
   double t0 = 0.0;
-  double t1 = 0.0;  ///< seconds since the telemetry origin
+  double t1 = 0.0;           ///< seconds since the telemetry origin
+  std::uint64_t req = 0;     ///< request ID the recording thread served
 };
 
 class Telemetry {
@@ -189,6 +190,20 @@ class Telemetry {
   std::uint64_t halo_bytes_total() const noexcept;
   std::uint64_t halo_exchanges_total() const noexcept;
 
+  /// Request IDs this instance served: the solvers note each solve's ID so
+  /// the report can say which ID range a ledger covers.  Always on (one
+  /// call per solve) and thread-safe (solve_many_async shares an adapter).
+  void note_request(std::uint64_t id) noexcept;
+  std::uint64_t request_first() const noexcept {
+    return request_first_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t request_last() const noexcept {
+    return request_last_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t request_count() const noexcept {
+    return request_count_.load(std::memory_order_relaxed);
+  }
+
   /// Vector-precision conversions (KT<->CT truncate/recover) per apply;
   /// set once by the adapter, 0 when the Krylov and compute types match.
   void set_vec_conversions_per_apply(std::uint64_t n) noexcept {
@@ -237,6 +252,9 @@ class Telemetry {
   std::uint64_t halo_bytes_[kMaxLevels] = {};
   std::uint64_t halo_exchanges_[kMaxLevels] = {};
   std::uint64_t vec_conversions_per_apply_ = 0;
+  std::atomic<std::uint64_t> request_first_{0};
+  std::atomic<std::uint64_t> request_last_{0};
+  std::atomic<std::uint64_t> request_count_{0};
   std::atomic<std::uint64_t> dropped_{0};
 };
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "kernels/blas1.hpp"
+#include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 #include "util/aligned.hpp"
 #include "util/timer.hpp"
@@ -16,9 +17,18 @@ SolveResult pcg(const LinOp<KT>& A, std::span<const KT> b, std::span<KT> x,
   Timer timer;
   M.reset_timing();
 
+  // Tag the solve with its request ID (assigned here unless the caller
+  // reserved one) so trace events and metrics can single it out.
+  res.request_id = opts.request_id != 0 ? opts.request_id
+                                        : obs::acquire_request_ids(1);
+  const obs::RequestScope req_scope(res.request_id);
+
   // Join the preconditioner's telemetry ledger (no-op when it has none)
   // so solver-side spans and the cycle's spans land in one instance.
   const obs::InstallGuard obs_guard(M.telemetry());
+  if (obs::Telemetry* t = obs::current()) {
+    t->note_request(res.request_id);
+  }
   const obs::ScopedSpan solve_span(obs::Kind::Solve);
   const auto vdot = [&opts](std::span<const KT> u, std::span<const KT> v) {
     return opts.deterministic_reductions ? dot_deterministic<KT>(u, v)
@@ -164,6 +174,9 @@ SolveResult pcg(const LinOp<KT>& A, std::span<const KT> b, std::span<KT> x,
   }
   res.solve_seconds = timer.seconds();
   res.precond_seconds = M.apply_seconds();
+  obs::record_solve_metrics(
+      "cg", res.solve_seconds, res.iters,
+      obs::solve_status_label(res.converged, res.breakdown), res.heals);
   return res;
 }
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "kernels/blas1.hpp"
+#include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 #include "util/aligned.hpp"
 #include "util/timer.hpp"
@@ -17,7 +18,14 @@ SolveResult pgmres(const LinOp<KT>& A, std::span<const KT> b, std::span<KT> x,
   Timer timer;
   M.reset_timing();
 
+  res.request_id = opts.request_id != 0 ? opts.request_id
+                                        : obs::acquire_request_ids(1);
+  const obs::RequestScope req_scope(res.request_id);
+
   const obs::InstallGuard obs_guard(M.telemetry());
+  if (obs::Telemetry* t = obs::current()) {
+    t->note_request(res.request_id);
+  }
   const obs::ScopedSpan solve_span(obs::Kind::Solve);
   const auto vdot = [&opts](std::span<const KT> u, std::span<const KT> v) {
     return opts.deterministic_reductions ? dot_deterministic<KT>(u, v)
@@ -270,6 +278,9 @@ SolveResult pgmres(const LinOp<KT>& A, std::span<const KT> b, std::span<KT> x,
   }
   res.solve_seconds = timer.seconds();
   res.precond_seconds = M.apply_seconds();
+  obs::record_solve_metrics(
+      "gmres", res.solve_seconds, res.iters,
+      obs::solve_status_label(res.converged, res.breakdown), res.heals);
   return res;
 }
 

@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "kernels/blas1.hpp"
+#include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 #include "util/common.hpp"
 #include "util/timer.hpp"
@@ -21,7 +22,8 @@ template <class KT>
 std::vector<SolveResult> batched_pcg(const LinOpMany<KT>& A,
                                      const MultiVector<KT>& B,
                                      MultiVector<KT>& X, PrecondBase<KT>& M,
-                                     const SolveManyOptions& mopts) {
+                                     const SolveManyOptions& mopts,
+                                     std::uint64_t first_request) {
   const SolveOptions& opts = mopts.base;
   const int k = B.cols();
   const std::int64_t rows = B.rows();
@@ -29,7 +31,20 @@ std::vector<SolveResult> batched_pcg(const LinOpMany<KT>& A,
   std::vector<SolveResult> res(static_cast<std::size_t>(k));
   M.reset_timing();
 
+  // One consecutive request ID per column; the batch's spans are tagged
+  // with the first so a trace filter on any column's ID finds its batch.
+  for (int c = 0; c < k; ++c) {
+    res[static_cast<std::size_t>(c)].request_id =
+        first_request + static_cast<std::uint64_t>(c);
+  }
+  const obs::RequestScope req_scope(first_request);
+
   const obs::InstallGuard obs_guard(M.telemetry());
+  if (obs::Telemetry* t = obs::current()) {
+    for (int c = 0; c < k; ++c) {
+      t->note_request(first_request + static_cast<std::uint64_t>(c));
+    }
+  }
   const obs::ScopedSpan solve_span(obs::Kind::Solve);
 
   // Per-column reductions on extracted contiguous columns: the extracted
@@ -408,10 +423,30 @@ SolveManyResult solve_many(const LinOpMany<KT>& A, const MultiVector<KT>& B,
   }
   Timer timer;
   const int batch = effective_batch(opts.rhs_batch, k);
+  // Reserve one request ID per column up front (contiguous across
+  // batches); an explicit base request_id pins the first column's ID.
+  const std::uint64_t first_request =
+      opts.base.request_id != 0
+          ? opts.base.request_id
+          : obs::acquire_request_ids(static_cast<std::uint64_t>(k));
+  // Per-batch latency: each column observes its own batch's wall time,
+  // the honest per-solve latency of the lockstep formulation.
+  const auto record_batch = [](std::span<const SolveResult> cols,
+                               double seconds) {
+    if (!obs::metrics_enabled()) {
+      return;
+    }
+    for (const SolveResult& r : cols) {
+      obs::record_solve_metrics(
+          "solve_many", seconds, r.iters,
+          obs::solve_status_label(r.converged, r.breakdown), r.heals);
+    }
+  };
   if (batch >= k) {
-    out.columns = batched_pcg(A, B, X, M, opts);
+    out.columns = batched_pcg(A, B, X, M, opts, first_request);
     out.precond_seconds = M.apply_seconds();
     out.batches = 1;
+    record_batch(out.columns, timer.seconds());
   } else {
     const std::int64_t rows = B.rows();
     const std::size_t n = static_cast<std::size_t>(rows);
@@ -420,6 +455,7 @@ SolveManyResult solve_many(const LinOpMany<KT>& A, const MultiVector<KT>& B,
     out.batches = 0;
     for (int c0 = 0; c0 < k; c0 += batch) {
       const int bc = std::min(batch, k - c0);
+      Timer batch_timer;
       MultiVector<KT> Bc(rows, bc), Xc(rows, bc);
       for (int c = 0; c < bc; ++c) {
         B.extract_col(c0 + c, ss);
@@ -427,7 +463,10 @@ SolveManyResult solve_many(const LinOpMany<KT>& A, const MultiVector<KT>& B,
         X.extract_col(c0 + c, ss);
         Xc.insert_col(c, std::span<const KT>{scratch.data(), n});
       }
-      std::vector<SolveResult> part = batched_pcg(A, Bc, Xc, M, opts);
+      std::vector<SolveResult> part = batched_pcg(
+          A, Bc, Xc, M, opts,
+          first_request + static_cast<std::uint64_t>(c0));
+      record_batch(part, batch_timer.seconds());
       for (int c = 0; c < bc; ++c) {
         Xc.extract_col(c, ss);
         X.insert_col(c0 + c, std::span<const KT>{scratch.data(), n});

@@ -34,6 +34,13 @@ struct SolveOptions {
   /// `stagnation_factor` over this many consecutive iterations (<= 0: off).
   int stagnation_window = 25;
   double stagnation_factor = 0.9;
+
+  // --- request tracing (src/obs/metrics.hpp) ---
+  /// Request ID carried by this solve's telemetry spans and SolveResult.
+  /// 0 (the default) draws the next ID from the process-wide counter;
+  /// solve_many assigns one consecutive ID per right-hand-side column.
+  /// Pure bookkeeping: no effect on the iteration stream.
+  std::uint64_t request_id = 0;
 };
 
 struct SolveResult {
@@ -51,6 +58,9 @@ struct SolveResult {
   std::vector<double> history;  ///< relative residual norm per iteration
   double solve_seconds = 0.0;
   double precond_seconds = 0.0;
+  /// ID this solve served (SolveOptions::request_id, or the auto-assigned
+  /// one); filter the Chrome trace on it to pull one solve out of a batch.
+  std::uint64_t request_id = 0;
 
   std::string status() const {
     if (breakdown) {

@@ -20,6 +20,7 @@
 #include "harness/harness.hpp"
 #include "obs/counters.hpp"
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "obs/report.hpp"
 
 namespace smg {
@@ -122,6 +123,11 @@ TEST(SchemaDocs, BenchDocumentKeysMatchBenchSchemaDoc) {
   val.samples = {1.0};
   run.metrics.push_back(val);
 
+  // The document embeds a service-metrics snapshot: enable metrics and
+  // record one solve so both counter and histogram series keys appear.
+  obs::enable_metrics(true);
+  obs::record_solve_metrics("cg", 0.01, 5, "converged", 0);
+
   const obs::JsonValue env = bench::capture_environment(opts);
   const obs::JsonValue doc = bench::make_document("smoke", opts, env, {run});
   ASSERT_TRUE(bench::validate_bench_document(doc).empty());
@@ -183,6 +189,29 @@ TEST(SchemaDocs, TelemetryJsonKeysMatchTelemetrySchemaDoc) {
   d.safety = 0.25;
   d.reason = "probe";
   r.autopilot.push_back(d);
+  r.request_first = 1;
+  r.request_last = 17;
+  r.request_count = 17;
+  // One counter and one histogram series so every metrics key is emitted.
+  r.metrics.enabled = true;
+  obs::MetricSnapshot cs;
+  cs.name = "smg_solves_total";
+  cs.type = obs::MetricType::Counter;
+  cs.labels = {{"solver", "cg"}, {"status", "converged"}};
+  cs.value = 17.0;
+  r.metrics.series.push_back(cs);
+  obs::MetricSnapshot hs;
+  hs.name = "smg_solve_latency_seconds";
+  hs.type = obs::MetricType::Histogram;
+  hs.labels = {{"solver", "cg"}};
+  hs.le = {1e-3, 2e-3};
+  hs.buckets = {10, 6, 1};
+  hs.count = 17;
+  hs.sum = 0.02;
+  hs.p50 = 1e-3;
+  hs.p90 = 2e-3;
+  hs.p99 = 3e-3;
+  r.metrics.series.push_back(hs);
 
   const auto parsed = obs::json_parse(obs::to_json(r));
   ASSERT_TRUE(parsed.has_value()) << "to_json emitted invalid JSON";

@@ -72,6 +72,55 @@ TEST(HierarchyCache, EvictsLeastRecentlyUsed) {
   EXPECT_NE(cache.get_or_build(pb.A, cfg).get(), hb.get());
 }
 
+TEST(HierarchyCache, EvictionHookSeesLruOrderAndMatchesStats) {
+  const MGConfig cfg = config_d16_setup_scale();
+  HierarchyCache cache(2);
+  auto pa = make_laplace27(Box{6, 6, 6});
+  auto pb = make_laplace27(Box{7, 7, 7});
+  auto pc = make_laplace27(Box{8, 8, 8});
+  auto pd = make_laplace27(Box{9, 9, 9});
+  const std::uint64_t ka = hierarchy_fingerprint(pa.A, cfg);
+  const std::uint64_t kb = hierarchy_fingerprint(pb.A, cfg);
+  const std::uint64_t kc = hierarchy_fingerprint(pc.A, cfg);
+
+  std::vector<std::uint64_t> evicted;
+  cache.set_eviction_hook(
+      [&evicted](std::uint64_t key) { evicted.push_back(key); });
+
+  (void)cache.get_or_build(pa.A, cfg);
+  (void)cache.get_or_build(pb.A, cfg);
+  EXPECT_TRUE(evicted.empty());
+  EXPECT_EQ(cache.evictions(), 0u);
+
+  // Touch A so B is the LRU victim, then insert C (evicts B) and D
+  // (evicts A: C's insert refreshed nothing, A was touched before C).
+  (void)cache.get_or_build(pa.A, cfg);
+  (void)cache.get_or_build(pc.A, cfg);
+  (void)cache.get_or_build(pd.A, cfg);
+
+  ASSERT_EQ(evicted.size(), 2u);
+  EXPECT_EQ(evicted[0], kb);  // LRU order: B first...
+  EXPECT_EQ(evicted[1], ka);  // ...then A
+  EXPECT_EQ(cache.evictions(), evicted.size());
+  EXPECT_EQ(cache.size(), 2u);
+
+  // The hook may re-enter the cache (it runs after the lock is released).
+  cache.set_eviction_hook([&cache, &evicted](std::uint64_t key) {
+    evicted.push_back(key);
+    EXPECT_EQ(cache.size(), cache.capacity());
+  });
+  (void)cache.get_or_build(pa.A, cfg);  // evicts C
+  ASSERT_EQ(evicted.size(), 3u);
+  EXPECT_EQ(evicted[2], kc);
+  EXPECT_EQ(cache.evictions(), 3u);
+
+  // Removing the hook stops callbacks but not the eviction counter.
+  cache.set_eviction_hook(nullptr);
+  (void)cache.get_or_build(pb.A, cfg);  // evicts D
+  EXPECT_EQ(evicted.size(), 3u);
+  EXPECT_EQ(cache.evictions(), 4u);
+}
+
 TEST(HierarchyCache, CapacityZeroDisablesCaching) {
   auto p = make_laplace27(Box{6, 6, 6});
   const MGConfig cfg = config_d16_setup_scale();

@@ -1,0 +1,336 @@
+// Exposition tests (src/obs/exposition.hpp): Prometheus/OpenMetrics text
+// rendering, the JSON snapshot, and the file/flusher plumbing.
+//
+// The format contracts that matter to scrapers:
+//   * label values escape backslash/quote/newline,
+//   * +Inf/-Inf/NaN render as Prometheus literals (unlike JSON),
+//   * histogram _bucket samples are CUMULATIVE and end at le="+Inf",
+//     with _count == the +Inf bucket,
+//   * every family has exactly ONE # TYPE line even when the snapshot
+//     interleaves families (registration order does), and
+//   * the text ends with the "# EOF" terminator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/exposition.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace smg {
+namespace {
+
+using obs::JsonValue;
+using obs::MetricSnapshot;
+using obs::MetricsSnapshot;
+using obs::MetricType;
+
+MetricSnapshot counter_snap(std::string name, double value,
+                            obs::MetricLabels labels = {}) {
+  MetricSnapshot m;
+  m.name = std::move(name);
+  m.help = "help text";
+  m.type = MetricType::Counter;
+  m.labels = std::move(labels);
+  m.value = value;
+  return m;
+}
+
+MetricSnapshot gauge_snap(std::string name, double value) {
+  MetricSnapshot m = counter_snap(std::move(name), value);
+  m.type = MetricType::Gauge;
+  return m;
+}
+
+MetricSnapshot histogram_snap(std::string name, obs::MetricLabels labels) {
+  MetricSnapshot m;
+  m.name = std::move(name);
+  m.help = "help text";
+  m.type = MetricType::Histogram;
+  m.labels = std::move(labels);
+  m.le = {0.001, 0.002, 0.004};
+  m.buckets = {10, 6, 1, 2};  // non-cumulative, +Inf last
+  m.count = 19;
+  m.sum = 0.05;
+  m.p50 = 0.001;
+  m.p90 = 0.003;
+  m.p99 = 0.006;
+  return m;
+}
+
+/// All lines of `text` starting with `prefix`.
+std::vector<std::string> lines_with(const std::string& text,
+                                    const std::string& prefix) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(prefix, 0) == 0) {
+      out.push_back(line);
+    }
+  }
+  return out;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  std::ostringstream out;
+  out << f.rdbuf();
+  return out.str();
+}
+
+TEST(OpenMetricsEscape, EscapesBackslashQuoteNewline) {
+  EXPECT_EQ(obs::openmetrics_escape_label("plain"), "plain");
+  EXPECT_EQ(obs::openmetrics_escape_label("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::openmetrics_escape_label("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::openmetrics_escape_label("a\nb"), "a\\nb");
+  EXPECT_EQ(obs::openmetrics_escape_label("\\\"\n"), "\\\\\\\"\\n");
+}
+
+TEST(ToOpenMetrics, RendersCounterGaugeWithLabelsAndTerminator) {
+  MetricsSnapshot snap;
+  snap.enabled = true;
+  snap.series.push_back(counter_snap("smg_test_total", 17.0,
+                                     {{"solver", "cg"}, {"status", "ok"}}));
+  snap.series.push_back(gauge_snap("smg_test_gauge", -2.5));
+  const std::string text = obs::to_openmetrics(snap);
+  EXPECT_NE(text.find("# TYPE smg_test_total counter\n"), std::string::npos);
+  EXPECT_NE(
+      text.find("smg_test_total{solver=\"cg\",status=\"ok\"} 17\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("# TYPE smg_test_gauge gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("smg_test_gauge -2.5\n"), std::string::npos);
+  ASSERT_GE(text.size(), 6u);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+}
+
+TEST(ToOpenMetrics, NonFiniteValuesUsePrometheusLiterals) {
+  MetricsSnapshot snap;
+  snap.series.push_back(
+      gauge_snap("smg_inf", std::numeric_limits<double>::infinity()));
+  snap.series.push_back(
+      gauge_snap("smg_ninf", -std::numeric_limits<double>::infinity()));
+  snap.series.push_back(gauge_snap("smg_nan", std::nan("")));
+  const std::string text = obs::to_openmetrics(snap);
+  EXPECT_NE(text.find("smg_inf +Inf\n"), std::string::npos);
+  EXPECT_NE(text.find("smg_ninf -Inf\n"), std::string::npos);
+  EXPECT_NE(text.find("smg_nan NaN\n"), std::string::npos);
+}
+
+TEST(ToOpenMetrics, HistogramBucketsAreCumulativeWithInfAndCount) {
+  MetricsSnapshot snap;
+  snap.series.push_back(histogram_snap("smg_lat_seconds", {{"solver", "cg"}}));
+  const std::string text = obs::to_openmetrics(snap);
+  EXPECT_NE(text.find("# TYPE smg_lat_seconds histogram\n"),
+            std::string::npos);
+  // Cumulative: 10, 16, 17, 19 — not the raw per-bucket counts.
+  EXPECT_NE(
+      text.find("smg_lat_seconds_bucket{solver=\"cg\",le=\"0.001\"} 10\n"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("smg_lat_seconds_bucket{solver=\"cg\",le=\"0.002\"} 16\n"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("smg_lat_seconds_bucket{solver=\"cg\",le=\"0.004\"} 17\n"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("smg_lat_seconds_bucket{solver=\"cg\",le=\"+Inf\"} 19\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("smg_lat_seconds_count{solver=\"cg\"} 19\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("smg_lat_seconds_sum{solver=\"cg\"} "),
+            std::string::npos);
+  // Companion percentile gauges are their own families.
+  EXPECT_NE(text.find("# TYPE smg_lat_seconds_p50 gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("smg_lat_seconds_p99{solver=\"cg\"} "),
+            std::string::npos);
+}
+
+TEST(ToOpenMetrics, InterleavedFamiliesEmitOneTypeLineEach) {
+  // Registration order interleaves families (the per-solver series
+  // register latency+iterations per solver); the text format requires one
+  // contiguous block per family.  Regression test for the grouping pass.
+  MetricsSnapshot snap;
+  snap.series.push_back(counter_snap("smg_a_total", 1.0, {{"s", "cg"}}));
+  snap.series.push_back(counter_snap("smg_b_total", 2.0, {{"s", "cg"}}));
+  snap.series.push_back(counter_snap("smg_a_total", 3.0, {{"s", "gmres"}}));
+  snap.series.push_back(
+      histogram_snap("smg_h_seconds", {{"s", "cg"}}));
+  snap.series.push_back(counter_snap("smg_b_total", 4.0, {{"s", "gmres"}}));
+  snap.series.push_back(
+      histogram_snap("smg_h_seconds", {{"s", "gmres"}}));
+  const std::string text = obs::to_openmetrics(snap);
+
+  std::vector<std::string> type_lines = lines_with(text, "# TYPE ");
+  std::sort(type_lines.begin(), type_lines.end());
+  for (std::size_t i = 1; i < type_lines.size(); ++i) {
+    EXPECT_NE(type_lines[i], type_lines[i - 1])
+        << "duplicate TYPE line: " << type_lines[i];
+  }
+  // Both smg_a_total samples are contiguous under one header.
+  const std::size_t a1 = text.find("smg_a_total{s=\"cg\"} 1");
+  const std::size_t a2 = text.find("smg_a_total{s=\"gmres\"} 3");
+  const std::size_t b1 = text.find("smg_b_total{s=\"cg\"} 2");
+  ASSERT_NE(a1, std::string::npos);
+  ASSERT_NE(a2, std::string::npos);
+  ASSERT_NE(b1, std::string::npos);
+  EXPECT_LT(a1, a2);
+  EXPECT_TRUE(b1 < a1 || b1 > a2) << "smg_b sample inside the smg_a block";
+  // Percentile gauges grouped per suffix family, too.
+  const std::size_t p50_cg = text.find("smg_h_seconds_p50{s=\"cg\"}");
+  const std::size_t p50_gm = text.find("smg_h_seconds_p50{s=\"gmres\"}");
+  const std::size_t p90_cg = text.find("smg_h_seconds_p90{s=\"cg\"}");
+  ASSERT_NE(p50_cg, std::string::npos);
+  ASSERT_NE(p50_gm, std::string::npos);
+  ASSERT_NE(p90_cg, std::string::npos);
+  EXPECT_LT(p50_cg, p50_gm);
+  EXPECT_LT(p50_gm, p90_cg);
+}
+
+TEST(MetricsToJson, FixedKeySetAndRoundTrip) {
+  MetricsSnapshot snap;
+  snap.enabled = true;
+  snap.series.push_back(counter_snap("smg_test_total", 17.0,
+                                     {{"solver", "cg"}}));
+  snap.series.push_back(histogram_snap("smg_lat_seconds", {{"solver", "cg"}}));
+  const JsonValue root = obs::metrics_to_json(snap);
+  const std::string text = obs::json_write(root);
+  const auto parsed = obs::json_parse(text);
+  ASSERT_TRUE(parsed.has_value()) << text;
+
+  const JsonValue* enabled = parsed->find("enabled");
+  ASSERT_NE(enabled, nullptr);
+  EXPECT_TRUE(enabled->as_bool());
+  const JsonValue* series = parsed->find("series");
+  ASSERT_NE(series, nullptr);
+  ASSERT_TRUE(series->is_array());
+  ASSERT_EQ(series->items().size(), 2u);
+
+  const JsonValue& c = series->items()[0];
+  EXPECT_EQ(c.find("name")->as_string(), "smg_test_total");
+  EXPECT_EQ(c.find("type")->as_string(), "counter");
+  EXPECT_EQ(c.find("labels")->as_string(), "solver=\"cg\"");
+  EXPECT_EQ(c.find("value")->as_number(), 17.0);
+  EXPECT_FALSE(c.has("buckets"));
+
+  const JsonValue& h = series->items()[1];
+  EXPECT_EQ(h.find("type")->as_string(), "histogram");
+  ASSERT_TRUE(h.has("le"));
+  ASSERT_TRUE(h.has("buckets"));
+  EXPECT_EQ(h.find("le")->items().size(), 3u);
+  EXPECT_EQ(h.find("buckets")->items().size(), 4u);
+  // JSON buckets stay NON-cumulative (the text format is the cumulative
+  // one); count/sum/percentiles ride along.
+  EXPECT_EQ(h.find("buckets")->items()[0].as_number(), 10.0);
+  EXPECT_EQ(h.find("buckets")->items()[3].as_number(), 2.0);
+  EXPECT_EQ(h.find("count")->as_number(), 19.0);
+  EXPECT_EQ(h.find("sum")->as_number(), 0.05);
+  EXPECT_EQ(h.find("p90")->as_number(), 0.003);
+  EXPECT_FALSE(h.has("value"));
+}
+
+TEST(WriteMetricsFile, WritesAtomicallyAndOverwrites) {
+  const std::string path = testing::TempDir() + "smg_expo_test.prom";
+  ASSERT_TRUE(obs::write_metrics_file(path, "first # EOF\n"));
+  EXPECT_EQ(read_file(path), "first # EOF\n");
+  ASSERT_TRUE(obs::write_metrics_file(path, "second # EOF\n"));
+  EXPECT_EQ(read_file(path), "second # EOF\n");
+  // The temp file does not linger.
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  std::remove(path.c_str());
+}
+
+TEST(EmitMetricsFromEnv, WritesOnlyWhenConfiguredAndEnabled) {
+  const std::string path = testing::TempDir() + "smg_expo_env.prom";
+  std::remove(path.c_str());
+
+  unsetenv("SMG_METRICS_FILE");
+  obs::enable_metrics(true);
+  EXPECT_FALSE(obs::emit_metrics_from_env());  // no path -> no write
+
+  setenv("SMG_METRICS_FILE", path.c_str(), 1);
+  obs::enable_metrics(false);
+  EXPECT_FALSE(obs::emit_metrics_from_env());  // disabled -> no write
+  std::ifstream probe(path);
+  EXPECT_FALSE(probe.good());
+
+  obs::enable_metrics(true);
+  EXPECT_TRUE(obs::emit_metrics_from_env());
+  const std::string text = read_file(path);
+  EXPECT_NE(text.find("# EOF\n"), std::string::npos);
+  // The core families pre-registered by enable_metrics(true) are present
+  // even before any solve ran.
+  EXPECT_NE(text.find("# TYPE smg_solves_total counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE smg_hierarchy_cache_hits_total counter"),
+            std::string::npos);
+
+  unsetenv("SMG_METRICS_FILE");
+  std::remove(path.c_str());
+}
+
+TEST(MetricsFlusherTest, WritesAtStartAndFinalFlushOnStop) {
+  obs::enable_metrics(true);
+  const std::string path = testing::TempDir() + "smg_expo_flush.prom";
+  std::remove(path.c_str());
+  {
+    // Long period: only the start-of-run and stop() flushes fire, so the
+    // test is timing-independent.
+    obs::MetricsFlusher flusher(path, 3600.0);
+    EXPECT_EQ(flusher.path(), path);
+    EXPECT_EQ(flusher.period_seconds(), 3600.0);
+    // The file exists immediately (written in the constructor).
+    EXPECT_NE(read_file(path).find("# EOF\n"), std::string::npos);
+
+    obs::MetricsRegistry::global()
+        .counter("smg_flush_probe_total", "h")
+        .inc();
+    flusher.stop();
+    // stop() rescraped: the new series is in the final file.
+    EXPECT_NE(read_file(path).find("smg_flush_probe_total"),
+              std::string::npos);
+    flusher.stop();  // idempotent
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MetricsFlusherTest, StartFromEnvRequiresBothVariablesAndEnabled) {
+  const std::string path = testing::TempDir() + "smg_expo_fenv.prom";
+  std::remove(path.c_str());
+  obs::enable_metrics(true);
+
+  unsetenv("SMG_METRICS_FILE");
+  unsetenv("SMG_METRICS_PERIOD");
+  EXPECT_EQ(obs::MetricsFlusher::start_from_env(), nullptr);
+
+  setenv("SMG_METRICS_FILE", path.c_str(), 1);
+  EXPECT_EQ(obs::MetricsFlusher::start_from_env(), nullptr);  // no period
+
+  setenv("SMG_METRICS_PERIOD", "bogus", 1);
+  EXPECT_EQ(obs::MetricsFlusher::start_from_env(), nullptr);
+  setenv("SMG_METRICS_PERIOD", "-1", 1);
+  EXPECT_EQ(obs::MetricsFlusher::start_from_env(), nullptr);
+
+  setenv("SMG_METRICS_PERIOD", "3600", 1);
+  auto flusher = obs::MetricsFlusher::start_from_env();
+  ASSERT_NE(flusher, nullptr);
+  EXPECT_EQ(flusher->period_seconds(), 3600.0);
+  flusher->stop();
+  EXPECT_NE(read_file(path).find("# EOF\n"), std::string::npos);
+
+  unsetenv("SMG_METRICS_FILE");
+  unsetenv("SMG_METRICS_PERIOD");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace smg

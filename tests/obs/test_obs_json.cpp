@@ -1,6 +1,6 @@
 // JSON/Chrome-trace export tests: parser unit tests plus full round-trips
 // of to_json / to_chrome_trace through the in-tree parser, validating the
-// "smg-telemetry-v2" schema without an external dependency.
+// "smg-telemetry-v3" schema without an external dependency.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -161,7 +161,7 @@ TEST(ReportJson, SchemaRoundTrip) {
   ASSERT_TRUE(doc->is_object());
 
   ASSERT_NE(doc->find("schema"), nullptr);
-  EXPECT_EQ(doc->find("schema")->as_string(), "smg-telemetry-v2");
+  EXPECT_EQ(doc->find("schema")->as_string(), "smg-telemetry-v3");
   ASSERT_NE(doc->find("precision_policy"), nullptr);
   EXPECT_EQ(doc->find("precision_policy")->as_string(), "fixed");
 

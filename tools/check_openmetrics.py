@@ -1,0 +1,221 @@
+#!/usr/bin/env python3
+"""Validator for the Prometheus/OpenMetrics text exposition (stdlib only).
+
+Checks a metrics file written by src/obs/exposition.cpp
+(SMG_METRICS_FILE, MetricsFlusher, or to_openmetrics piped to disk):
+
+  * every sample line parses: NAME{LABELS} VALUE with legal metric/label
+    names, quoted+escaped label values, and a float/+Inf/-Inf/NaN value;
+  * every sample's family has a preceding # TYPE line, and the sample
+    suffix matches the declared type (_total for counters; _bucket/_count/
+    _sum for histograms; bare names for gauges);
+  * histogram series are internally consistent per label set: the +Inf
+    bucket exists, cumulative bucket counts are monotonically
+    non-decreasing, and the +Inf bucket equals the _count sample;
+  * the file ends with the "# EOF" terminator.
+
+Usage:
+  check_openmetrics.py FILE [--require NAME ...]
+
+--require fails unless each NAME appears as a family in the file (used by
+CI to pin the core families of docs/METRICS.md).  Exit 0 clean, 1 with a
+list of violations.
+"""
+
+import argparse
+import math
+import re
+import sys
+
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# One label pair: name="value" with \\, \", \n escapes inside the value.
+LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\\n]|\\[\\"n])*)"')
+SAMPLE_RE = re.compile(r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+                       r"(?:\{(?P<labels>.*)\})?"
+                       r" (?P<value>\S+)$")
+
+HISTOGRAM_SUFFIXES = ("_bucket", "_count", "_sum")
+
+
+def parse_value(text):
+    """Prometheus value literal -> float, or None when malformed."""
+    if text in ("+Inf", "Inf"):
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def parse_labels(raw, errors, where):
+    """'k="v",k2="v2"' -> dict, reporting malformed blocks."""
+    if raw is None or raw == "":
+        return {}
+    labels = {}
+    rest = raw
+    while rest:
+        m = LABEL_PAIR_RE.match(rest)
+        if m is None:
+            errors.append(f"{where}: malformed label block at ...{rest!r}")
+            return labels
+        labels[m.group(1)] = m.group(2)
+        rest = rest[m.end():]
+        if rest.startswith(","):
+            rest = rest[1:]
+        elif rest:
+            errors.append(f"{where}: expected ',' between labels at "
+                          f"...{rest!r}")
+            return labels
+    return labels
+
+
+def family_of(name, types):
+    """Sample name -> declared family name, honoring histogram suffixes
+    and the counter _total convention."""
+    for suffix in HISTOGRAM_SUFFIXES:
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if types.get(base) == "histogram":
+                return base
+    return name
+
+
+def check(path, required):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            text = f.read()
+    except OSError as e:
+        return [f"cannot read {path}: {e}"]
+
+    errors = []
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    if not lines or lines[-1] != "# EOF":
+        errors.append("file does not end with the '# EOF' terminator")
+
+    types = {}  # family -> declared type
+    # (family, label-block-minus-le) -> {le-float: count}, plus _count/_sum
+    buckets = {}
+    counts = {}
+    seen_samples = set()
+
+    for i, line in enumerate(lines, 1):
+        where = f"line {i}"
+        if line == "" or line == "# EOF":
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge",
+                                                   "histogram"):
+                errors.append(f"{where}: malformed TYPE line: {line!r}")
+                continue
+            if not METRIC_NAME_RE.match(parts[2]):
+                errors.append(f"{where}: illegal family name {parts[2]!r}")
+                continue
+            if parts[2] in types:
+                errors.append(f"{where}: duplicate TYPE for {parts[2]}")
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("#"):
+            errors.append(f"{where}: unknown comment line: {line!r}")
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if m is None:
+            errors.append(f"{where}: unparsable sample line: {line!r}")
+            continue
+        name = m.group("name")
+        value = parse_value(m.group("value"))
+        if value is None:
+            errors.append(f"{where}: bad value {m.group('value')!r}")
+            continue
+        labels = parse_labels(m.group("labels"), errors, where)
+
+        family = family_of(name, types)
+        ftype = types.get(family)
+        if ftype is None:
+            errors.append(f"{where}: sample {name!r} has no preceding "
+                          f"# TYPE line")
+            continue
+        if ftype == "counter" and not name.endswith("_total"):
+            errors.append(f"{where}: counter sample {name!r} must end in "
+                          f"_total")
+        if ftype == "histogram":
+            if not name.endswith(HISTOGRAM_SUFFIXES):
+                errors.append(f"{where}: histogram sample {name!r} must "
+                              f"end in _bucket/_count/_sum")
+                continue
+            if name.endswith("_bucket") and "le" not in labels:
+                errors.append(f"{where}: _bucket sample without an 'le' "
+                              f"label")
+                continue
+            series = (family,
+                      tuple(sorted((k, v) for k, v in labels.items()
+                                   if k != "le")))
+            if name.endswith("_bucket"):
+                le = parse_value(labels["le"])
+                if le is None:
+                    errors.append(f"{where}: bad le value "
+                                  f"{labels['le']!r}")
+                    continue
+                buckets.setdefault(series, {})[le] = value
+            elif name.endswith("_count"):
+                counts[series] = value
+
+        key = (name, tuple(sorted(labels.items())))
+        if key in seen_samples:
+            errors.append(f"{where}: duplicate sample {name}"
+                          f"{dict(labels)}")
+        seen_samples.add(key)
+
+    for series, by_le in sorted(buckets.items()):
+        label = f"{series[0]}{{{dict(series[1])}}}"
+        if math.inf not in by_le:
+            errors.append(f"{label}: histogram has no le=\"+Inf\" bucket")
+            continue
+        prev = -math.inf
+        last = 0.0
+        for le in sorted(by_le):
+            if by_le[le] < last:
+                errors.append(f"{label}: cumulative bucket counts decrease "
+                              f"at le={le} ({by_le[le]} < {last})")
+            last = by_le[le]
+            prev = le
+        if series in counts and by_le[math.inf] != counts[series]:
+            errors.append(f"{label}: +Inf bucket ({by_le[math.inf]}) != "
+                          f"_count ({counts[series]})")
+        if series not in counts:
+            errors.append(f"{label}: histogram without a _count sample")
+
+    for name in required:
+        if name not in types:
+            errors.append(f"required family {name!r} missing from exposition")
+
+    return errors
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("file", help="OpenMetrics text file to validate")
+    ap.add_argument("--require", nargs="*", default=[],
+                    help="family names that must be present")
+    args = ap.parse_args()
+
+    errors = check(args.file, args.require)
+    for e in errors:
+        print(f"check_openmetrics: {e}", file=sys.stderr)
+    if not errors:
+        print(f"check_openmetrics: {args.file} OK")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
