@@ -32,16 +32,9 @@ int env_int(const char* name, int fallback) {
   return end != s ? static_cast<int>(v) : fallback;
 }
 
-/// Range limits of a storage format: largest finite value, smallest normal,
-/// smallest subnormal.  Truncation flushes |v| below half the smallest
-/// subnormal to zero (round-to-nearest).
-struct FormatRange {
-  double max;
-  double min_normal;
-  double denorm_min;
-};
+}  // namespace
 
-FormatRange range_of(Prec p) noexcept {
+FormatRange format_range(Prec p) noexcept {
   switch (p) {
     case Prec::FP16:
       return {65504.0, 0x1p-14, 0x1p-24};
@@ -49,6 +42,10 @@ FormatRange range_of(Prec p) noexcept {
       // 8 exponent bits like FP32, 7 mantissa bits: max 0x1.FEp127,
       // subnormals bottom out at 2^(-126-7).
       return {0x1.FEp127, 0x1p-126, 0x1p-133};
+    case Prec::FP8:
+      // e4m3 with IEEE specials (fp/fp8.hpp): max finite 240, min normal
+      // 2^-6, subnormals bottom out at 2^-9.
+      return {240.0, 0x1p-6, 0x1p-9};
     case Prec::FP32:
       return {static_cast<double>(std::numeric_limits<float>::max()),
               static_cast<double>(std::numeric_limits<float>::min()),
@@ -61,8 +58,6 @@ FormatRange range_of(Prec p) noexcept {
   }
   return {0.0, 0.0, 0.0};
 }
-
-}  // namespace
 
 AutopilotThresholds AutopilotThresholds::from_env() {
   AutopilotThresholds t;
@@ -93,7 +88,7 @@ PrecisionPolicy effective_policy(PrecisionPolicy configured) {
 }
 
 StorageAnalysis analyze_storage(const StructMat<double>& A, Prec storage) {
-  const FormatRange fr = range_of(storage);
+  const FormatRange fr = format_range(storage);
   StorageAnalysis an;
   std::uint64_t over = 0;
   std::uint64_t ftz = 0;
@@ -135,12 +130,12 @@ bool storage_admissible(const StorageAnalysis& a,
 
 RepairKind decide_repair(const LevelHealth& h, HealthEvent e,
                          const AutopilotThresholds& t) {
-  if (bytes_of(h.storage) != 2) {
+  if (!is_narrow_storage(h.storage)) {
     return RepairKind::None;  // already compute precision: nothing to repair
   }
   if (h.overflowed > 0) {
     // Stored infinities explain both failure modes.  A scaled level gets one
-    // rescale at the clamped safety (more headroom, storage stays 2-byte);
+    // rescale at the clamped safety (more headroom, storage stays narrow);
     // an unscaled or already-rescaled level has only promotion left.
     return (h.scaled && !h.rescaled) ? RepairKind::Rescale
                                      : RepairKind::Promote;
@@ -163,7 +158,7 @@ RepairKind decide_repair(const LevelHealth& h, HealthEvent e,
 }
 
 double level_risk(const LevelHealth& h) {
-  if (bytes_of(h.storage) != 2) {
+  if (!is_narrow_storage(h.storage)) {
     return -1.0;
   }
   const double n = h.values > 0 ? static_cast<double>(h.values) : 1.0;
@@ -206,17 +201,23 @@ std::vector<int> PrecisionGovernor::on_event(HealthEvent e) {
     }
     bool ok = false;
     bool promoted = false;
+    // Promotion walks one rung up the storage ladder (FP8 -> 2-byte ->
+    // compute) rather than jumping straight to compute: each step concedes
+    // one halving of the bandwidth win, and a level that keeps misbehaving
+    // climbs again on the next event.
+    const Prec up = next_rung_up(h_->level(l).storage, h_->config().storage,
+                                 h_->config().compute);
     if (k == RepairKind::Rescale) {
       ok = h_->rescale_level(l, t.repair_safety, trig);
       if (ok) {
         rescaled_[static_cast<std::size_t>(l)] = 1;
       } else {
         // No retained setup matrix to rescale from: fall through the ladder.
-        ok = h_->promote_level(l, h_->config().compute, trig);
+        ok = h_->promote_level(l, up, trig);
         promoted = ok;
       }
     } else if (k == RepairKind::Promote) {
-      ok = h_->promote_level(l, h_->config().compute, trig);
+      ok = h_->promote_level(l, up, trig);
       promoted = ok;
     }
     if (ok) {
@@ -266,9 +267,9 @@ std::vector<int> PrecisionGovernor::on_event(HealthEvent e) {
 
   // No counters implicate any level (a NaN born in compute, or stagnation
   // with clean truncation stats).  Escalate: promote the deepest remaining
-  // 2-byte level — the cheapest concession, and the §4.3 shift direction.
+  // narrow level — the cheapest concession, and the §4.3 shift direction.
   for (int l = n - 1; l >= 0; --l) {
-    if (bytes_of(h_->level(l).storage) == 2 &&
+    if (is_narrow_storage(h_->level(l).storage) &&
         execute(l, RepairKind::Promote)) {
       break;
     }

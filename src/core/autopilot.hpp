@@ -4,7 +4,7 @@
 // Two halves, selected by MGConfig::precision_policy:
 //
 //  * setup-time planner (Auto and Guarded) — after the FP64 Galerkin chain,
-//    analyze each level's (scaled) value distribution against the 2-byte
+//    analyze each level's (scaled) value distribution against the narrow
 //    target format: Theorem 4.1 headroom, predicted flush-to-zero and
 //    subnormal fractions.  A level that would overflow is re-scaled with a
 //    clamped safety; a level that would lose too many entries to underflow
@@ -72,6 +72,19 @@ struct StorageAnalysis {
   double headroom = 0.0;        ///< format max / max_abs (inf if all-zero)
 };
 
+/// Range limits of a storage format: largest finite value, smallest normal,
+/// smallest subnormal.  Truncation flushes |v| below half the smallest
+/// subnormal to zero (round-to-nearest).  Each format has its own edges —
+/// BF16 shares FP32's exponent range, so its overflow/subnormal thresholds
+/// differ from FP16's by ~112 binades; FP8 e4m3 spans barely four decades.
+struct FormatRange {
+  double max = 0.0;
+  double min_normal = 0.0;
+  double denorm_min = 0.0;
+};
+
+FormatRange format_range(Prec p) noexcept;
+
 StorageAnalysis analyze_storage(const StructMat<double>& A, Prec storage);
 
 /// True when the analyzed distribution fits `storage` per the thresholds:
@@ -100,10 +113,11 @@ constexpr std::string_view to_string(AutopilotTrigger t) noexcept {
 }
 
 enum class AutopilotAction {
-  Rescale,   ///< re-truncate at a clamped safety, keeping 2-byte storage
-  Promote,   ///< re-truncate at compute precision (gives up bandwidth win)
+  Rescale,   ///< re-truncate at a clamped safety, keeping narrow storage
+  Promote,   ///< re-truncate one rung up the ladder (costs bandwidth win)
   Shift,     ///< setup-time: move shift_levid down to this level (§4.3)
   Fallback,  ///< store unscaled in compute precision (unscalable diagonal)
+  Rung,      ///< setup-time ladder planner chose a cheaper admissible rung
 };
 
 constexpr std::string_view to_string(AutopilotAction a) noexcept {
@@ -116,6 +130,8 @@ constexpr std::string_view to_string(AutopilotAction a) noexcept {
       return "shift";
     case AutopilotAction::Fallback:
       return "fallback";
+    case AutopilotAction::Rung:
+      return "rung";
   }
   return "?";
 }
@@ -161,13 +177,26 @@ constexpr std::string_view to_string(RepairKind k) noexcept {
   return "?";
 }
 
-/// The repair ladder for one level.  2-byte levels with truncation overflow
-/// get one rescale if they are scaled and still have it to spend, promotion
-/// otherwise; a flush-to-zero storm promotes directly (rescaling with *more*
-/// headroom only pushes entries further into underflow).  Compute-precision
-/// levels are never touched.
+/// The repair ladder for one level.  Narrow-stored levels with truncation
+/// overflow get one rescale if they are scaled and still have it to spend,
+/// promotion otherwise; a flush-to-zero storm promotes directly (rescaling
+/// with *more* headroom only pushes entries further into underflow).
+/// Compute-precision levels are never touched.
 RepairKind decide_repair(const LevelHealth& h, HealthEvent e,
                          const AutopilotThresholds& t);
+
+/// The governor's promote target: one rung *up* the storage ladder instead
+/// of a jump straight to compute.  FP8 promotes to the configured 2-byte
+/// format (FP16 when the config stores none), and the 2-byte formats
+/// promote to `compute` — so a misbehaving FP8 level walks
+/// FP8 -> FP16/BF16 -> FP32 across successive repairs, conceding bandwidth
+/// one halving at a time.
+constexpr Prec next_rung_up(Prec from, Prec storage, Prec compute) noexcept {
+  if (bytes_of(from) == 1) {
+    return bytes_of(storage) == 2 ? storage : Prec::FP16;
+  }
+  return compute;
+}
 
 /// Risk ranking used when no level is directly implicated (e.g. a NaN with
 /// clean truncation counters) or when stagnation asks for a single victim:

@@ -36,30 +36,118 @@ bool effective_halo_fp16(const MGConfig& cfg) noexcept {
            std::strcmp(env, "OFF") == 0 || std::strcmp(env, "false") == 0);
 }
 
+std::vector<Prec> effective_storage_ladder(const MGConfig& cfg,
+                                           bool* auto_rungs) {
+  if (auto_rungs != nullptr) {
+    *auto_rungs = cfg.ladder_auto;
+  }
+  const char* env = std::getenv("SMG_STORAGE_LADDER");
+  if (env == nullptr || *env == '\0') {
+    return cfg.storage_ladder;
+  }
+  if (std::strcmp(env, "auto") == 0 || std::strcmp(env, "AUTO") == 0) {
+    if (auto_rungs != nullptr) {
+      *auto_rungs = true;
+    }
+    return {};
+  }
+  // Accept "fp16,fp8", "fp16 fp8", or "fp16:fp8".
+  std::vector<Prec> ladder;
+  std::string token;
+  for (const char* p = env;; ++p) {
+    if (*p != '\0' && *p != ',' && *p != ' ' && *p != ':') {
+      token += *p;
+      if (p[1] != '\0') {
+        continue;
+      }
+    }
+    if (!token.empty()) {
+      Prec rung;
+      if (!parse_prec(token, rung)) {
+        return cfg.storage_ladder;  // unparseable: honor the config
+      }
+      ladder.push_back(rung);
+      token.clear();
+    }
+    if (*p == '\0' || p[1] == '\0') {
+      break;
+    }
+  }
+  return ladder.empty() ? cfg.storage_ladder : ladder;
+}
+
+int effective_ladder_min_level(const MGConfig& cfg) noexcept {
+  const char* env = std::getenv("SMG_LADDER_MIN_LEVEL");
+  if (env == nullptr || *env == '\0') {
+    return cfg.ladder_min_level;
+  }
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  return (end != env && v >= 0) ? static_cast<int>(v) : cfg.ladder_min_level;
+}
+
 std::string MGConfig::tag() const {
+  const auto code = [](Prec p) -> std::string {
+    switch (p) {
+      case Prec::FP64:
+        return "64";
+      case Prec::FP32:
+        return "32";
+      case Prec::FP16:
+        return "16";
+      case Prec::BF16:
+        return "b16";
+      case Prec::FP8:
+        return "8";
+    }
+    return "?";
+  };
   std::string s = "P";
   s += (compute == Prec::FP64) ? "64" : "32";
   s += "D";
+  if (!storage_ladder.empty()) {
+    // Explicit ladder: list the rungs ("P32D[16.16.8]-setup-scale").
+    s += "[";
+    for (std::size_t i = 0; i < storage_ladder.size(); ++i) {
+      if (i > 0) {
+        s += ".";
+      }
+      s += code(storage_ladder[i]);
+    }
+    s += "]";
+    bool narrow = false;
+    for (const Prec r : storage_ladder) {
+      narrow = narrow || is_narrow_storage(r);
+    }
+    if (narrow) {
+      switch (scale) {
+        case ScaleMode::None:
+          s += "-none";
+          break;
+        case ScaleMode::SetupThenScale:
+          s += "-setup-scale";
+          break;
+        case ScaleMode::ScaleThenSetup:
+          s += "-scale-setup";
+          break;
+      }
+    }
+    if (ladder_auto) {
+      s += "-ladderauto";
+    }
+    if (precision_policy != PrecisionPolicy::Fixed) {
+      s += "-";
+      s += to_string(precision_policy);
+    }
+    return s;
+  }
   // The D component must agree with storage_at(): shift_levid <= 0 stores
   // *every* level in compute precision, so the configured `storage` never
   // materializes and the tag must not advertise it (nor a scale mode, which
-  // only applies to 2-byte-stored levels).
+  // only applies to narrow-stored levels).
   const Prec eff = shift_levid <= 0 ? compute : storage;
-  switch (eff) {
-    case Prec::FP64:
-      s += "64";
-      break;
-    case Prec::FP32:
-      s += "32";
-      break;
-    case Prec::FP16:
-      s += "16";
-      break;
-    case Prec::BF16:
-      s += "b16";
-      break;
-  }
-  if (eff == Prec::FP16 || eff == Prec::BF16) {
+  s += code(eff);
+  if (is_narrow_storage(eff)) {
     switch (scale) {
       case ScaleMode::None:
         s += "-none";
@@ -75,6 +163,9 @@ std::string MGConfig::tag() const {
     if (shift_levid > 0 && shift_levid != INT_MAX) {
       s += "-shift" + std::to_string(shift_levid);
     }
+  }
+  if (ladder_auto) {
+    s += "-ladderauto";
   }
   if (precision_policy != PrecisionPolicy::Fixed) {
     s += "-";

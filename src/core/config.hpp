@@ -11,10 +11,12 @@
 // accumulated along the triple-matrix-product chain.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <climits>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "fp/precision.hpp"
 #include "obs/metrics.hpp"
@@ -145,7 +147,29 @@ struct MGConfig {
   // --- precision (P and D of the paper's K/P/D triple) ---
   Prec compute = Prec::FP32;
   Prec storage = Prec::FP16;
+  /// DEPRECATED single-cut storage policy (§4.3): levels >= shift_levid are
+  /// stored in `compute` precision.  Kept as an alias for the general
+  /// `storage_ladder`; expand_ladder() shows the per-level rungs it denotes.
+  /// New code should set `storage_ladder` instead.
   int shift_levid = INT_MAX;
+  /// Progressive-precision storage ladder (DESIGN.md §12): entry l is the
+  /// storage format of level l, and the last entry extends to every coarser
+  /// level.  Empty (the default) defers to the deprecated
+  /// `storage`/`shift_levid` pair — storage_at() is then bitwise identical
+  /// to pre-ladder builds.  The SMG_STORAGE_LADDER env var ("fp16,fp8",
+  /// "auto", ...) overrides this at hierarchy setup
+  /// (effective_storage_ladder).
+  std::vector<Prec> storage_ladder;
+  /// Let the autopilot planner pick each level's rung (cheapest format that
+  /// clears the Theorem 4.1 headroom and underflow thresholds) instead of
+  /// honoring a hand-set ladder.  Requires precision_policy != Fixed to
+  /// take effect; SMG_STORAGE_LADDER=auto sets it at runtime.
+  bool ladder_auto = false;
+  /// Finest level the auto planner may assign a sub-2-byte rung (FP8) to:
+  /// fine-level operators dominate the error budget, so the cheapest rungs
+  /// are only eligible from this depth down (monotone down the hierarchy).
+  /// SMG_LADDER_MIN_LEVEL overrides.
+  int ladder_min_level = 2;
   ScaleMode scale = ScaleMode::SetupThenScale;
   double scale_safety = 0.25;  ///< G = safety * G_max (Theorem 4.1 headroom)
   /// Fixed keeps `shift_levid` as configured; Auto derives it at setup from
@@ -194,9 +218,31 @@ struct MGConfig {
   /// default; SMG_HALO_FP16 overrides (effective_halo_fp16).
   bool halo_fp16 = false;
 
-  /// Storage precision actually used on `level` (applies shift_levid).
+  /// Storage precision actually used on `level`: the ladder rung when a
+  /// ladder is set (last rung extends to coarser levels), else the
+  /// deprecated storage/shift_levid pair.
   Prec storage_at(int level) const noexcept {
+    if (!storage_ladder.empty()) {
+      const std::size_t n = storage_ladder.size();
+      const std::size_t i =
+          level <= 0 ? 0
+                     : std::min(static_cast<std::size_t>(level), n - 1);
+      return storage_ladder[i];
+    }
     return level < shift_levid ? storage : compute;
+  }
+
+  /// The per-level rungs this config denotes, whichever way it was
+  /// expressed: expands the deprecated shift_levid alias into an explicit
+  /// ladder of `nlevels` entries (`{storage, ..., compute, ...}`), or
+  /// clamps/extends an explicit ladder to `nlevels`.
+  std::vector<Prec> expand_ladder(int nlevels) const {
+    std::vector<Prec> out;
+    out.reserve(static_cast<std::size_t>(nlevels > 0 ? nlevels : 0));
+    for (int l = 0; l < nlevels; ++l) {
+      out.push_back(storage_at(l));
+    }
+    return out;
   }
 
   /// Human-readable "P32D16-setup-scale"-style tag for experiment tables.
@@ -208,6 +254,18 @@ struct MGConfig {
 /// SMG_HALO_FP16 ("1"/"on") overrides cfg.halo_fp16.
 std::array<int, 3> effective_decomp(const MGConfig& cfg) noexcept;
 bool effective_halo_fp16(const MGConfig& cfg) noexcept;
+
+/// Storage ladder actually in effect: SMG_STORAGE_LADDER overrides
+/// cfg.storage_ladder when parseable.  Accepts a comma/space-separated list
+/// of format names as printed by to_string(Prec) ("fp16,fp16,fp8"), or
+/// "auto" to clear the explicit ladder and set `auto_rungs` (the planner
+/// picks each rung; cfg.ladder_auto).  Unparseable values fall back to the
+/// config.
+std::vector<Prec> effective_storage_ladder(const MGConfig& cfg,
+                                           bool* auto_rungs = nullptr);
+
+/// cfg.ladder_min_level unless SMG_LADDER_MIN_LEVEL overrides it.
+int effective_ladder_min_level(const MGConfig& cfg) noexcept;
 
 /// Canonical configurations used across benches (Fig. 6 legend names).
 MGConfig config_full64();                ///< compute FP64, storage FP64

@@ -78,6 +78,12 @@ std::uint64_t hierarchy_fingerprint(const StructMat<double>& A,
   f.enumval(cfg.compute);
   f.enumval(cfg.storage);
   f.value(cfg.shift_levid);
+  f.value(cfg.storage_ladder.size());
+  for (const Prec r : cfg.storage_ladder) {
+    f.enumval(r);
+  }
+  f.value(cfg.ladder_auto);
+  f.value(cfg.ladder_min_level);
   f.enumval(cfg.scale);
   f.value(cfg.scale_safety);
   f.enumval(cfg.precision_policy);

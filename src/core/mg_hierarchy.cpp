@@ -7,20 +7,30 @@
 
 #include "core/coarsen.hpp"
 #include "core/smoother.hpp"
-#include "fp/half.hpp"
 #include "util/timer.hpp"
 
 namespace smg {
 
 namespace {
 
-/// The paper's criterion (§4.1): scale a level iff values exceed FP16_MAX.
-/// Only IEEE FP16 needs it; BF16 shares FP32's range.
+/// The paper's criterion (§4.1), per storage format: scale a level iff its
+/// values exceed the format's max.  BF16 shares FP32's range and never
+/// scales; FP16 scales when values exceed 65504 (bitwise identical to the
+/// pre-ladder FP16-only check); FP8's representable range is so small
+/// (2^-9..240 — four decades) that the Theorem 4.1 scaling *is* the format's
+/// per-level scale, applied unconditionally.
 bool needs_scaling(const StructMat<double>& A, Prec storage) {
-  if (storage != Prec::FP16) {
-    return false;
+  switch (storage) {
+    case Prec::FP8:
+      return true;
+    case Prec::FP16:
+      return max_abs_value(A) > format_max(Prec::FP16);
+    case Prec::BF16:
+    case Prec::FP32:
+    case Prec::FP64:
+      return false;
   }
-  return max_abs_value(A) > static_cast<double>(kHalfMax);
+  return false;
 }
 
 /// Record the magnitude range of the values about to be truncated
@@ -62,14 +72,22 @@ MGHierarchy::MGHierarchy(StructMat<double> A0, MGConfig cfg)
   if (cfg_.precision_policy != PrecisionPolicy::Fixed) {
     th_ = AutopilotThresholds::from_env();
   }
+  bool auto_rungs = false;
+  cfg_.storage_ladder = effective_storage_ladder(cfg_, &auto_rungs);
+  cfg_.ladder_auto =
+      auto_rungs && cfg_.precision_policy != PrecisionPolicy::Fixed;
+  cfg_.ladder_min_level = effective_ladder_min_level(cfg_);
 
   // ---- optional ablation path: scale the finest matrix *before* setup ----
-  if (cfg_.scale == ScaleMode::ScaleThenSetup &&
-      needs_scaling(A0, cfg_.storage)) {
-    ScaleResult sr =
-        scale_matrix(A0, cfg_.scale_safety, static_cast<double>(kHalfMax));
-    finest_wrapped_ = sr.applied;
-    finest_q2_ = std::move(sr.q2);
+  {
+    const Prec finest = cfg_.storage_at(0);
+    if (cfg_.scale == ScaleMode::ScaleThenSetup &&
+        needs_scaling(A0, finest)) {
+      ScaleResult sr =
+          scale_matrix(A0, cfg_.scale_safety, format_max(finest));
+      finest_wrapped_ = sr.applied;
+      finest_q2_ = std::move(sr.q2);
+    }
   }
 
   // ---- Galerkin chain in FP64 (Alg. 1 lines 1-3) ----
@@ -115,15 +133,86 @@ MGHierarchy::MGHierarchy(StructMat<double> A0, MGConfig cfg)
     setup_level_storage(l);
   }
 
+  // Publish the realized per-level rungs so config().storage_ladder and
+  // storage_at() reflect what the auto planner actually chose.
+  if (cfg_.ladder_auto) {
+    cfg_.storage_ladder.clear();
+    for (const Level& lev : levels_) {
+      cfg_.storage_ladder.push_back(lev.storage);
+    }
+  }
+
   // ---- coarsest-level direct solver ----
   coarse_lu_ = DenseLU(levels_.back().A_full);
 
   setup_seconds_ = timer.seconds();
 }
 
+Prec MGHierarchy::plan_rung(int l, const StructMat<double>& A) {
+  const Prec base = cfg_.storage_at(l);
+  if (!is_narrow_storage(base)) {
+    return base;  // compute-precision levels have no bandwidth to win
+  }
+  // Cheapest-first menu: FP8, then the configured base rung.  Compute
+  // precision is deliberately absent — when even the base rung is
+  // inadmissible, the caller falls through to the existing §4.3 shift path
+  // (monotone shift plus its own logging).
+  const Prec menu[] = {Prec::FP8, base};
+  for (const Prec cand : menu) {
+    if (bytes_of(cand) > bytes_of(base)) {
+      continue;  // never plan *wider* than the configured rung
+    }
+    if (cand != base && l < cfg_.ladder_min_level) {
+      continue;  // fine levels carry most of the error: keep them at base
+    }
+    StorageAnalysis an;
+    if (cfg_.scale == ScaleMode::SetupThenScale && needs_scaling(A, cand) &&
+        diagonal_positive(A)) {
+      // Judge the candidate in the space it would actually be stored in:
+      // scaled to the candidate's own format max.
+      StructMat<double> scaled = A;
+      double safety = cfg_.scale_safety;
+      const ScaleResult sr = scale_matrix(scaled, safety, format_max(cand));
+      if (!sr.applied) {
+        continue;
+      }
+      an = analyze_storage(scaled, cand);
+    } else {
+      an = analyze_storage(A, cand);
+    }
+    if (storage_admissible(an, th_)) {
+      if (cand != base) {
+        autopilot_log_.push_back({l, AutopilotTrigger::SetupPlan,
+                                  AutopilotAction::Rung, base, cand, 0.0,
+                                  analysis_reason(an)});
+      }
+      return cand;
+    }
+  }
+  return base;
+}
+
+void MGHierarchy::shift_to_compute(int l) {
+  cfg_.shift_levid = std::min(cfg_.shift_levid, l);
+  if (!cfg_.storage_ladder.empty()) {
+    // storage_at() consults the ladder before shift_levid, so the shift must
+    // rewrite it: rungs finer than l keep their format, l and every coarser
+    // level become compute (§4.3 monotone — the trailing rung extends).
+    std::vector<Prec> ladder = cfg_.expand_ladder(l > 0 ? l : 0);
+    ladder.push_back(cfg_.compute);
+    cfg_.storage_ladder = std::move(ladder);
+  }
+}
+
 void MGHierarchy::setup_level_storage(int l) {
   Level& lev = levels_[static_cast<std::size_t>(l)];
   lev.storage = cfg_.storage_at(l);
+
+  const bool auto_plan =
+      cfg_.ladder_auto && cfg_.precision_policy != PrecisionPolicy::Fixed;
+  if (auto_plan) {
+    lev.storage = plan_rung(l, lev.A_full);
+  }
 
   // Smoothers are set up from the high-precision matrix, then their data
   // is truncated to storage precision (Alg. 1 line 13).  On scaled levels
@@ -157,8 +246,7 @@ void MGHierarchy::setup_level_storage(int l) {
     // smoother data above and for diagnostics.
     StructMat<double> scaled = lev.A_full;
     double safety = cfg_.scale_safety;
-    ScaleResult sr =
-        scale_matrix(scaled, safety, static_cast<double>(kHalfMax));
+    ScaleResult sr = scale_matrix(scaled, safety, format_max(lev.storage));
     if (!sr.applied) {
       // Nonsensical safety (<= 0 or non-finite): nothing sane to truncate.
       const Prec from = lev.storage;
@@ -175,10 +263,10 @@ void MGHierarchy::setup_level_storage(int l) {
       if (an.overflow_frac > 0.0 && safety > th_.repair_safety) {
         // The configured safety pushes entries past the format max
         // (G > G_max).  Re-derive the scaled copy at the clamped repair
-        // safety — the cheap fix that keeps 2-byte storage.
+        // safety — the cheap fix that keeps narrow storage.
         scaled = lev.A_full;
         safety = th_.repair_safety;
-        sr = scale_matrix(scaled, safety, static_cast<double>(kHalfMax));
+        sr = scale_matrix(scaled, safety, format_max(lev.storage));
         autopilot_log_.push_back({l, AutopilotTrigger::SetupPlan,
                                   AutopilotAction::Rescale, lev.storage,
                                   lev.storage, safety, analysis_reason(an)});
@@ -187,7 +275,7 @@ void MGHierarchy::setup_level_storage(int l) {
       if (!storage_admissible(an, th_)) {
         // Underflow storm (or overflow even at the clamped safety): shift
         // this and every coarser level to compute precision (§4.3).
-        cfg_.shift_levid = std::min(cfg_.shift_levid, l);
+        shift_to_compute(l);
         const Prec from = lev.storage;
         lev.storage = cfg_.storage_at(l);
         autopilot_log_.push_back({l, AutopilotTrigger::SetupPlan,
@@ -213,13 +301,13 @@ void MGHierarchy::setup_level_storage(int l) {
     return;
   }
 
-  if (planning && bytes_of(lev.storage) == 2) {
-    // Unscaled 2-byte level (in-range FP16, any BF16, or ScaleMode::None):
+  if (planning && is_narrow_storage(lev.storage)) {
+    // Unscaled narrow level (in-range FP16, any BF16, or ScaleMode::None):
     // the planner still vetoes storage that would overflow or lose too many
     // entries to underflow.
     const StorageAnalysis an = analyze_storage(lev.A_full, lev.storage);
     if (!storage_admissible(an, th_)) {
-      cfg_.shift_levid = std::min(cfg_.shift_levid, l);
+      shift_to_compute(l);
       const Prec from = lev.storage;
       lev.storage = cfg_.storage_at(l);
       autopilot_log_.push_back({l, AutopilotTrigger::SetupPlan,

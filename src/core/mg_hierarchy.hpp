@@ -112,6 +112,16 @@ class MGHierarchy {
   /// Per-level scale-and-truncate (Alg. 1 lines 4-13) plus the autopilot
   /// planner when precision_policy != Fixed.
   void setup_level_storage(int l);
+  /// Auto-rung ladder planner: the cheapest storage format (FP8 first, then
+  /// the configured base rung) whose scaled value distribution clears the
+  /// Theorem 4.1 headroom thresholds.  Returns the base rung when nothing
+  /// cheaper is admissible; compute precision is never proposed here — that
+  /// remains the §4.3 shift path's job.
+  Prec plan_rung(int l, const StructMat<double>& A);
+  /// §4.3 monotone shift: level `l` and every coarser level fall back to
+  /// compute precision.  Updates shift_levid and, when a ladder is active,
+  /// rewrites it so storage_at() agrees.
+  void shift_to_compute(int l);
   /// Truncate lev.A_full directly into lev.storage (no scaling).
   void store_direct(Level& lev);
   /// Recompute smoother data from A_full and re-truncate at lev.storage.

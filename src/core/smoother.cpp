@@ -66,6 +66,14 @@ void invert_block(double* a, int n) {
 }  // namespace
 
 std::size_t truncate_smoother_data(avec<double>& data, Prec storage) {
+  // Smoother-data precision floor: FP8 matrix levels round their inverse
+  // diagonals at FP16, not FP8.  The data lives in double arrays either way
+  // (this truncation is a rounding emulation, not a byte saving), and a
+  // 3-bit mantissa would perturb the smoother far beyond the matrix
+  // quantization it rides along with.
+  if (storage == Prec::FP8) {
+    storage = Prec::FP16;
+  }
   if (storage != Prec::FP16 && storage != Prec::BF16) {
     if (storage == Prec::FP32) {
       for (auto& v : data) {

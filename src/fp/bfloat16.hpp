@@ -18,7 +18,7 @@ class bfloat16 {
   bfloat16() = default;
 
   explicit bfloat16(float f) noexcept : bits_(float_to_bits(f)) {}
-  explicit bfloat16(double d) noexcept : bfloat16(static_cast<float>(d)) {}
+  explicit bfloat16(double d) noexcept : bits_(double_to_bits(d)) {}
   explicit bfloat16(int i) noexcept : bfloat16(static_cast<float>(i)) {}
 
   static constexpr bfloat16 from_bits(std::uint16_t b) noexcept {
@@ -52,6 +52,11 @@ class bfloat16 {
   }
 
   /// Round-to-nearest-even truncation of a float32 to bfloat16 bits.
+  /// The `u += 0x7FFF + lsb` carry deliberately rolls a large finite into
+  /// the inf pattern: any float at or above the max-finite/inf midpoint
+  /// 0x1.FFp127 (bits 0x7F80'0000 after the add) *must* overflow under RNE,
+  /// while everything below it lands on 0x7F7F.  The boundary is pinned by
+  /// tests/fp/test_bfloat16.cpp.
   static std::uint16_t float_to_bits(float f) noexcept {
     std::uint32_t u = std::bit_cast<std::uint32_t>(f);
     if ((u & 0x7F800000u) == 0x7F800000u && (u & 0x7FFFFFu) != 0) {
@@ -60,6 +65,33 @@ class bfloat16 {
     const std::uint32_t lsb = (u >> 16) & 1u;
     u += 0x7FFFu + lsb;  // round to nearest even
     return static_cast<std::uint16_t>(u >> 16);
+  }
+
+  /// Single-rounding double -> bfloat16.  Casting through float first can
+  /// double-round: a double just below a bf16 rounding midpoint may land
+  /// exactly *on* the midpoint after the float step, and the tie then
+  /// breaks to even instead of toward the true value (e.g.
+  /// nextafter(0x1.03p0, 0) must round down to 0x3F81, but the two-step
+  /// path returns 0x3F82).  Rounding the intermediate to odd (float keeps
+  /// 24 bits, >= 2 more than bf16's 8) makes the final RNE step exact.
+  static std::uint16_t double_to_bits(double d) noexcept {
+    const float f = static_cast<float>(d);
+    std::uint32_t u = std::bit_cast<std::uint32_t>(f);
+    if ((u & 0x7F800000u) != 0x7F800000u) {  // finite intermediate
+      const std::uint64_t dm =
+          std::bit_cast<std::uint64_t>(d) & 0x7FFFFFFFFFFFFFFFull;
+      const std::uint64_t fm =
+          std::bit_cast<std::uint64_t>(static_cast<double>(f)) &
+          0x7FFFFFFFFFFFFFFFull;
+      if (dm != fm && (u & 1u) == 0u) {
+        // Inexact and even: step one ulp toward the true value (the bit
+        // patterns are sign-magnitude monotone), leaving an odd mantissa
+        // that the next rounding cannot mistake for a tie.
+        u = (fm > dm) ? u - 1u : u + 1u;
+        return float_to_bits(std::bit_cast<float>(u));
+      }
+    }
+    return float_to_bits(f);
   }
 
  private:

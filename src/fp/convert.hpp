@@ -11,7 +11,9 @@
 #include <span>
 
 #include "fp/bfloat16.hpp"
+#include "fp/fp8.hpp"
 #include "fp/half.hpp"
+#include "fp/precision.hpp"
 
 #if defined(SMG_SIMD_AVX2)
 #include <immintrin.h>
@@ -42,7 +44,7 @@ inline TruncateReport truncate(std::span<const Src> src, std::span<Dst> dst) {
   for (std::size_t i = 0; i < n; ++i) {
     const auto s = src[i];
     const Dst d{static_cast<float>(s)};
-    if constexpr (std::is_same_v<Dst, half> || std::is_same_v<Dst, bfloat16>) {
+    if constexpr (is_storage_only_v<Dst>) {
       const bool src_finite = std::isfinite(static_cast<double>(s));
       if (src_finite && d.is_inf()) {
         ++rep.overflowed;
@@ -50,7 +52,10 @@ inline TruncateReport truncate(std::span<const Src> src, std::span<Dst> dst) {
       if (s != Src{0} && d.is_zero()) {
         ++rep.underflowed;
       }
-      if constexpr (std::is_same_v<Dst, half>) {
+      // bfloat16 deliberately reports no subnormal landings (its subnormal
+      // range starts at 2^-126, same as FP32's — a value there is equally
+      // degraded at compute precision, so it is not a *storage* hazard).
+      if constexpr (!std::is_same_v<Dst, bfloat16>) {
         if (d.is_subnormal()) {
           ++rep.subnormal;
         }
@@ -70,8 +75,7 @@ inline TruncateReport truncate(std::span<const Src> src, std::span<Dst> dst) {
 }
 
 template <class Dst, class Src>
-  requires(!std::is_same_v<Dst, half> && !std::is_same_v<Dst, bfloat16> &&
-           !std::is_same_v<Src, half> && !std::is_same_v<Src, bfloat16>)
+  requires(!is_storage_only_v<Dst> && !is_storage_only_v<Src>)
 inline TruncateReport truncate_plain(std::span<const Src> src,
                                      std::span<Dst> dst) {
   TruncateReport rep;
@@ -110,6 +114,23 @@ inline void widen(const bfloat16* src, float* dst, std::size_t n) noexcept {
 #endif
   for (; i < n; ++i) {
     dst[i] = static_cast<float>(src[i]);
+  }
+}
+
+/// Convert a contiguous run of fp8 to floats via a 256-entry table (the
+/// bit-exact software conversion folded into one load per value; fp8 levels
+/// are coarse, so this path is never the traffic bottleneck).
+inline void widen(const fp8* src, float* dst, std::size_t n) noexcept {
+  static const auto table = [] {
+    std::array<float, 256> t{};
+    for (int i = 0; i < 256; ++i) {
+      t[static_cast<std::size_t>(i)] =
+          fp8::bits_to_float(static_cast<std::uint8_t>(i));
+    }
+    return t;
+  }();
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = table[src[i].bits()];
   }
 }
 

@@ -1,0 +1,227 @@
+// 8-bit e4m3-style floating storage type (1 sign, 4 exponent, 3 mantissa).
+//
+// The progressive-precision ladder (DESIGN.md §12) stores coarse levels in a
+// format even narrower than FP16: coarse operators tolerate far less
+// significand ("Multigrid with Linear Storage Complexity", PAPERS.md), and
+// the Theorem 4.1 diagonal scaling that tames FP16's range works unchanged
+// with the format max swapped to fp8's — the per-level scale that makes a
+// 2-decade dynamic range survivable in 4 exponent bits.
+//
+// Unlike the OCP E4M3FN interchange variant this keeps IEEE-style special
+// values (exp 0xF, mantissa 0 is +/-inf; nonzero mantissa is nan) so the
+// truncation overflow accounting in fp/convert.hpp works identically across
+// half, bfloat16, and fp8: a finite value that lands on the inf pattern *is*
+// the overflow event the autopilot counts.  Largest finite value is
+// 0x77 = 240, min normal 2^-6, smallest subnormal 2^-9.  Arithmetic promotes
+// to float; conversions are bit-exact software round-to-nearest-even.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+namespace smg {
+
+namespace detail {
+
+/// Software float32 -> fp8(e4m3) bit conversion, round-to-nearest-even.
+constexpr std::uint8_t f32_bits_to_f8_bits(std::uint32_t f) noexcept {
+  const std::uint32_t sign = (f >> 24) & 0x80u;
+  const std::uint32_t exp = (f >> 23) & 0xFFu;
+  std::uint32_t man = f & 0x7FFFFFu;
+  if (exp == 0xFFu) {  // inf or nan
+    // Keep a nan payload bit so nan stays nan.
+    return static_cast<std::uint8_t>(
+        sign | 0x78u | (man != 0 ? (0x4u | (man >> 21)) : 0u));
+  }
+  const int e = static_cast<int>(exp) - 127 + 7;
+  if (e >= 15) {  // overflow -> inf
+    return static_cast<std::uint8_t>(sign | 0x78u);
+  }
+  if (e <= 0) {  // subnormal fp8 or zero
+    if (e < -3) {
+      return static_cast<std::uint8_t>(sign);  // rounds to zero
+    }
+    man |= 0x800000u;  // implicit leading 1
+    const std::uint32_t shift = static_cast<std::uint32_t>(21 - e);  // 21..24
+    std::uint32_t h = man >> shift;
+    const std::uint32_t rem = man & ((1u << shift) - 1u);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    if (rem > halfway || (rem == halfway && (h & 1u))) {
+      ++h;  // may round up into the smallest normal; bit layout stays valid
+    }
+    return static_cast<std::uint8_t>(sign | h);
+  }
+  std::uint32_t h = sign | (static_cast<std::uint32_t>(e) << 3) | (man >> 20);
+  const std::uint32_t rem = man & 0xFFFFFu;
+  if (rem > 0x80000u || (rem == 0x80000u && (h & 1u))) {
+    ++h;  // carry into the exponent correctly rounds 240+ulp to inf
+  }
+  return static_cast<std::uint8_t>(h);
+}
+
+/// Software fp8(e4m3) -> float32 bit conversion (exact).
+constexpr std::uint32_t f8_bits_to_f32_bits(std::uint8_t b) noexcept {
+  const std::uint32_t sign = static_cast<std::uint32_t>(b & 0x80u) << 24;
+  const std::uint32_t exp = (b >> 3) & 0xFu;
+  std::uint32_t man = b & 0x7u;
+  if (exp == 0) {
+    if (man == 0) {
+      return sign;  // signed zero
+    }
+    // Subnormal: normalize the mantissa.
+    int shift = 0;
+    while ((man & 0x8u) == 0) {
+      man <<= 1;
+      ++shift;
+    }
+    man &= 0x7u;
+    // Subnormal value is man * 2^-9; after `shift` normalizing shifts the
+    // unbiased exponent is -6 - shift.
+    const std::uint32_t e32 = static_cast<std::uint32_t>(127 - 6 - shift);
+    return sign | (e32 << 23) | (man << 20);
+  }
+  if (exp == 15) {  // inf/nan
+    return sign | 0x7F800000u | (man << 20);
+  }
+  return sign | ((exp - 7 + 127) << 23) | (man << 20);
+}
+
+}  // namespace detail
+
+/// 8-bit e4m3 storage type; arithmetic promotes to float.
+class fp8 {
+ public:
+  fp8() = default;
+
+  explicit fp8(float f) noexcept : bits_(float_to_bits(f)) {}
+  explicit fp8(double d) noexcept : bits_(double_to_bits(d)) {}
+  explicit fp8(int i) noexcept : fp8(static_cast<float>(i)) {}
+
+  /// Reinterpret raw e4m3 bits.
+  static constexpr fp8 from_bits(std::uint8_t b) noexcept {
+    fp8 v;
+    v.bits_ = b;
+    return v;
+  }
+
+  constexpr std::uint8_t bits() const noexcept { return bits_; }
+
+  operator float() const noexcept { return bits_to_float(bits_); }
+
+  constexpr bool is_inf() const noexcept { return (bits_ & 0x7Fu) == 0x78u; }
+  constexpr bool is_nan() const noexcept { return (bits_ & 0x7Fu) > 0x78u; }
+  constexpr bool is_finite() const noexcept {
+    return (bits_ & 0x78u) != 0x78u;
+  }
+  constexpr bool is_zero() const noexcept { return (bits_ & 0x7Fu) == 0; }
+  constexpr bool is_subnormal() const noexcept {
+    return (bits_ & 0x78u) == 0 && (bits_ & 0x7u) != 0;
+  }
+  constexpr bool signbit() const noexcept { return (bits_ & 0x80u) != 0; }
+
+  friend bool operator==(fp8 a, fp8 b) noexcept {
+    return static_cast<float>(a) == static_cast<float>(b);
+  }
+  friend bool operator<(fp8 a, fp8 b) noexcept {
+    return static_cast<float>(a) < static_cast<float>(b);
+  }
+
+  static float bits_to_float(std::uint8_t b) noexcept {
+    return std::bit_cast<float>(detail::f8_bits_to_f32_bits(b));
+  }
+
+  static std::uint8_t float_to_bits(float f) noexcept {
+    return detail::f32_bits_to_f8_bits(std::bit_cast<std::uint32_t>(f));
+  }
+
+  /// Single-rounding double -> fp8.  The naive static_cast<float> first can
+  /// double-round: a double just below an fp8 rounding midpoint may land
+  /// exactly *on* the midpoint after the float step, and the tie then breaks
+  /// to even instead of toward the true value.  Rounding the intermediate to
+  /// odd (float keeps 24 bits, >= 2 more than fp8 needs) makes the final RNE
+  /// step exact.
+  static std::uint8_t double_to_bits(double d) noexcept {
+    const float f = static_cast<float>(d);
+    std::uint32_t u = std::bit_cast<std::uint32_t>(f);
+    if ((u & 0x7F800000u) != 0x7F800000u) {  // finite intermediate
+      const std::uint64_t dm =
+          std::bit_cast<std::uint64_t>(d) & 0x7FFFFFFFFFFFFFFFull;
+      const std::uint64_t fm =
+          std::bit_cast<std::uint64_t>(static_cast<double>(f)) &
+          0x7FFFFFFFFFFFFFFFull;
+      if (dm != fm && (u & 1u) == 0u) {
+        // Inexact and even: step one ulp toward the true value (the bit
+        // patterns are sign-magnitude monotone), leaving an odd mantissa
+        // that the next rounding cannot mistake for a tie.
+        u = (fm > dm) ? u - 1u : u + 1u;
+        return float_to_bits(std::bit_cast<float>(u));
+      }
+    }
+    return float_to_bits(f);
+  }
+
+ private:
+  std::uint8_t bits_ = 0;
+};
+
+static_assert(sizeof(fp8) == 1);
+
+inline float operator*(fp8 a, float b) noexcept {
+  return static_cast<float>(a) * b;
+}
+inline float operator*(float a, fp8 b) noexcept {
+  return a * static_cast<float>(b);
+}
+inline float operator+(fp8 a, fp8 b) noexcept {
+  return static_cast<float>(a) + static_cast<float>(b);
+}
+
+/// Largest finite e4m3 value (240).
+inline constexpr float kFp8Max = 240.0f;
+/// Smallest positive *normal* e4m3 value (2^-6).
+inline constexpr float kFp8MinNormal = 0.015625f;
+/// Smallest positive subnormal e4m3 value (2^-9).
+inline constexpr float kFp8MinSubnormal = 0.001953125f;
+
+}  // namespace smg
+
+namespace std {
+
+template <>
+class numeric_limits<smg::fp8> {
+ public:
+  static constexpr bool is_specialized = true;
+  static constexpr bool is_signed = true;
+  static constexpr bool is_integer = false;
+  static constexpr bool is_exact = false;
+  static constexpr bool has_infinity = true;
+  static constexpr bool has_quiet_NaN = true;
+  static constexpr int digits = 4;  // incl. implicit bit
+  static constexpr int max_exponent = 8;
+  static constexpr int min_exponent = -5;
+
+  static constexpr smg::fp8 max() noexcept {
+    return smg::fp8::from_bits(0x77u);  // 240
+  }
+  static constexpr smg::fp8 lowest() noexcept {
+    return smg::fp8::from_bits(0xF7u);  // -240
+  }
+  static constexpr smg::fp8 min() noexcept {
+    return smg::fp8::from_bits(0x08u);  // 2^-6
+  }
+  static constexpr smg::fp8 denorm_min() noexcept {
+    return smg::fp8::from_bits(0x01u);  // 2^-9
+  }
+  static constexpr smg::fp8 epsilon() noexcept {
+    return smg::fp8::from_bits(0x20u);  // 2^-3
+  }
+  static constexpr smg::fp8 infinity() noexcept {
+    return smg::fp8::from_bits(0x78u);
+  }
+  static constexpr smg::fp8 quiet_NaN() noexcept {
+    return smg::fp8::from_bits(0x7Cu);
+  }
+};
+
+}  // namespace std

@@ -5,12 +5,21 @@
 // preconditioner (blue), and the *storage* precision of the preconditioner
 // matrices (green).  Prec names a concrete floating format; traits map it to
 // the C++ type and its byte cost for the memory-volume model of Table 2.
+//
+// Every per-format property lives in one of the kPrec* tables below, each
+// statically asserted to have exactly kPrecCount entries.  The old switch
+// versions of to_string()/bytes_of() silently fell through to "?"/0 for an
+// unhandled enumerator — 0 bytes would have propagated straight into the
+// src/perfmodel traffic model as "this matrix is free".  With the tables, a
+// new format that misses an entry fails to compile instead.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <string_view>
 
 #include "fp/bfloat16.hpp"
+#include "fp/fp8.hpp"
 #include "fp/half.hpp"
 
 namespace smg {
@@ -20,33 +29,66 @@ enum class Prec {
   FP32,
   FP16,
   BF16,
+  FP8,
 };
 
+/// Number of Prec enumerators.  Update together with the enum; the
+/// static_assert pins it to the last enumerator and every property table
+/// below is length-checked against it.
+inline constexpr std::size_t kPrecCount = 5;
+static_assert(static_cast<std::size_t>(Prec::FP8) + 1 == kPrecCount,
+              "kPrecCount is out of sync with enum Prec");
+
+namespace detail {
+
+// CTAD (no explicit length) so a missing entry changes the array size and
+// trips the static_assert instead of value-initializing silently.
+inline constexpr std::array kPrecNames = {
+    std::string_view("fp64"), std::string_view("fp32"),
+    std::string_view("fp16"), std::string_view("bf16"),
+    std::string_view("fp8"),
+};
+inline constexpr std::array kPrecBytes = {
+    std::size_t{8}, std::size_t{4}, std::size_t{2}, std::size_t{2},
+    std::size_t{1},
+};
+inline constexpr std::array kPrecMax = {
+    1.7976931348623157e308,   // FP64
+    3.4028234663852886e38,    // FP32
+    65504.0,                  // FP16
+    3.3895313892515355e38,    // BF16: 0x1.FEp127 (FP32's exponent range)
+    240.0,                    // FP8 e4m3
+};
+static_assert(kPrecNames.size() == kPrecCount, "kPrecNames misses a format");
+static_assert(kPrecBytes.size() == kPrecCount, "kPrecBytes misses a format");
+static_assert(kPrecMax.size() == kPrecCount, "kPrecMax misses a format");
+
+}  // namespace detail
+
 constexpr std::string_view to_string(Prec p) noexcept {
-  switch (p) {
-    case Prec::FP64:
-      return "fp64";
-    case Prec::FP32:
-      return "fp32";
-    case Prec::FP16:
-      return "fp16";
-    case Prec::BF16:
-      return "bf16";
-  }
-  return "?";
+  return detail::kPrecNames[static_cast<std::size_t>(p)];
 }
 
 constexpr std::size_t bytes_of(Prec p) noexcept {
-  switch (p) {
-    case Prec::FP64:
-      return 8;
-    case Prec::FP32:
-      return 4;
-    case Prec::FP16:
-    case Prec::BF16:
-      return 2;
+  return detail::kPrecBytes[static_cast<std::size_t>(p)];
+}
+
+/// Largest finite magnitude representable in format `p` — the S of the
+/// Theorem 4.1 scaling target G <= safety * G_max(S), per storage format.
+constexpr double format_max(Prec p) noexcept {
+  return detail::kPrecMax[static_cast<std::size_t>(p)];
+}
+
+/// Parse a format name as printed by to_string ("fp16", "bf16", "fp8", ...).
+/// Returns false (leaving `out` untouched) for anything else.
+constexpr bool parse_prec(std::string_view name, Prec& out) noexcept {
+  for (std::size_t i = 0; i < kPrecCount; ++i) {
+    if (detail::kPrecNames[i] == name) {
+      out = static_cast<Prec>(i);
+      return true;
+    }
   }
-  return 0;
+  return false;
 }
 
 template <class T>
@@ -68,17 +110,27 @@ template <>
 struct prec_of<bfloat16> {
   static constexpr Prec value = Prec::BF16;
 };
+template <>
+struct prec_of<fp8> {
+  static constexpr Prec value = Prec::FP8;
+};
 
 template <class T>
 inline constexpr Prec prec_of_v = prec_of<T>::value;
 
-/// True for the 2-byte storage-only formats that promote to float.
+/// True for the narrow storage-only formats that promote to float.
 template <class T>
 inline constexpr bool is_storage_only_v =
-    std::is_same_v<T, half> || std::is_same_v<T, bfloat16>;
+    std::is_same_v<T, half> || std::is_same_v<T, bfloat16> ||
+    std::is_same_v<T, fp8>;
 
 /// Compute type a storage type promotes to inside kernels.
 template <class T>
 using compute_t = std::conditional_t<is_storage_only_v<T>, float, T>;
+
+/// True for formats narrower than any compute precision (the autopilot's
+/// "this level still has something to repair" predicate; compute is always
+/// FP32 or FP64, see make_mg_precond).
+constexpr bool is_narrow_storage(Prec p) noexcept { return bytes_of(p) <= 2; }
 
 }  // namespace smg

@@ -7,19 +7,9 @@
 namespace smg::obs {
 
 double format_max(Prec p) noexcept {
-  switch (p) {
-    case Prec::FP64:
-      return DBL_MAX;
-    case Prec::FP32:
-      return FLT_MAX;
-    case Prec::FP16:
-      return static_cast<double>(kHalfMax);
-    case Prec::BF16:
-      // BF16 shares FP32's exponent range; its max finite value is
-      // 0x7F7F = 2^127 * (1 + 127/128).
-      return 3.3895313892515355e38;
-  }
-  return 0.0;
+  // Delegate to the exhaustive per-format table (fp/precision.hpp); kept as
+  // a distinct symbol only so existing obs:: callers keep linking.
+  return ::smg::format_max(p);
 }
 
 std::vector<LevelPrecisionCounters> collect_precision_counters(
@@ -71,12 +61,12 @@ std::vector<LevelPrecisionCounters> collect_precision_counters(
     if (lev.scaled && lev.g > 0.0) {
       c.headroom = lev.gmax / lev.g;
     } else if (lev.stored_max_abs > 0.0) {
-      c.headroom = format_max(lev.storage) / lev.stored_max_abs;
+      c.headroom = ::smg::format_max(lev.storage) / lev.stored_max_abs;
     }
     c.overflowed = lev.trunc.overflowed;
     c.flushed_to_zero = lev.trunc.underflowed;
     c.subnormal = lev.trunc.subnormal;
-    if (bytes_of(lev.storage) == 2) {
+    if (is_narrow_storage(lev.storage)) {
       // Matrix passes per V-cycle: nu1 + nu2 smoothing sweeps everywhere
       // except the coarsest level (dense FP64 solve), plus the downstroke
       // residual on every level that has a coarser one.

@@ -126,6 +126,7 @@ SolverReport build_report(const Telemetry& t, const MGHierarchy& h,
   }
   r.policy = h.policy();
   r.autopilot = h.autopilot_log();
+  r.storage_ladder = h.config().expand_ladder(h.nlevels());
   r.request_first = t.request_first();
   r.request_last = t.request_last();
   r.request_count = t.request_count();
@@ -243,6 +244,14 @@ std::string to_json(const SolverReport& r) {
   out.reserve(4096);
   out += "{\"schema\":\"smg-telemetry-v3\",";
   out += "\"precision_policy\":\"" + std::string(to_string(r.policy)) + "\",";
+  out += "\"storage_ladder\":[";
+  for (std::size_t i = 0; i < r.storage_ladder.size(); ++i) {
+    if (i > 0) {
+      out += ",";
+    }
+    out += "\"" + std::string(to_string(r.storage_ladder[i])) + "\"";
+  }
+  out += "],";
   out += "\"requests\":{\"first\":" + json_num(r.request_first);
   out += ",\"last\":" + json_num(r.request_last);
   out += ",\"count\":" + json_num(r.request_count) + "},";

@@ -63,6 +63,10 @@ struct SolverReport {
   /// PrecisionPolicy::Fixed.
   PrecisionPolicy policy = PrecisionPolicy::Fixed;
   std::vector<AutopilotDecision> autopilot;
+  /// Realized per-level storage ladder (config().expand_ladder at report
+  /// build time): one rung per level, shifts and auto-planned rungs already
+  /// applied.
+  std::vector<Prec> storage_ladder;
   /// Request-ID window seen by the telemetry sink: the smallest and largest
   /// solve request IDs recorded and how many solves reported one.  All zero
   /// when no solve ran under this sink.
@@ -98,7 +102,8 @@ void print_precision_counters(const std::vector<LevelPrecisionCounters>& c);
 /// Machine-readable report, schema "smg-telemetry-v3" (v2 added
 /// "precision_policy", "autopilot", the per-level repair counters, and the
 /// per-level "halo" traffic rows of the decomposed engine; v3 added the
-/// "requests" ID window and the "metrics" registry snapshot).
+/// "requests" ID window, the "metrics" registry snapshot, and the realized
+/// per-level "storage_ladder").
 std::string to_json(const SolverReport& r);
 
 /// Chrome trace-event document ({"traceEvents":[...]}, ph "X", µs units);

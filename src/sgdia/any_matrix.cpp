@@ -13,6 +13,8 @@ AnyMat AnyMat::from(const StructMat<double>& src, Prec p, Layout layout,
       return AnyMat(convert<half>(src, layout, report));
     case Prec::BF16:
       return AnyMat(convert<bfloat16>(src, layout, report));
+    case Prec::FP8:
+      return AnyMat(convert<fp8>(src, layout, report));
   }
   SMG_CHECK(false, "unknown precision");
 }

@@ -1,4 +1,4 @@
-// Type-erased SG-DIA matrix over the four supported storage precisions.
+// Type-erased SG-DIA matrix over the supported storage precisions.
 //
 // The multigrid hierarchy decides storage precision per level at runtime
 // (PrecisionConfig + shift_levid, §4.3); AnyMat lets a Level own "a matrix in
@@ -15,7 +15,8 @@ namespace smg {
 class AnyMat {
  public:
   using Variant = std::variant<StructMat<double>, StructMat<float>,
-                               StructMat<half>, StructMat<bfloat16>>;
+                               StructMat<half>, StructMat<bfloat16>,
+                               StructMat<fp8>>;
 
   AnyMat() : m_(StructMat<double>{}) {}
 

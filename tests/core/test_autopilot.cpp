@@ -154,6 +154,73 @@ TEST(Autopilot, AnalyzeStorageDetectsSubnormalAndFtz) {
   EXPECT_FALSE(storage_admissible(an, AutopilotThresholds{}));
 }
 
+TEST(Autopilot, FormatRangeConstantsPerFormat) {
+  // The admissibility analysis must judge each format against *its own*
+  // edges, not FP16's.  These constants are the format edges DESIGN.md §9
+  // and Theorem 4.1 reason about; a regression here silently corrupts every
+  // headroom / underflow verdict for the format.
+  const FormatRange h = format_range(Prec::FP16);
+  EXPECT_EQ(h.max, 65504.0);
+  EXPECT_EQ(h.min_normal, 0x1p-14);
+  EXPECT_EQ(h.denorm_min, 0x1p-24);
+
+  const FormatRange b = format_range(Prec::BF16);
+  EXPECT_EQ(b.max, 0x1.FEp127);
+  EXPECT_EQ(b.min_normal, 0x1p-126);
+  EXPECT_EQ(b.denorm_min, 0x1p-133);
+  // BF16's edges are nothing like FP16's — the audit this test pins down.
+  EXPECT_GT(b.max / h.max, 1e30);
+  EXPECT_LT(b.min_normal / h.min_normal, 1e-30);
+
+  const FormatRange q = format_range(Prec::FP8);
+  EXPECT_EQ(q.max, 240.0);
+  EXPECT_EQ(q.min_normal, 0x1p-6);
+  EXPECT_EQ(q.denorm_min, 0x1p-9);
+
+  EXPECT_EQ(format_range(Prec::FP32).max,
+            static_cast<double>(std::numeric_limits<float>::max()));
+  EXPECT_EQ(format_range(Prec::FP64).max,
+            std::numeric_limits<double>::max());
+  for (const Prec p : {Prec::FP64, Prec::FP32, Prec::FP16, Prec::BF16,
+                       Prec::FP8}) {
+    const FormatRange r = format_range(p);
+    EXPECT_EQ(r.max, format_max(p));  // the two tables must agree
+    EXPECT_LT(r.denorm_min, r.min_normal);
+  }
+}
+
+TEST(Autopilot, AnalyzeStoragePerFormatVerdicts) {
+  // The same matrix can be admissible in one format and hopeless in the
+  // next rung down.  Scaled up, laplace27's diagonal (26 -> 2600) overflows
+  // FP8's 240 max but sits far inside FP16's 65504.
+  auto p = make_laplace27(Box{6, 6, 6});
+  for (double& v : p.A.values()) {
+    v *= 100.0;  // center 2600, off-diagonals -100
+  }
+  const StorageAnalysis f16 = analyze_storage(p.A, Prec::FP16);
+  EXPECT_EQ(f16.overflow_frac, 0.0);
+  EXPECT_TRUE(storage_admissible(f16, AutopilotThresholds{}));
+  const StorageAnalysis f8 = analyze_storage(p.A, Prec::FP8);
+  EXPECT_GT(f8.overflow_frac, 0.0);  // 2600 > 240
+  EXPECT_LT(f8.headroom, 1.0);
+  EXPECT_FALSE(storage_admissible(f8, AutopilotThresholds{}));
+
+  // And the underflow mirror: off-diagonals scaled to 2^-8 land in FP8's
+  // subnormal zone (below its 2^-6 min normal) while remaining perfectly
+  // normal FP16 values (min normal 2^-14).
+  auto q = make_laplace27(Box{6, 6, 6});
+  for (double& v : q.A.values()) {
+    v *= 0x1p-8;  // off-diagonals 2^-8; center 26*2^-8, FP8-normal
+  }
+  const StorageAnalysis sub8 = analyze_storage(q.A, Prec::FP8);
+  EXPECT_GT(sub8.subnormal_frac + sub8.ftz_frac, 0.9);
+  EXPECT_FALSE(storage_admissible(sub8, AutopilotThresholds{}));
+  const StorageAnalysis sub16 = analyze_storage(q.A, Prec::FP16);
+  EXPECT_EQ(sub16.subnormal_frac, 0.0);
+  EXPECT_EQ(sub16.ftz_frac, 0.0);
+  EXPECT_TRUE(storage_admissible(sub16, AutopilotThresholds{}));
+}
+
 // ---- repair ladder (table-driven) -----------------------------------------
 
 TEST(Autopilot, DecideRepairLadder) {
@@ -197,6 +264,39 @@ TEST(Autopilot, DecideRepairLadder) {
             RepairKind::Promote);
   h.subnormal = 100;  // 10% < 25%
   EXPECT_EQ(decide_repair(h, HealthEvent::Stagnation, t), RepairKind::None);
+}
+
+TEST(Autopilot, DecideRepairTreatsFp8AsNarrow) {
+  // FP8 levels are narrow-stored: the repair ladder applies to them exactly
+  // as it does to the 2-byte rungs.
+  const AutopilotThresholds t;
+  LevelHealth h;
+  h.values = 1000;
+  h.storage = Prec::FP8;
+  h.scaled = true;  // FP8 storage is always scaled
+  h.rescaled = false;
+  h.overflowed = 10;
+  EXPECT_EQ(decide_repair(h, HealthEvent::NonFinite, t), RepairKind::Rescale);
+  h.rescaled = true;
+  EXPECT_EQ(decide_repair(h, HealthEvent::NonFinite, t), RepairKind::Promote);
+  h.overflowed = 0;
+  h.subnormal = 400;
+  EXPECT_EQ(decide_repair(h, HealthEvent::Stagnation, t),
+            RepairKind::Promote);
+}
+
+TEST(Autopilot, NextRungUpWalksTheLadder) {
+  // Promotion is one rung at a time: FP8 climbs to the configured 2-byte
+  // format (so a BF16 config promotes FP8 -> BF16, not FP8 -> FP16), the
+  // 2-byte formats climb to compute.  An FP8 rung under a config that never
+  // stored a 2-byte format still passes through FP16 rather than jumping
+  // straight to compute.
+  EXPECT_EQ(next_rung_up(Prec::FP8, Prec::FP16, Prec::FP32), Prec::FP16);
+  EXPECT_EQ(next_rung_up(Prec::FP8, Prec::BF16, Prec::FP32), Prec::BF16);
+  EXPECT_EQ(next_rung_up(Prec::FP8, Prec::FP32, Prec::FP32), Prec::FP16);
+  EXPECT_EQ(next_rung_up(Prec::FP16, Prec::FP16, Prec::FP32), Prec::FP32);
+  EXPECT_EQ(next_rung_up(Prec::BF16, Prec::BF16, Prec::FP64), Prec::FP64);
+  EXPECT_EQ(next_rung_up(Prec::FP32, Prec::FP16, Prec::FP64), Prec::FP64);
 }
 
 TEST(Autopilot, LevelRiskOrdersOverflowAboveUnderflow) {
@@ -378,6 +478,44 @@ TEST(Autopilot, GovernorEscalatesDeepestTwoByteLevel) {
   EXPECT_GE(count_decisions(h, AutopilotTrigger::Stagnation,
                             AutopilotAction::Promote),
             1);
+}
+
+TEST(Autopilot, GovernorWalksFp8ThroughTwoByteToCompute) {
+  // An FP8 rung under the Guarded governor concedes one rung per event:
+  // FP8 -> FP16 (still narrow, still scaled) -> compute.  It must not jump
+  // straight from 1 byte to 4.
+  auto p = make_laplace27(Box{17, 17, 17});
+  MGConfig cfg = base_config();
+  cfg.precision_policy = PrecisionPolicy::Guarded;
+  cfg.storage_ladder = {Prec::FP16, Prec::FP16, Prec::FP8};
+  // The coarse Galerkin operators put ~27% of their scaled entries in FP8's
+  // subnormal zone and ~3% below its flush threshold; loosen the planner's
+  // vetoes so the rung survives setup — this test is about the *runtime*
+  // walk, not setup admissibility (which PlannerShiftsUnderflowStorm and
+  // the ladder tests already cover).
+  setenv("SMG_AUTOPILOT_SUBNORMAL", "0.5", 1);
+  setenv("SMG_AUTOPILOT_FTZ", "0.1", 1);
+  MGHierarchy h(std::move(p.A), cfg);
+  unsetenv("SMG_AUTOPILOT_SUBNORMAL");
+  unsetenv("SMG_AUTOPILOT_FTZ");
+  ASSERT_GE(h.nlevels(), 3);
+  const int deepest = h.nlevels() - 1;
+  ASSERT_EQ(h.level(deepest).storage, Prec::FP8);
+
+  PrecisionGovernor gov(&h);
+  std::vector<int> r = gov.on_event(HealthEvent::NonFinite);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r.front(), deepest);
+  EXPECT_EQ(h.level(deepest).storage, Prec::FP16);  // one rung, not two
+  EXPECT_EQ(h.level(deepest).A_stored.precision(), Prec::FP16);
+
+  r = gov.on_event(HealthEvent::NonFinite);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r.front(), deepest);  // same level climbs again
+  EXPECT_EQ(h.level(deepest).storage, h.config().compute);
+  EXPECT_GE(count_decisions(h, AutopilotTrigger::NonFinite,
+                            AutopilotAction::Promote),
+            2);
 }
 
 TEST(Autopilot, GovernorRespectsRepairBudget) {

@@ -58,6 +58,44 @@ TEST(BFloat16, RoundTripAllFinitePatterns) {
   }
 }
 
+TEST(BFloat16, DoubleConversionAvoidsDoubleRounding) {
+  // bf16 neighbors 1.0078125 (0x3F81) and 1.015625 (0x3F82) straddle the
+  // midpoint 0x1.03p0.  A double one ulp *below* the midpoint must round
+  // down to 0x3F81 — but the naive two-step double->float->bf16 path rounds
+  // the intermediate up onto the midpoint, and the tie then breaks to even
+  // (0x3F82).  The round-to-odd intermediate preserves "below the midpoint".
+  const double d = std::nextafter(0x1.03p0, 0.0);
+  EXPECT_EQ(bfloat16(static_cast<float>(d)).bits(), 0x3F82u)
+      << "the hazard this test guards against has vanished";
+  EXPECT_EQ(bfloat16(d).bits(), 0x3F81u);
+
+  // Exact doubles and float inputs are unaffected.
+  EXPECT_EQ(bfloat16(1.0).bits(), 0x3F80u);
+  EXPECT_EQ(bfloat16(0x1.03p0).bits(), 0x3F82u);  // exact midpoint: tie->even
+  EXPECT_TRUE(bfloat16(std::numeric_limits<double>::infinity()).is_inf());
+  EXPECT_TRUE(bfloat16(std::nan("")).is_nan());
+}
+
+TEST(BFloat16, MaxFiniteAndInfCarryEdges) {
+  // Largest finite bf16 is 0x1.FEp127 (0x7F7F).  The rounding midpoint to
+  // the would-be next value is 0x1.FFp127: from float, the tie carries up
+  // into inf (0x7F7F has an odd mantissa) — intentional and pinned here.
+  EXPECT_EQ(bfloat16(0x1.FEp127f).bits(), 0x7F7Fu);
+  EXPECT_FALSE(bfloat16(0x1.FEp127f).is_inf());
+  EXPECT_TRUE(bfloat16(0x1.FFp127f).is_inf());
+  // Just below the midpoint must stay finite — including from a double,
+  // where the float intermediate lands exactly on the midpoint and only the
+  // round-to-odd guard keeps the carry from firing.
+  EXPECT_EQ(bfloat16(std::nextafter(0x1.FFp127f, 0.0f)).bits(), 0x7F7Fu);
+  const double e = std::nextafter(0x1.FFp127, 0.0);
+  EXPECT_TRUE(bfloat16(static_cast<float>(e)).is_inf())
+      << "the hazard this test guards against has vanished";
+  EXPECT_EQ(bfloat16(e).bits(), 0x7F7Fu);
+  // Above the midpoint overflows from either width.
+  EXPECT_TRUE(bfloat16(0x1.FF8p127).is_inf());
+  EXPECT_TRUE(bfloat16(std::numeric_limits<double>::max()).is_inf());
+}
+
 TEST(BFloat16, LimitsAreConsistent) {
   EXPECT_FLOAT_EQ(static_cast<float>(std::numeric_limits<bfloat16>::epsilon()),
                   0.0078125f);  // 2^-7

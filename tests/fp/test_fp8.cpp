@@ -1,0 +1,158 @@
+// Unit tests for the 8-bit e4m3 storage type and the Prec format tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "fp/fp8.hpp"
+#include "fp/precision.hpp"
+
+namespace smg {
+namespace {
+
+TEST(Fp8, KnownBitPatterns) {
+  EXPECT_EQ(fp8(1.0f).bits(), 0x38u);   // exp 7 (bias), man 0
+  EXPECT_EQ(fp8(-2.0f).bits(), 0xC0u);  // sign | exp 8
+  EXPECT_EQ(fp8(0.0f).bits(), 0x00u);
+  EXPECT_EQ(fp8(240.0f).bits(), 0x77u);  // largest finite
+  EXPECT_EQ(fp8(0.015625f).bits(), 0x08u);     // min normal 2^-6
+  EXPECT_EQ(fp8(0.001953125f).bits(), 0x01u);  // min subnormal 2^-9
+}
+
+TEST(Fp8, RoundTripAllFinitePatterns) {
+  for (std::uint32_t bits = 0; bits <= 0xFFu; ++bits) {
+    const fp8 v = fp8::from_bits(static_cast<std::uint8_t>(bits));
+    if (!v.is_finite()) {
+      continue;
+    }
+    EXPECT_EQ(fp8(static_cast<float>(v)).bits(), v.bits()) << "bits=" << bits;
+  }
+}
+
+TEST(Fp8, SpecialValuePredicates) {
+  EXPECT_TRUE(fp8::from_bits(0x78).is_inf());
+  EXPECT_TRUE(fp8::from_bits(0xF8).is_inf());
+  EXPECT_TRUE(fp8::from_bits(0x7C).is_nan());
+  EXPECT_FALSE(fp8::from_bits(0x77).is_inf());
+  EXPECT_TRUE(fp8::from_bits(0x77).is_finite());
+  EXPECT_TRUE(fp8::from_bits(0x01).is_subnormal());
+  EXPECT_FALSE(fp8::from_bits(0x08).is_subnormal());
+  EXPECT_TRUE(fp8::from_bits(0x80).is_zero());
+  EXPECT_TRUE(fp8::from_bits(0x80).signbit());
+  EXPECT_TRUE(std::isinf(static_cast<float>(fp8::from_bits(0x78))));
+  EXPECT_TRUE(std::isnan(static_cast<float>(fp8::from_bits(0x7C))));
+  const fp8 n(std::numeric_limits<float>::quiet_NaN());
+  EXPECT_TRUE(n.is_nan());
+}
+
+TEST(Fp8, RoundToNearestEvenAtTheInfEdge) {
+  // fp8 steps by 16 near the top: 224, 240, then inf (the would-be 256).
+  // 244 is below the 248 midpoint -> 240; 248 ties and 240's mantissa is
+  // odd, so the carry rounds *up* into inf; anything above follows.
+  EXPECT_EQ(fp8(244.0f).bits(), 0x77u);
+  EXPECT_TRUE(fp8(248.0f).is_inf());
+  EXPECT_TRUE(fp8(1e6f).is_inf());
+  EXPECT_EQ(fp8(247.9f).bits(), 0x77u);
+}
+
+TEST(Fp8, RoundToNearestEvenMidpoints) {
+  // 1.0 (0x38) and 1.125 (0x39) straddle 1.0625: tie goes to even (0x38).
+  EXPECT_EQ(fp8(1.0625f).bits(), 0x38u);
+  // 1.125 and 1.25 straddle 1.1875: tie goes to even (0x3A = 1.25).
+  EXPECT_EQ(fp8(1.1875f).bits(), 0x3Au);
+  EXPECT_EQ(fp8(1.07f).bits(), 0x39u);  // above the midpoint rounds up
+}
+
+TEST(Fp8, SubnormalEdges) {
+  // Half the smallest subnormal ties between 0 and 0x01: even wins (0).
+  EXPECT_TRUE(fp8(0.0009765625f).is_zero());  // 2^-10, exact tie
+  EXPECT_EQ(fp8(0.0011f).bits(), 0x01u);      // above the tie rounds up
+  EXPECT_TRUE(fp8(0.0005f).is_zero());        // below the tie flushes
+  // Largest subnormal 7*2^-9 and its neighbor across the normal boundary.
+  EXPECT_EQ(fp8(0.013671875f).bits(), 0x07u);
+  EXPECT_EQ(fp8(0.015f).bits(), 0x08u);  // rounds up into min normal
+}
+
+TEST(Fp8, DoubleConversionAvoidsDoubleRounding) {
+  // d sits just above the fp8 midpoint 1.0625, but below float resolution:
+  // the two-step double->float->fp8 path rounds the intermediate *onto* the
+  // midpoint and the tie then breaks to even (0x38 = 1.0) — wrong.  The
+  // round-to-odd intermediate keeps the "above the midpoint" information,
+  // giving 0x39 = 1.125.
+  const double d = 1.0625 + 0x1p-30;
+  EXPECT_EQ(fp8::float_to_bits(static_cast<float>(d)), 0x38u)
+      << "the hazard this test guards against has vanished";
+  EXPECT_EQ(fp8(d).bits(), 0x39u);
+
+  // Mirror case at the inf edge: just below the 248 midpoint must stay
+  // finite (240), not carry into inf via the rounded-up intermediate.
+  const double e = 248.0 - 0x1p-30;
+  EXPECT_TRUE(fp8::from_bits(fp8::float_to_bits(static_cast<float>(e)))
+                  .is_inf())
+      << "the hazard this test guards against has vanished";
+  EXPECT_EQ(fp8(e).bits(), 0x77u);
+
+  // Exact doubles take the fast path unchanged.
+  EXPECT_EQ(fp8(1.0).bits(), 0x38u);
+  EXPECT_EQ(fp8(240.0).bits(), 0x77u);
+  EXPECT_TRUE(fp8(std::numeric_limits<double>::infinity()).is_inf());
+  EXPECT_TRUE(fp8(std::nan("")).is_nan());
+}
+
+TEST(Fp8, LimitsAreConsistent) {
+  EXPECT_FLOAT_EQ(static_cast<float>(std::numeric_limits<fp8>::max()), 240.0f);
+  EXPECT_FLOAT_EQ(static_cast<float>(std::numeric_limits<fp8>::lowest()),
+                  -240.0f);
+  EXPECT_FLOAT_EQ(static_cast<float>(std::numeric_limits<fp8>::min()),
+                  kFp8MinNormal);
+  EXPECT_FLOAT_EQ(static_cast<float>(std::numeric_limits<fp8>::denorm_min()),
+                  kFp8MinSubnormal);
+  EXPECT_FLOAT_EQ(static_cast<float>(std::numeric_limits<fp8>::epsilon()),
+                  0.125f);
+  EXPECT_TRUE(std::numeric_limits<fp8>::infinity().is_inf());
+  EXPECT_TRUE(std::numeric_limits<fp8>::quiet_NaN().is_nan());
+}
+
+TEST(PrecTables, ExhaustivePerFormat) {
+  // bytes_of / to_string / format_max are compile-time tables asserted to
+  // cover every Prec member; spot-check each entry end to end.
+  EXPECT_EQ(bytes_of(Prec::FP64), 8u);
+  EXPECT_EQ(bytes_of(Prec::FP32), 4u);
+  EXPECT_EQ(bytes_of(Prec::FP16), 2u);
+  EXPECT_EQ(bytes_of(Prec::BF16), 2u);
+  EXPECT_EQ(bytes_of(Prec::FP8), 1u);
+
+  EXPECT_EQ(to_string(Prec::FP64), "fp64");
+  EXPECT_EQ(to_string(Prec::FP32), "fp32");
+  EXPECT_EQ(to_string(Prec::FP16), "fp16");
+  EXPECT_EQ(to_string(Prec::BF16), "bf16");
+  EXPECT_EQ(to_string(Prec::FP8), "fp8");
+
+  EXPECT_EQ(format_max(Prec::FP16), 65504.0);
+  EXPECT_EQ(format_max(Prec::BF16), 0x1.FEp127);
+  EXPECT_EQ(format_max(Prec::FP8), 240.0);
+  EXPECT_EQ(format_max(Prec::FP32),
+            static_cast<double>(std::numeric_limits<float>::max()));
+  EXPECT_EQ(format_max(Prec::FP64), std::numeric_limits<double>::max());
+
+  EXPECT_FALSE(is_narrow_storage(Prec::FP64));
+  EXPECT_FALSE(is_narrow_storage(Prec::FP32));
+  EXPECT_TRUE(is_narrow_storage(Prec::FP16));
+  EXPECT_TRUE(is_narrow_storage(Prec::BF16));
+  EXPECT_TRUE(is_narrow_storage(Prec::FP8));
+}
+
+TEST(PrecTables, ParseRoundTrip) {
+  for (const Prec p : {Prec::FP64, Prec::FP32, Prec::FP16, Prec::BF16,
+                       Prec::FP8}) {
+    Prec out = Prec::FP64;
+    EXPECT_TRUE(parse_prec(to_string(p), out));
+    EXPECT_EQ(out, p);
+  }
+  Prec out = Prec::FP16;
+  EXPECT_FALSE(parse_prec("fp4", out));
+  EXPECT_EQ(out, Prec::FP16);  // unparsed leaves the output untouched
+}
+
+}  // namespace
+}  // namespace smg
