@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <utility>
 
 namespace smg {
 
@@ -76,6 +77,66 @@ std::vector<Prec> effective_storage_ladder(const MGConfig& cfg,
   return ladder.empty() ? cfg.storage_ladder : ladder;
 }
 
+bool parse_cycle_shape(std::string_view s, CycleShape& out) noexcept {
+  const auto eq = [&s](std::string_view want) {
+    if (s.size() != want.size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      const char c = s[i];
+      const char lc =
+          (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+      if (lc != want[i]) {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (eq("v")) {
+    out = CycleShape::V;
+    return true;
+  }
+  if (eq("w")) {
+    out = CycleShape::W;
+    return true;
+  }
+  if (eq("f") || eq("fmg")) {
+    out = CycleShape::F;
+    return true;
+  }
+  return false;
+}
+
+CycleShape effective_cycle(const MGConfig& cfg) noexcept {
+  const char* env = std::getenv("SMG_CYCLE");
+  if (env == nullptr || *env == '\0') {
+    return cfg.cycle;
+  }
+  CycleShape s = cfg.cycle;
+  parse_cycle_shape(env, s);
+  return s;
+}
+
+std::int64_t cycle_visits(CycleShape shape, int level, int nlevels) noexcept {
+  if (nlevels <= 1 || level <= 0) {
+    return 1;
+  }
+  switch (shape) {
+    case CycleShape::V:
+      return 1;
+    case CycleShape::W:
+      // Each non-coarsest child is entered twice per parent visit; the
+      // coarsest only once per parent visit (MGPrecond::cycle's recursion
+      // guard `lev + 1 < last`), so its count repeats the parent's.
+      return std::int64_t{1} << std::min({level, nlevels - 2, 62});
+    case CycleShape::F:
+      // One V sub-cycle rooted at every level j <= level reaches `level`
+      // once each; the coarsest additionally gets the FMG bootstrap solve.
+      return level < nlevels - 1 ? level + 1 : nlevels;
+  }
+  return 1;
+}
+
 int effective_ladder_min_level(const MGConfig& cfg) noexcept {
   const char* env = std::getenv("SMG_LADDER_MIN_LEVEL");
   if (env == nullptr || *env == '\0') {
@@ -87,6 +148,16 @@ int effective_ladder_min_level(const MGConfig& cfg) noexcept {
 }
 
 std::string MGConfig::tag() const {
+  // Non-default cycle shapes suffix the tag ("-wcycle"/"-fcycle"); V stays
+  // unsuffixed so pre-PR-10 tags are unchanged.
+  const auto cycle_suffix = [this](std::string s) {
+    if (cycle == CycleShape::W) {
+      s += "-wcycle";
+    } else if (cycle == CycleShape::F) {
+      s += "-fcycle";
+    }
+    return s;
+  };
   const auto code = [](Prec p) -> std::string {
     switch (p) {
       case Prec::FP64:
@@ -139,7 +210,7 @@ std::string MGConfig::tag() const {
       s += "-";
       s += to_string(precision_policy);
     }
-    return s;
+    return cycle_suffix(std::move(s));
   }
   // The D component must agree with storage_at(): shift_levid <= 0 stores
   // *every* level in compute precision, so the configured `storage` never
@@ -171,7 +242,7 @@ std::string MGConfig::tag() const {
     s += "-";
     s += to_string(precision_policy);
   }
-  return s;
+  return cycle_suffix(std::move(s));
 }
 
 MGConfig config_full64() {

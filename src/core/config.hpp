@@ -92,10 +92,46 @@ constexpr std::string_view to_string(FusedTransfers f) noexcept {
   return "?";
 }
 
-enum class CycleType {
+/// Cycle shape of one preconditioner apply (docs/CYCLE_SHAPES.md):
+///   V — one coarse-grid correction per level per apply;
+///   W — every non-coarsest child level is revisited (2^l visits of level l);
+///   F — full multigrid (FMG): inject the rhs to the coarsest level, solve
+///       there, then per level bootstrap the initial guess by prolonging the
+///       coarser solution (FMG interpolation) and run one V sub-cycle.  An
+///       F-cycle visits level l exactly l+1 times — the near-direct-solver
+///       shape that reaches discretization error in one apply.
+enum class CycleShape {
   V,
   W,
+  F,
 };
+
+/// Pre-PR-10 spelling; the V/W enumerators predate the F shape.
+using CycleType = CycleShape;
+
+constexpr std::string_view to_string(CycleShape s) noexcept {
+  switch (s) {
+    case CycleShape::V:
+      return "v";
+    case CycleShape::W:
+      return "w";
+    case CycleShape::F:
+      return "f";
+  }
+  return "?";
+}
+
+/// Parse "v"/"w"/"f" (case-insensitive; "fmg" also spells F).  Returns
+/// false on anything else, leaving `out` untouched.
+bool parse_cycle_shape(std::string_view s, CycleShape& out) noexcept;
+
+/// Times one preconditioner apply enters `level` (the count of Level
+/// telemetry spans): 1 per level in a V-cycle; 2^l in a W-cycle except the
+/// coarsest, which the W recursion enters once per parent visit; l+1 in an
+/// F-cycle (one V sub-cycle rooted at every finer-or-equal level), with the
+/// coarsest getting one extra visit for the bootstrap solve.  NOT a power
+/// of two under F — see docs/CYCLE_SHAPES.md for the traffic table.
+std::int64_t cycle_visits(CycleShape shape, int level, int nlevels) noexcept;
 
 /// Who decides the per-level storage precision (DESIGN.md §9).
 enum class PrecisionPolicy {
@@ -266,6 +302,10 @@ std::vector<Prec> effective_storage_ladder(const MGConfig& cfg,
 
 /// cfg.ladder_min_level unless SMG_LADDER_MIN_LEVEL overrides it.
 int effective_ladder_min_level(const MGConfig& cfg) noexcept;
+
+/// Cycle shape actually in effect: the SMG_CYCLE env var ("v", "w", "f",
+/// or "fmg") overrides cfg.cycle when parseable.
+CycleShape effective_cycle(const MGConfig& cfg) noexcept;
 
 /// Canonical configurations used across benches (Fig. 6 legend names).
 MGConfig config_full64();                ///< compute FP64, storage FP64

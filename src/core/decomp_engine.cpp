@@ -142,7 +142,7 @@ void boxed_prolong_add(const Coarsening& c, int bs, const CT* ec,
 template <class CT>
 DecompEngine<CT>::DecompEngine(const MGHierarchy* h, std::array<int, 3> nb,
                                bool halo_fp16)
-    : h_(h), pool_(&ThreadPool::global()) {
+    : h_(h), shape_(h->config().cycle), pool_(&ThreadPool::global()) {
   wire_bytes_ = halo_fp16 ? sizeof(half) : sizeof(CT);
   const std::vector<BoxDecomp> chain =
       decomp_chain(*h_, nb, h_->config().decomp_min_box);
@@ -529,7 +529,7 @@ void DecompEngine<CT>::cycle(int lev, bool zero_guess) {
                              {C.f.data(), C.f.size()});
     }
     cycle(lev + 1, /*zero_guess=*/true);
-    if (cfg.cycle == CycleType::W && lev + 1 < last) {
+    if (shape_ == CycleShape::W && lev + 1 < last) {
       cycle(lev + 1, /*zero_guess=*/false);
     }
     prolong_add<CT>(hl.to_coarse, bs, {C.u.data(), C.u.size()},
@@ -585,7 +585,7 @@ void DecompEngine<CT>::cycle(int lev, bool zero_guess) {
   }
 
   cycle(lev + 1, /*zero_guess=*/true);
-  if (cfg.cycle == CycleType::W && lev + 1 < last) {
+  if (shape_ == CycleShape::W && lev + 1 < last) {
     cycle(lev + 1, /*zero_guess=*/false);
   }
 
@@ -615,6 +615,99 @@ void DecompEngine<CT>::cycle(int lev, bool zero_guess) {
 }
 
 template <class CT>
+void DecompEngine<CT>::fcycle() {
+  const int last = h_->nlevels() - 1;
+  // Downward rhs injection (C.f = R D.f, no matrix pass).  The boxed path
+  // stages the rhs through the r scratch so the existing r-halo exchange
+  // provides the ghost values boxed_restrict reads; with raw halos every
+  // coarse dof is bitwise identical to the global restriction's.
+  for (int l = 0; l < last; ++l) {
+    DLevel& D = levels_[static_cast<std::size_t>(l)];
+    DLevel& C = levels_[static_cast<std::size_t>(l) + 1];
+    const Level& hl = h_->level(l);
+    const int bs = hl.A_full.block_size();
+    if (!D.boxed) {
+      // Below the agglomeration boundary (coarse is one box too).
+      const obs::LevelScope level_scope(l);
+      restrict_to_coarse<CT>(hl.to_coarse, bs, {D.f.data(), D.f.size()},
+                             {C.f.data(), C.f.size()});
+      continue;
+    }
+    const int nb = D.decomp.nboxes();
+    if (C.boxed) {
+      pool_->run(nb, [&](int b) {
+        BoxData& bd = D.boxes[static_cast<std::size_t>(b)];
+        copy_convert<CT, CT>({bd.f.data(), bd.f.size()},
+                             {bd.r.data(), bd.r.size()});
+      });
+      exchange(l, /*residual_field=*/true);
+      const obs::LevelScope level_scope(l);
+      const obs::KernelSpan span(obs::Kind::Restrict);
+      pool_->run(nb, [&](int b) {
+        boxed_restrict<CT>(hl.to_coarse, bs, D.decomp.box(b),
+                           D.boxes[static_cast<std::size_t>(b)].r.data(),
+                           C.decomp.box(b),
+                           C.boxes[static_cast<std::size_t>(b)].f.data());
+      });
+    } else {
+      // Agglomeration boundary: gather interior rhs, restrict globally.
+      const obs::LevelScope level_scope(l);
+      gather_interiors(l, &BoxData::f, {D.r.data(), D.r.size()});
+      restrict_to_coarse<CT>(hl.to_coarse, bs, {D.r.data(), D.r.size()},
+                             {C.f.data(), C.f.size()});
+    }
+  }
+
+  // Bootstrap: exact solve on the (always one-box) coarsest level.
+  cycle(last, /*zero_guess=*/true);
+
+  // Upward: FMG interpolation as the initial guess, one V sub-cycle per
+  // level.  The coarse u halo is exchanged before the per-box prolongation
+  // exactly like the V-cycle's pre-prolong exchange.
+  for (int l = last - 1; l >= 0; --l) {
+    DLevel& D = levels_[static_cast<std::size_t>(l)];
+    DLevel& C = levels_[static_cast<std::size_t>(l) + 1];
+    const Level& hl = h_->level(l);
+    const int bs = hl.A_full.block_size();
+    if (!D.boxed) {
+      const obs::LevelScope level_scope(l);
+      set_zero(std::span<CT>{D.u.data(), D.u.size()});
+      prolong_add<CT>(hl.to_coarse, bs, {C.u.data(), C.u.size()},
+                      {D.u.data(), D.u.size()});
+    } else {
+      const int nb = D.decomp.nboxes();
+      pool_->run(nb, [&](int b) {
+        BoxData& bd = D.boxes[static_cast<std::size_t>(b)];
+        set_zero(std::span<CT>{bd.u.data(), bd.u.size()});
+      });
+      if (C.boxed) {
+        exchange(l + 1, /*residual_field=*/false);
+        const obs::LevelScope level_scope(l);
+        const obs::KernelSpan span(obs::Kind::Prolong);
+        pool_->run(nb, [&](int b) {
+          const SubBox& cs = C.decomp.box(b);
+          boxed_prolong_add<CT>(
+              hl.to_coarse, bs,
+              C.boxes[static_cast<std::size_t>(b)].u.data(), cs.local(),
+              {cs.off(0), cs.off(1), cs.off(2)}, D.decomp.box(b),
+              D.boxes[static_cast<std::size_t>(b)].u.data());
+        });
+      } else {
+        const obs::LevelScope level_scope(l);
+        const obs::KernelSpan span(obs::Kind::Prolong);
+        pool_->run(nb, [&](int b) {
+          boxed_prolong_add<CT>(hl.to_coarse, bs, C.u.data(),
+                                hl.to_coarse.coarse, {0, 0, 0},
+                                D.decomp.box(b),
+                                D.boxes[static_cast<std::size_t>(b)].u.data());
+        });
+      }
+    }
+    cycle(l, /*zero_guess=*/false);
+  }
+}
+
+template <class CT>
 void DecompEngine<CT>::apply(std::span<const CT> r, std::span<CT> e) {
   DLevel& D0 = levels_.front();
   SMG_CHECK(r.size() == D0.f.size() && e.size() == D0.u.size(),
@@ -626,7 +719,11 @@ void DecompEngine<CT>::apply(std::span<const CT> r, std::span<CT> e) {
     copy_convert<CT, CT>(r, {D0.f.data(), D0.f.size()});
   }
   scatter_to_boxes(0, {D0.f.data(), D0.f.size()});
-  cycle(0, /*zero_guess=*/true);
+  if (shape_ == CycleShape::F) {
+    fcycle();
+  } else {
+    cycle(0, /*zero_guess=*/true);
+  }
   gather_interiors(0, &BoxData::u, {D0.u.data(), D0.u.size()});
   if (h_->finest_wrapped()) {
     ewise_div<CT>({D0.u.data(), D0.u.size()}, q2w, e);

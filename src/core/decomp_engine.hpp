@@ -66,6 +66,11 @@ class DecompEngine {
   /// rescaled or promoted the hierarchy level.
   void refresh_level(int l);
 
+  /// Cycle shape of the next apply (mirrors MGPrecond::set_cycle_shape;
+  /// MGPrecond forwards so the decomposed and plain paths always agree).
+  CycleShape cycle_shape() const noexcept { return shape_; }
+  void set_cycle_shape(CycleShape s) noexcept { shape_ = s; }
+
   const BoxDecomp& decomp(int l) const noexcept {
     return levels_[static_cast<std::size_t>(l)].decomp;
   }
@@ -103,6 +108,10 @@ class DecompEngine {
   /// Refresh an unboxed level's global q2/invdiag copies (MGPrecond-style).
   void refresh_global(int l);
   void cycle(int lev, bool zero_guess);
+  /// FMG F-cycle over the boxed hierarchy: rhs injection restricts per box
+  /// (through the r-field halo), the FMG interpolation prolongs per box
+  /// (through the coarse u halo), V sub-cycles reuse cycle() unchanged.
+  void fcycle();
   void smooth_boxed(int lev, bool forward);
   void smooth_global(int lev, bool forward);
   /// Exchange every box's `u` (or `r`) halo on level `lev`, recording the
@@ -115,6 +124,7 @@ class DecompEngine {
                         std::span<CT> dst);
 
   const MGHierarchy* h_;
+  CycleShape shape_ = CycleShape::V;
   ThreadPool* pool_;
   MemcpyExchanger ex_;  ///< in-process transport backend
   std::vector<DLevel> levels_;

@@ -68,6 +68,7 @@ MGHierarchy::MGHierarchy(StructMat<double> A0, MGConfig cfg)
     obs::enable_metrics(true);
   }
 
+  cfg_.cycle = effective_cycle(cfg_);
   cfg_.precision_policy = effective_policy(cfg_.precision_policy);
   if (cfg_.precision_policy != PrecisionPolicy::Fixed) {
     th_ = AutopilotThresholds::from_env();

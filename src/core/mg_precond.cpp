@@ -12,7 +12,8 @@
 namespace smg {
 
 template <class CT>
-MGPrecond<CT>::MGPrecond(const MGHierarchy* h) : h_(h) {
+MGPrecond<CT>::MGPrecond(const MGHierarchy* h)
+    : h_(h), shape_(h->config().cycle) {
   const int nlev = h_->nlevels();
   lv_.resize(static_cast<std::size_t>(nlev));
   for (int l = 0; l < nlev; ++l) {
@@ -43,6 +44,14 @@ MGPrecond<CT>::MGPrecond(const MGHierarchy* h) : h_(h) {
     if (engine->active()) {
       engine_ = std::move(engine);
     }
+  }
+}
+
+template <class CT>
+void MGPrecond<CT>::set_cycle_shape(CycleShape s) noexcept {
+  shape_ = s;
+  if (engine_ != nullptr) {
+    engine_->set_cycle_shape(s);
   }
 }
 
@@ -152,7 +161,7 @@ void MGPrecond<CT>::cycle(int lev, bool zero_guess) {
   }
 
   cycle(lev + 1, /*zero_guess=*/true);
-  if (cfg.cycle == CycleType::W && lev + 1 < last) {
+  if (shape_ == CycleShape::W && lev + 1 < last) {
     cycle(lev + 1, /*zero_guess=*/false);
   }
 
@@ -160,6 +169,39 @@ void MGPrecond<CT>::cycle(int lev, bool zero_guess) {
                   {C.u.data(), C.u.size()}, {L.u.data(), L.u.size()});
   for (int s = 0; s < cfg.nu2; ++s) {
     smooth(lev, /*forward=*/false);
+  }
+}
+
+template <class CT>
+void MGPrecond<CT>::fcycle() {
+  const int last = h_->nlevels() - 1;
+  // Downward rhs injection: with a zero initial guess the level residual
+  // equals its rhs, so C.f = R L.f is a pure restriction — no matrix pass.
+  for (int l = 0; l < last; ++l) {
+    const obs::LevelScope level_scope(l);
+    const Level& hl = h_->level(l);
+    LevelData& L = lv_[static_cast<std::size_t>(l)];
+    LevelData& C = lv_[static_cast<std::size_t>(l) + 1];
+    restrict_to_coarse<CT>(hl.to_coarse, hl.A_full.block_size(),
+                           {L.f.data(), L.f.size()},
+                           {C.f.data(), C.f.size()});
+  }
+  // Bootstrap: exact solve on the coarsest level (its extra F-cycle visit).
+  cycle(last, /*zero_guess=*/true);
+  // Upward: FMG-interpolate the coarser solution as this level's initial
+  // guess (zero u, then the same trilinear prolong_add the V-cycle uses),
+  // and run one V sub-cycle rooted here.
+  for (int l = last - 1; l >= 0; --l) {
+    const Level& hl = h_->level(l);
+    LevelData& L = lv_[static_cast<std::size_t>(l)];
+    LevelData& C = lv_[static_cast<std::size_t>(l) + 1];
+    {
+      const obs::LevelScope level_scope(l);
+      set_zero(std::span<CT>{L.u.data(), L.u.size()});
+      prolong_add<CT>(hl.to_coarse, hl.A_full.block_size(),
+                      {C.u.data(), C.u.size()}, {L.u.data(), L.u.size()});
+    }
+    cycle(l, /*zero_guess=*/false);
   }
 }
 
@@ -267,13 +309,40 @@ void MGPrecond<CT>::cycle_many(int lev, bool zero_guess) {
   }
 
   cycle_many(lev + 1, /*zero_guess=*/true);
-  if (cfg.cycle == CycleType::W && lev + 1 < last) {
+  if (shape_ == CycleShape::W && lev + 1 < last) {
     cycle_many(lev + 1, /*zero_guess=*/false);
   }
 
   prolong_add_many<CT>(hl.to_coarse, hl.A_full.block_size(), C.u, P.u);
   for (int s = 0; s < cfg.nu2; ++s) {
     smooth_many(lev, /*forward=*/false);
+  }
+}
+
+template <class CT>
+void MGPrecond<CT>::fcycle_many() {
+  // Panel F-cycle: fcycle() with the k-column transfer kernels, column c
+  // bitwise identical to a single-vector fcycle of that column.
+  const int last = h_->nlevels() - 1;
+  for (int l = 0; l < last; ++l) {
+    const obs::LevelScope level_scope(l);
+    const Level& hl = h_->level(l);
+    PanelData& P = pv_[static_cast<std::size_t>(l)];
+    PanelData& C = pv_[static_cast<std::size_t>(l) + 1];
+    restrict_to_coarse_many<CT>(hl.to_coarse, hl.A_full.block_size(), P.f,
+                                C.f);
+  }
+  cycle_many(last, /*zero_guess=*/true);
+  for (int l = last - 1; l >= 0; --l) {
+    const Level& hl = h_->level(l);
+    PanelData& P = pv_[static_cast<std::size_t>(l)];
+    PanelData& C = pv_[static_cast<std::size_t>(l) + 1];
+    {
+      const obs::LevelScope level_scope(l);
+      P.u.fill(CT{0});
+      prolong_add_many<CT>(hl.to_coarse, hl.A_full.block_size(), C.u, P.u);
+    }
+    cycle_many(l, /*zero_guess=*/false);
   }
 }
 
@@ -317,7 +386,11 @@ void MGPrecond<CT>::apply_many(const MultiVector<CT>& r, MultiVector<CT>& e) {
   } else {
     copy_convert<CT, CT>({r.data(), r.size()}, {P0.f.data(), P0.f.size()});
   }
-  cycle_many(0, /*zero_guess=*/true);
+  if (shape_ == CycleShape::F) {
+    fcycle_many();
+  } else {
+    cycle_many(0, /*zero_guess=*/true);
+  }
   if (h_->finest_wrapped()) {
     const CT* SMG_RESTRICT q2w = wrap_q2_.data();
     const CT* SMG_RESTRICT src = P0.u.data();
@@ -350,7 +423,11 @@ void MGPrecond<CT>::apply(std::span<const CT> r, std::span<CT> e) {
   } else {
     copy_convert<CT, CT>(r, {L0.f.data(), L0.f.size()});
   }
-  cycle(0, /*zero_guess=*/true);
+  if (shape_ == CycleShape::F) {
+    fcycle();
+  } else {
+    cycle(0, /*zero_guess=*/true);
+  }
   if (h_->finest_wrapped()) {
     ewise_div<CT>({L0.u.data(), L0.u.size()}, q2w, e);
   } else {

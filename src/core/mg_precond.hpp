@@ -42,11 +42,26 @@ class MGPrecond {
 
   const MGHierarchy& hierarchy() const noexcept { return *h_; }
 
+  /// Cycle shape of the next apply.  Defaults to the hierarchy's effective
+  /// config (SMG_CYCLE resolved at setup); fmg_solve flips it per phase
+  /// (F for the bootstrap apply, V for polish).  W/F sub-cycles always
+  /// recurse as the shape dictates: W revisits children, F runs V
+  /// sub-cycles above its FMG-interpolated guesses.
+  CycleShape cycle_shape() const noexcept { return shape_; }
+  void set_cycle_shape(CycleShape s) noexcept;
+
  private:
   void cycle(int lev, bool zero_guess);
   void smooth(int lev, bool forward);
   void cycle_many(int lev, bool zero_guess);
   void smooth_many(int lev, bool forward);
+  /// FMG F-cycle (docs/CYCLE_SHAPES.md): inject the rhs level by level to
+  /// the coarsest (with a zero guess the residual IS the rhs, so the
+  /// injection is a pure restriction — no matrix pass), solve there, then
+  /// per level prolong the coarser solution as the initial guess and run
+  /// one V sub-cycle.  Reuses the unmodified transfer/smoother kernels.
+  void fcycle();
+  void fcycle_many();
   /// Size the panel level buffers for width k (no-op when already sized).
   void ensure_panels(int k);
 
@@ -64,6 +79,7 @@ class MGPrecond {
   };
 
   const MGHierarchy* h_;
+  CycleShape shape_ = CycleShape::V;
   std::vector<LevelData> lv_;
   std::vector<PanelData> pv_;  ///< sized by ensure_panels (apply_many only)
   avec<CT> colbuf_f_, colbuf_u_;  ///< per-column coarse-solve scratch
@@ -103,6 +119,11 @@ class MGPrecondAdapter final : public PrecondBase<KT> {
   obs::Telemetry* telemetry() override { return &telemetry_; }
   bool self_healing() const override { return guarded_; }
   bool report_health(HealthEvent e) override;
+  CycleShape cycle_shape() const override { return mg_.cycle_shape(); }
+  bool set_cycle_shape(CycleShape s) override {
+    mg_.set_cycle_shape(s);
+    return true;
+  }
 
  private:
   /// Run the governor once; refresh the repaired levels' caches.

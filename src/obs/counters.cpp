@@ -17,13 +17,15 @@ std::vector<LevelPrecisionCounters> collect_precision_counters(
   const MGConfig& cfg = h.config();
   std::vector<LevelPrecisionCounters> out;
   out.reserve(static_cast<std::size_t>(h.nlevels()));
-  // Visits of each level per apply: 1 for a V-cycle; a W-cycle re-enters
-  // every non-coarsest child level (matching MGPrecond::cycle's recursion).
+  // Visits of each level per apply (cycle_visits, core/config.hpp): 1 for a
+  // V-cycle, doubling per W recursion, l+1 under the F-cycle's per-level V
+  // sub-cycle roots.  The F counts are NOT powers of two — any doubling
+  // loop here would overcount (that was the pre-F W-coarsest bug in the
+  // halo model; both now share the one helper).
   std::vector<std::uint64_t> visits(static_cast<std::size_t>(h.nlevels()), 1);
-  for (int l = 1; l < h.nlevels(); ++l) {
-    const bool w_revisit = cfg.cycle == CycleType::W && l + 1 < h.nlevels();
-    visits[static_cast<std::size_t>(l)] =
-        visits[static_cast<std::size_t>(l) - 1] * (w_revisit ? 2 : 1);
+  for (int l = 0; l < h.nlevels(); ++l) {
+    visits[static_cast<std::size_t>(l)] = static_cast<std::uint64_t>(
+        cycle_visits(cfg.cycle, l, h.nlevels()));
   }
   // Autopilot repair ledger: count the decisions that targeted each level.
   std::vector<std::uint32_t> rescales(static_cast<std::size_t>(h.nlevels()),

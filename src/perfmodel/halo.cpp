@@ -8,18 +8,6 @@
 
 namespace smg {
 
-namespace {
-
-/// Visits of level l per preconditioner apply: 1 in a V-cycle, 2^l in a W.
-std::int64_t visits(CycleType cycle, int l) noexcept {
-  if (cycle != CycleType::W) {
-    return 1;
-  }
-  return std::int64_t{1} << std::min(l, 30);
-}
-
-}  // namespace
-
 int stencil_ghost(const Stencil& st) noexcept {
   int g = 1;
   for (int d = 0; d < st.ndiag(); ++d) {
@@ -72,20 +60,27 @@ std::vector<HaloLevelModel> model_halo(const MGHierarchy& h,
     }
     const HaloPlan plan(d, h.level(l).A_full.block_size());
     m.values_per_exchange = plan.values_per_exchange();
-    const std::int64_t v = visits(cfg.cycle, l);
+    const bool fshape = cfg.cycle == CycleShape::F;
+    const std::int64_t v = cycle_visits(cfg.cycle, l, h.nlevels());
     // Per visit: one u-exchange before each of the nu1 + nu2 smoother
     // sweeps and one before the downstroke residual.  The exchange before
     // the parent prolongs from this level happens once per *parent* visit
     // (a W-cycle recurses twice but prolongs once), so it scales with the
-    // parent's visit count, not this level's.
+    // parent's visit count, not this level's.  An F-cycle adds one more
+    // u-exchange per boxed non-finest level: the FMG interpolation prolongs
+    // this level's bootstrap solution before the parent's V sub-cycle.
     m.u_exchanges = static_cast<int>(
-        v * (cfg.nu1 + cfg.nu2 + 1) + (l > 0 ? visits(cfg.cycle, l - 1) : 0));
+        v * (cfg.nu1 + cfg.nu2 + 1) +
+        (l > 0 ? cycle_visits(cfg.cycle, l - 1, h.nlevels()) : 0) +
+        ((fshape && l > 0) ? 1 : 0));
     // The residual halo is exchanged only when the coarse level is boxed
-    // too (per-box restriction needs the fine residual's ghosts).
+    // too (per-box restriction needs the fine residual's ghosts).  The
+    // F-cycle's downward rhs injection stages the rhs through the residual
+    // scratch, adding one r-exchange on the same condition.
     const bool coarse_boxed =
         l + 1 < h.nlevels() &&
         chain[static_cast<std::size_t>(l + 1)].decomposed();
-    m.r_exchanges = static_cast<int>(coarse_boxed ? v : 0);
+    m.r_exchanges = static_cast<int>(coarse_boxed ? v + (fshape ? 1 : 0) : 0);
   }
   return out;
 }
@@ -117,12 +112,14 @@ double model_decomp_apply_seconds(const MGHierarchy& h, std::array<int, 3> nb,
     const Prec mat = L.storage;
     const Prec vec = cfg.compute;
     const BoxDecomp& d = chain[static_cast<std::size_t>(l)];
-    const double v = static_cast<double>(visits(cfg.cycle, l));
+    const double v =
+        static_cast<double>(cycle_visits(cfg.cycle, l, h.nlevels()));
 
     const double sweep = cfg.smoother == SmootherType::SymGS
                              ? symgs_sweep_bytes(nnz, m, mat, vec, L.scaled)
                              : jacobi_sweep_bytes(nnz, m, mat, vec, L.scaled);
     double work = (cfg.nu1 + cfg.nu2) * sweep;
+    double extra = 0.0;  // once-per-apply F-cycle transfer traffic
     if (l + 1 < h.nlevels()) {
       const double mc =
           static_cast<double>(L.to_coarse.coarse.size()) * bs;
@@ -131,9 +128,15 @@ double model_decomp_apply_seconds(const MGHierarchy& h, std::array<int, 3> nb,
       work += downstroke_bytes(nnz, m, mc, mat, vec, L.scaled,
                                /*fused=*/!d.decomposed()) +
               prolong_bytes(m, mc, vec);
+      if (cfg.cycle == CycleShape::F) {
+        // Downward rhs injection (pure restriction, no matrix pass) and the
+        // upward FMG interpolation — each touches this level once per apply
+        // regardless of the visit count.
+        extra = restrict_bytes(m, mc, vec) + prolong_bytes(m, mc, vec);
+      }
     }
     const int workers = d.decomposed() ? std::min(d.nboxes(), threads) : 1;
-    total += v * work / (static_cast<double>(workers) * bw);
+    total += (v * work + extra) / (static_cast<double>(workers) * bw);
 
     const HaloLevelModel& hm = halo[static_cast<std::size_t>(l)];
     if (hm.boxed) {

@@ -58,7 +58,9 @@ struct HaloLevelModel {
 };
 
 /// Model the full hierarchy's halo traffic for one preconditioner apply
-/// (honors cfg.nu1/nu2 and V/W cycle visit counts).
+/// (honors cfg.nu1/nu2 and the V/W/F cycle visit counts — see
+/// cycle_visits in core/config.hpp; the F-cycle adds the rhs-injection
+/// r-exchange and the FMG-interpolation u-exchange per boxed level).
 std::vector<HaloLevelModel> model_halo(const MGHierarchy& h,
                                        std::array<int, 3> nb,
                                        std::int64_t min_box_cells);

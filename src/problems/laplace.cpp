@@ -1,3 +1,6 @@
+#include <cmath>
+#include <numbers>
+
 #include "problems/field_util.hpp"
 #include "problems/problem.hpp"
 
@@ -42,6 +45,23 @@ Problem make_laplace_impl(const Box& box, double scale, std::string name,
   return p;
 }
 
+/// b = 9 pi^2 (hx^2 + hy^2 + hz^2) u* . scale: the manufactured rhs whose
+/// continuum solution is u* (see problem.hpp for the Taylor argument).
+Problem make_laplace_mms_impl(const Box& box, double scale, std::string name,
+                              std::string dist) {
+  Problem p = make_laplace_impl(box, scale, std::move(name), std::move(dist));
+  const double hx = 1.0 / (box.nx + 1);
+  const double hy = 1.0 / (box.ny + 1);
+  const double hz = 1.0 / (box.nz + 1);
+  const double pi2 = std::numbers::pi * std::numbers::pi;
+  const double amp = 9.0 * pi2 * (hx * hx + hy * hy + hz * hz) * scale;
+  const avec<double> ustar = laplace27_mms_solution(box);
+  for (std::size_t i = 0; i < ustar.size(); ++i) {
+    p.b[i] = amp * ustar[i];
+  }
+  return p;
+}
+
 }  // namespace
 
 Problem make_laplace27(const Box& box) {
@@ -52,6 +72,33 @@ Problem make_laplace27e8(const Box& box) {
   // Multiplying by 1e8 pushes every entry far beyond FP16_MAX = 65504 while
   // changing nothing about the spectrum: the pure out-of-range ablation.
   return make_laplace_impl(box, 1e8, "laplace27e8", "Far");
+}
+
+Problem make_laplace27_mms(const Box& box) {
+  return make_laplace_mms_impl(box, 1.0, "laplace27_mms", "None");
+}
+
+Problem make_laplace27e8_mms(const Box& box) {
+  return make_laplace_mms_impl(box, 1e8, "laplace27e8_mms", "Far");
+}
+
+avec<double> laplace27_mms_solution(const Box& box) {
+  avec<double> u(static_cast<std::size_t>(box.size()));
+  const double hx = 1.0 / (box.nx + 1);
+  const double hy = 1.0 / (box.ny + 1);
+  const double hz = 1.0 / (box.nz + 1);
+  const double pi = std::numbers::pi;
+  for (int k = 0; k < box.nz; ++k) {
+    const double sz = std::sin(pi * (k + 1) * hz);
+    for (int j = 0; j < box.ny; ++j) {
+      const double sy = std::sin(pi * (j + 1) * hy);
+      for (int i = 0; i < box.nx; ++i) {
+        const double sx = std::sin(pi * (i + 1) * hx);
+        u[static_cast<std::size_t>(box.idx(i, j, k))] = sx * sy * sz;
+      }
+    }
+  }
+  return u;
 }
 
 }  // namespace smg

@@ -9,6 +9,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/config.hpp"
 #include "util/common.hpp"
 #include "util/multivector.hpp"
 
@@ -81,6 +82,16 @@ class PrecondBase {
   /// itself (the caller should retry the failed step from its last good
   /// state); false when no repair is available and the failure is final.
   virtual bool report_health(HealthEvent) { return false; }
+
+  /// Cycle shape the next apply() runs (fmg_solve flips F for the bootstrap
+  /// apply and V for the polish iterations).  The default says V and
+  /// refuses the override — only multigrid preconditioners reshape.
+  virtual CycleShape cycle_shape() const { return CycleShape::V; }
+
+  /// Override the cycle shape of subsequent applies; returns false when the
+  /// preconditioner has no cycle to reshape (shape-agnostic callers can
+  /// ignore the result — apply() stays correct either way).
+  virtual bool set_cycle_shape(CycleShape) { return false; }
 };
 
 /// No preconditioning: e = r.
